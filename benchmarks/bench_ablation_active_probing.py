@@ -1,0 +1,109 @@
+"""Ablation: active GridFTP probing vs passive logging (Section 3).
+
+The paper logs only organic transfers ("no control over the intervals at
+which data is collected") and notes the regular-probing alternative
+without pursuing it.  Here we pursue it: run the controlled campaign
+alone (passive) and with a concurrent 100 MB probe every 30 minutes
+(active), then compare prediction error for 100 MB-class transfers —
+scoring, in both setups, only the *organic* campaign transfers, so the
+probes' contribution is purely their history.
+
+Expected shape: active probing reduces 100 MB-class error (regular,
+fresh same-class samples) at a quantified bandwidth cost (~4.8 GB/day of
+probe traffic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import History, paper_classification
+from repro.core.predictors import classified_predictors
+from repro.units import MB
+from repro.workload import (
+    AUG_2001,
+    ActiveProbeConfig,
+    ActiveProber,
+    CampaignConfig,
+    ControlledCampaign,
+    build_testbed,
+)
+
+
+def run_world(active: bool, seed=15, days=10):
+    bed = build_testbed(seed=seed, start_time=AUG_2001)
+    cfg = CampaignConfig(start_epoch=AUG_2001, days=days)
+    campaign = ControlledCampaign(bed, "LBL", "ANL", cfg)
+    campaign.start()
+    prober = None
+    if active:
+        prober = ActiveProber(bed, "LBL", "ANL", config=ActiveProbeConfig())
+        prober.start()
+    bed.engine.run(until=cfg.end_epoch)
+    campaign.stop()
+    if prober is not None:
+        prober.stop()
+    organic = {id(o) for o in campaign.outcomes}
+    return bed.servers["LBL"].monitor.log.records(), campaign.outcomes
+
+
+def score_organic(records, organic_outcomes, predictor, label="100MB"):
+    """Walk the full log; score predictions only on organic transfers of
+    the target class."""
+    cls = paper_classification()
+    organic_keys = {
+        (o.start_time, o.request.size) for o in organic_outcomes
+    }
+    history = History.from_records(records)
+    errors = []
+    for i in range(15, len(records)):
+        record = records[i]
+        if (record.start_time, record.file_size) not in organic_keys:
+            continue
+        if cls.classify(record.file_size) != label:
+            continue
+        predicted = predictor.predict(
+            history.prefix(i), target_size=record.file_size,
+            now=record.start_time,
+        )
+        if predicted is not None:
+            errors.append(abs(record.bandwidth - predicted) / record.bandwidth * 100)
+    return float(np.mean(errors)), len(errors)
+
+
+@pytest.mark.benchmark(group="ablation-active-probing")
+def test_active_probing_vs_passive(benchmark):
+    def sweep():
+        out = {}
+        for mode, active in (("passive", False), ("active", True)):
+            records, organic = run_world(active)
+            predictor = classified_predictors()["C-AVG5"]
+            mape, n = score_organic(records, organic, predictor)
+            out[mode] = (mape, n, len(records))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    cost = ActiveProbeConfig().bytes_per_day / 1e9
+    rows = [
+        [mode, mape, scored, log_size]
+        for mode, (mape, scored, log_size) in results.items()
+    ]
+    print()
+    print(render_table(
+        ["mode", "100MB-class MAPE %", "organic scored", "log records"],
+        rows,
+        title=(
+            "Ablation — active 100MB/30min probing vs passive logging "
+            f"(probe cost {cost:.1f} GB/day)"
+        ),
+    ))
+
+    passive_mape, passive_n, _ = results["passive"]
+    active_mape, active_n, active_log = results["active"]
+    # The organic workloads are statistically matched, not identical:
+    # probe-induced disk contention shifts transfer timings slightly.
+    assert abs(active_n - passive_n) <= 0.1 * passive_n
+    assert active_log > results["passive"][2]  # probes really were logged
+    # The headline: regular same-class history reduces error.
+    assert active_mape < passive_mape

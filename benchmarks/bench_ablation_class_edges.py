@@ -1,0 +1,69 @@
+"""Ablation: the file-size class boundaries (Section 4.3 design choice).
+
+The paper's 0-50 / 50-250 / 250-750 / >750 MB classes "apply to the set of
+hosts for our testbed only".  We sweep alternative partitions and compare
+the classified battery's mean error: too-coarse partitions blur small and
+large transfers together; finer partitions help until classes get starved
+of history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import Classification, evaluate
+from repro.core.predictors import classified_predictors
+from repro.units import MB
+
+PARTITIONS = {
+    "paper (50/250/750)": Classification(
+        edges=(50 * MB, 250 * MB, 750 * MB),
+        labels=("10MB", "100MB", "500MB", "1GB"),
+    ),
+    "coarse-2 (250)": Classification(
+        edges=(250 * MB,), labels=("small", "large"),
+    ),
+    "shifted (100/500)": Classification(
+        edges=(100 * MB, 500 * MB), labels=("s", "m", "l"),
+    ),
+    "fine-6": Classification(
+        edges=(10 * MB, 50 * MB, 150 * MB, 400 * MB, 750 * MB),
+        labels=("a", "b", "c", "d", "e", "f"),
+    ),
+}
+
+
+def battery_mape(records, classification):
+    battery = classified_predictors(classification)
+    result = evaluate(records, battery)
+    values = [v for v in result.mape_table().values() if v == v]
+    return float(np.mean(values))
+
+
+@pytest.mark.benchmark(group="ablation-classes")
+def test_class_edge_sweep(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+
+    def sweep():
+        return {name: battery_mape(records, cls)
+                for name, cls in PARTITIONS.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["partition", "battery mean MAPE %"],
+        [[name, mape] for name, mape in results.items()],
+        title="Ablation — class boundary sweep (LBL-ANL, classified battery)",
+    ))
+
+    # Partition granularity matters monotonically on this substrate:
+    # coarser partitions blur the strong bandwidth-vs-size dependence.
+    paper = results["paper (50/250/750)"]
+    assert paper < results["coarse-2 (250)"]
+    assert paper < results["shifted (100/500)"]
+    # Finding (documented in EXPERIMENTS.md): a finer 6-way partition beats
+    # the paper's 4 classes here, because our 0-50 MB class is internally
+    # heterogeneous (1 MB and 25 MB transfers differ ~4x in bandwidth).
+    # The paper itself flags its edges as testbed-specific.
+    assert results["fine-6"] < paper

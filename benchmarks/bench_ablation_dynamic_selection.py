@@ -1,0 +1,43 @@
+"""Ablation: NWS-style dynamic predictor selection (Section 4.4 / 7).
+
+The paper suggests "rather than choosing just a single prediction
+technique, we could also evaluate a number of them and choose the most
+appropriate one on the fly, as is done by the NWS".  This benchmark runs
+that extension over the regenerated logs and reports where it lands
+relative to the fixed battery: near the best fixed member, without
+knowing in advance which member that is.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import evaluate
+from repro.core.predictors import DynamicSelector, paper_predictors
+
+MEMBERS = ("AVG", "AVG5", "AVG15", "MED15", "LV")
+
+
+@pytest.mark.benchmark(group="ablation-dynamic")
+def test_dynamic_selection_vs_fixed(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+    base = paper_predictors()
+    battery = {name: base[name] for name in MEMBERS}
+    battery["DYN"] = DynamicSelector([paper_predictors()[n] for n in MEMBERS])
+
+    result = benchmark.pedantic(
+        lambda: evaluate(records, battery), rounds=1, iterations=1
+    )
+    table = result.mape_table()
+
+    print()
+    print(render_table(
+        ["predictor", "MAPE %"],
+        [[name, table[name]] for name in (*MEMBERS, "DYN")],
+        title="Ablation — dynamic selection vs fixed members (LBL-ANL)",
+    ))
+
+    fixed = {name: table[name] for name in MEMBERS}
+    best, worst = min(fixed.values()), max(fixed.values())
+    # Dynamic selection avoids the worst member and tracks the best.
+    assert table["DYN"] <= worst
+    assert table["DYN"] <= best * 1.5

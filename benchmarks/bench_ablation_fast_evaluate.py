@@ -1,0 +1,30 @@
+"""Ablation: vectorized vs generic evaluation.
+
+Parameter sweeps (seeds x months x class partitions) re-run the
+30-predictor walk-forward evaluation many times; the vectorized
+evaluator computes the same traces with NumPy kernels (parity asserted
+in the test suite).  This benchmark measures the speedup on one real
+campaign log.
+"""
+
+import pytest
+
+from repro.core import evaluate, fast_evaluate
+from repro.core.predictors import classified_predictors, paper_predictors
+
+
+@pytest.mark.benchmark(group="ablation-fast-evaluate")
+def test_generic_evaluator(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+    battery = {**paper_predictors(), **classified_predictors()}
+    result = benchmark.pedantic(
+        lambda: evaluate(records, battery), rounds=3, iterations=1
+    )
+    assert len(result.names()) == 30
+
+
+@pytest.mark.benchmark(group="ablation-fast-evaluate")
+def test_vectorized_evaluator(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+    result = benchmark(lambda: fast_evaluate(records))
+    assert len(result.names()) == 30

@@ -1,0 +1,76 @@
+"""Ablation: the hybrid GridFTP + NWS predictor (Section 7 future work).
+
+"We plan to investigate using both basic predictions on the sporadic data
+combined with more regular NWS measurements ... to overcome the drawbacks
+of each approach in isolation."
+
+The hybrid scales the fresh NWS probe by the learned GridFTP/probe ratio.
+Bandwidth depends strongly on file size, so the ratio must be learned
+*per size class*: we evaluate the hybrid behind the classified wrapper
+(ratio from same-class history) alongside its log-only counterpart.
+Asserted shape: raw probes are hopeless as direct predictions; the
+class-aware hybrid rescues them to the log-only predictors' error band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import evaluate, paper_classification
+from repro.core.predictors import (
+    ClassifiedPredictor,
+    HybridPredictor,
+    classified_predictors,
+)
+
+
+@pytest.mark.benchmark(group="ablation-hybrid")
+def test_hybrid_vs_log_only(benchmark, august_nws):
+    output = august_nws["LBL-ANL"]
+    records = output.log.records()
+    cls = paper_classification()
+    hybrid = ClassifiedPredictor(
+        HybridPredictor(output.probes, window=25, max_probe_age=3600.0), cls
+    )
+    hybrid.name = "C-HYBRID"
+    battery = {
+        "C-AVG15": classified_predictors()["C-AVG15"],
+        "C-LV": classified_predictors()["C-LV"],
+        "C-HYBRID": hybrid,
+    }
+    result = benchmark.pedantic(
+        lambda: evaluate(records, battery), rounds=1, iterations=1
+    )
+
+    # Raw-probe baseline: predict GridFTP bandwidth with the probe itself.
+    raw_errors = []
+    for record in records:
+        probe = output.probes.value_at(record.start_time)
+        if probe:
+            raw_errors.append(abs(record.bandwidth - probe) / record.bandwidth * 100)
+    raw_mape = float(np.mean(raw_errors))
+
+    # Compare on the large classes, where predictions are meaningful.
+    rows = [["raw NWS probe", raw_mape, raw_mape, raw_mape]]
+    per_class = {}
+    for name in battery:
+        per_class[name] = [
+            result[name].mean_abs_pct_error(result[name].class_mask(cls, label))
+            for label in ("100MB", "500MB", "1GB")
+        ]
+        rows.append([name, *per_class[name]])
+
+    print()
+    print(render_table(
+        ["predictor", "100MB %err", "500MB %err", "1GB %err"],
+        rows,
+        title="Ablation — hybrid NWS+GridFTP predictor (LBL-ANL)",
+    ))
+
+    assert raw_mape > 90.0  # probes alone are hopeless as predictions
+    for i in range(3):
+        # The class-aware ratio rescues the probe signal into the log-only
+        # predictors' error band.
+        assert per_class["C-HYBRID"][i] < raw_mape / 2
+        assert per_class["C-HYBRID"][i] < 2.0 * per_class["C-AVG15"][i]
+    assert result["C-HYBRID"].abstentions < len(records) * 0.5

@@ -1,0 +1,83 @@
+"""Ablation: log-trimming strategies (Section 3).
+
+"Since old data has less relevance to predictions, we can trim logs based
+on a running window, as is done in the NWS.  An alternative strategy used
+by NetLogger is to flush the logs to persistent storage and restart."
+
+We replay one campaign log under three retention policies and measure the
+prediction accuracy a provider would achieve from the retained records,
+plus the storage held.  Expected shape: a generous running window matches
+keep-all accuracy at a fraction of the storage; an aggressive window
+starts to cost accuracy.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.predictors import paper_predictors
+from repro.logs import KeepAll, MaxCount, RunningWindow, TransferLog
+from repro.units import DAY
+
+
+POLICIES = [
+    ("keep-all", lambda: KeepAll()),
+    ("window-7d", lambda: RunningWindow(7 * DAY)),
+    ("window-2d", lambda: RunningWindow(2 * DAY)),
+    ("window-12h", lambda: RunningWindow(0.5 * DAY)),
+    ("newest-50", lambda: MaxCount(50)),
+]
+
+
+def replay_with_policy(records, policy):
+    """Walk the log; before each transfer, predict from the *retained*
+    history under the policy, then append the record."""
+    predictor = paper_predictors()["AVG15"]
+    log = TransferLog(trim=policy)
+    errors = []
+    from repro.core import History
+
+    for record in records:
+        retained = log.records()
+        if len(retained) >= 15:
+            history = History.from_records(retained)
+            predicted = predictor.predict(
+                history, target_size=record.file_size, now=record.start_time
+            )
+            if predicted is not None:
+                errors.append(
+                    abs(record.bandwidth - predicted) / record.bandwidth * 100
+                )
+        log.append(record)
+    import numpy as np
+
+    return float(np.mean(errors)) if errors else float("nan"), len(log)
+
+
+@pytest.mark.benchmark(group="ablation-log-window")
+def test_log_window_policies(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+
+    def sweep():
+        return {
+            name: replay_with_policy(records, factory())
+            for name, factory in POLICIES
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["policy", "MAPE %", "records retained at end"],
+        [[name, mape, kept] for name, (mape, kept) in results.items()],
+        title="Ablation — log retention policies (LBL-ANL, AVG15)",
+    ))
+
+    keep_all_mape, keep_all_size = results["keep-all"]
+    week_mape, week_size = results["window-7d"]
+    # A week of history predicts about as well as everything...
+    assert week_mape <= keep_all_mape + 5.0
+    # ...with materially less storage.
+    assert week_size < keep_all_size
+    # The paper's premise: old data has less relevance — even 12h windows
+    # stay in a sane band rather than collapsing.
+    assert results["window-12h"][0] < 3 * keep_all_mape

@@ -1,0 +1,55 @@
+"""Ablation: the NWS forecaster battery on its own probe series.
+
+The NWS's claim to fame is dynamic selection over cheap forecasters.  We
+run the standard battery over a regenerated two-week probe series (~4,000
+measurements) and check the dynamic selector ends up within a whisker of
+the best fixed member — on the smooth probe series, as on the jumpy
+GridFTP logs, choosing on the fly is nearly free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.nws import DynamicForecaster, standard_battery
+
+
+def one_step_mape(forecaster, values):
+    """Mean absolute percentage error of one-step-ahead forecasts."""
+    errors = []
+    for value in values:
+        forecast = forecaster.forecast()
+        if forecast is not None:
+            errors.append(abs(value - forecast) / value)
+        forecaster.update(float(value))
+    return 100.0 * float(np.mean(errors))
+
+
+@pytest.mark.benchmark(group="ablation-nws-forecasters")
+def test_dynamic_selection_on_probe_series(benchmark, august_nws):
+    values = august_nws["LBL-ANL"].probes.values
+
+    def run_battery():
+        scores = {
+            f.name: one_step_mape(f, values) for f in standard_battery()
+        }
+        scores["dynamic"] = one_step_mape(
+            DynamicForecaster(standard_battery()), values
+        )
+        return scores
+
+    scores = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["forecaster", "one-step MAPE %"],
+        [[name, mape] for name, mape in sorted(scores.items(), key=lambda kv: kv[1])],
+        title=f"Ablation — NWS forecasters on {len(values)} probes (LBL-ANL)",
+    ))
+
+    members = {k: v for k, v in scores.items() if k != "dynamic"}
+    best, worst = min(members.values()), max(members.values())
+    assert scores["dynamic"] <= best * 1.25   # tracks the best member
+    assert scores["dynamic"] < worst          # and clearly avoids the worst
+    # The probe series is far smoother than GridFTP logs: single-digit MAPE.
+    assert best < 10.0

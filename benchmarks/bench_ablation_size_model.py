@@ -1,0 +1,58 @@
+"""Ablation: continuous size model vs file-size classification.
+
+Section 4.3 bins sizes into four classes; the continuous alternative fits
+``bw = R*S/(S+S0)`` (TCP's saturating startup curve) and scales by the
+recent load level.  Expected shape on this substrate: the continuous
+model dominates on the smallest class — where binning lumps 1 MB and
+25 MB transfers whose bandwidths differ ~4x — and matches binning on the
+large classes where the curve is flat.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import evaluate, paper_classification
+from repro.core.predictors import SizeScaledPredictor, classified_predictors
+
+
+@pytest.mark.benchmark(group="ablation-size-model")
+def test_size_model_vs_classification(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+    battery = {
+        "SIZE (continuous)": SizeScaledPredictor(),
+        "C-AVG15 (binned)": classified_predictors()["C-AVG15"],
+        "C-AVG (binned)": classified_predictors()["C-AVG"],
+    }
+    result = benchmark.pedantic(
+        lambda: evaluate(records, battery), rounds=1, iterations=1
+    )
+
+    cls = paper_classification()
+    rows = []
+    table = {}
+    for name in battery:
+        trace = result[name]
+        per_class = [
+            trace.mean_abs_pct_error(trace.class_mask(cls, label))
+            for label in cls.labels
+        ]
+        overall = trace.mean_abs_pct_error()
+        table[name] = (*per_class, overall)
+        rows.append([name, *per_class, overall])
+
+    print()
+    print(render_table(
+        ["predictor", *cls.labels, "overall"],
+        rows,
+        title="Ablation — continuous size model vs binning (LBL-ANL)",
+    ))
+
+    size_small = table["SIZE (continuous)"][0]
+    binned_small = table["C-AVG15 (binned)"][0]
+    # The headline: continuous modeling rescues the small class.
+    assert size_small < binned_small / 2
+    # And stays competitive (within ~10 pts) on every large class.
+    for i in range(1, 4):
+        assert table["SIZE (continuous)"][i] < table["C-AVG15 (binned)"][i] + 10.0
+    # Overall, continuous wins outright on this substrate.
+    assert table["SIZE (continuous)"][4] < table["C-AVG15 (binned)"][4]

@@ -1,0 +1,57 @@
+"""Section 3 claims: logging overhead and entry size.
+
+Paper: "The entire logging process consumes on average approximately 25
+milliseconds per transfer, which is insignificant compared with the total
+transfer time", and "Each log entry is well under 512 bytes."
+
+We time our monitor's full record-build + ULM-serialize + append path and
+assert it is far below both the 25 ms budget and any transfer duration, and
+that serialized entries respect the size bound.
+"""
+
+import pytest
+
+from repro.gridftp import Monitor, TransferEngine, TransferRequest
+from repro.logs import Operation
+from repro.logs.ulm import format_record
+from repro.net import ConstantLoad, Link, Site, Topology
+from repro.storage import Disk
+from repro.units import MB
+
+
+def make_outcome():
+    topo = Topology()
+    for name in "AB":
+        topo.add_site(Site(name=name))
+    topo.add_link(Link(a="A", b="B", capacity=20e6, rtt=0.05,
+                       load=ConstantLoad(0.4)))
+    engine = TransferEngine(rng=None)
+    return engine.execute(
+        topo.path("A", "B"),
+        TransferRequest(size=100 * MB, streams=8, buffer=1 * MB, start_time=1e6),
+        Disk("s"), Disk("d"),
+    )
+
+
+@pytest.mark.benchmark(group="claim-logging")
+def test_logging_overhead_under_25ms(benchmark):
+    outcome = make_outcome()
+    monitor = Monitor(host="dpsslx04.lbl.gov")
+
+    def log_once():
+        record = monitor.record(
+            outcome,
+            source_ip="140.221.65.69",
+            file_name="/home/ftp/data/100M",
+            volume="/home/ftp",
+            operation=Operation.READ,
+        )
+        return format_record(record, host=monitor.log.host)
+
+    line = benchmark(log_once)
+
+    # The paper's bounds.
+    assert benchmark.stats["mean"] < 0.025, "logging must stay under 25 ms"
+    assert len(line.encode()) < 512, "entries must stay under 512 bytes"
+    # Insignificant vs the transfer itself.
+    assert benchmark.stats["mean"] < outcome.duration / 100.0

@@ -1,0 +1,60 @@
+"""Section 5.1 claim: provider latency on a ~700-entry log.
+
+Paper: "a log of approximately 100 KB, around 700 log entries, took the
+information provider approximately 1 to 2 seconds to filter, classify the
+entries into object classes, and compute predictions" (with 2001-era
+LDAP shell-backend scripts).
+
+We build a 700-entry log (about the paper's 100 KB serialized) and time
+the provider's full filter + classify + predict + publish pipeline.  Our
+vectorized path must beat the paper's bar by a wide margin.
+"""
+
+import pytest
+
+from repro.core.predictors import paper_predictors
+from repro.logs import TransferLog
+from repro.mds import GridFTPInfoProvider, format_entries
+from repro.net import Site
+from repro.workload import AUG_2001
+from repro.workload.campaigns import run_link_campaign
+from repro.workload.controlled import CampaignConfig
+
+
+def build_700_entry_log():
+    """Concatenate two campaign stretches to reach ~700 entries."""
+    cfg = CampaignConfig(start_epoch=AUG_2001, days=28)
+    output = run_link_campaign("LBL", "ANL", seed=6, config=cfg)
+    log = TransferLog(host="dpsslx04.lbl.gov")
+    for record in output.log.records()[:700]:
+        log.append(record)
+    return log
+
+
+@pytest.mark.benchmark(group="claim-provider")
+def test_provider_latency_on_700_entries(benchmark, tmp_path):
+    log = build_700_entry_log()
+    assert len(log) == 700
+
+    # The paper quotes ~100 KB for 700 entries; check the same scale.
+    path = tmp_path / "log.ulm"
+    log.save(path)
+    size_kb = path.stat().st_size / 1000
+    assert 80 <= size_kb <= 250, f"serialized log is {size_kb:.0f} KB"
+
+    site = Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+                hostname="dpsslx04.lbl.gov")
+    provider = GridFTPInfoProvider(
+        log=log, site=site, url="gsiftp://dpsslx04.lbl.gov:61000",
+        predictor=paper_predictors()["AVG15"],
+    )
+    now = log.latest().end_time + 1.0
+
+    entries = benchmark(lambda: provider.entries(now))
+
+    print()
+    print(f"700-entry log: serialized {size_kb:.0f} KB, "
+          f"provider mean latency {benchmark.stats['mean'] * 1e3:.2f} ms "
+          f"(paper: 1-2 s)")
+    print(format_entries(entries))
+    assert benchmark.stats["mean"] < 2.0  # the paper's outer bound

@@ -1,0 +1,45 @@
+"""Figures 1-2: NWS probe bandwidth vs GridFTP end-to-end bandwidth.
+
+Paper's series (two weeks per link): ~1,500 NWS probes every 5 minutes and
+~400 GridFTP transfers.  Findings reproduced and asserted here:
+
+* probes report < 0.3 MB/s while GridFTP achieves 1.5-10.2 MB/s;
+* GridFTP variability is qualitatively larger (no simple transformation
+  of the probe series predicts GridFTP bandwidth).
+
+The timed section is the full dual-campaign regeneration (the cost of
+producing one figure's data from scratch).
+"""
+
+import pytest
+
+from repro.analysis import compare_probe_vs_gridftp, render_nws_comparison
+from repro.workload import AUG_2001
+from repro.workload.campaigns import run_month_with_nws
+
+
+@pytest.mark.benchmark(group="fig01-02")
+def test_fig01_02_regeneration(benchmark, august_nws):
+    outputs = benchmark.pedantic(
+        run_month_with_nws,
+        kwargs=dict(start_epoch=AUG_2001, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    figure = {"ISI-ANL": 1, "LBL-ANL": 2}
+    for link, output in sorted(outputs.items(), key=lambda kv: figure[kv[0]]):
+        comparison = compare_probe_vs_gridftp(output)
+        print()
+        print(render_nws_comparison(comparison))
+
+        # Probe count and transfer count scales (paper: ~1500 probes at
+        # 5-minute spacing over the plotted window; ~400 transfers).
+        assert comparison.probes.count > 3000
+        assert 330 <= comparison.gridftp.count <= 560
+
+        # Figure 1-2 claims.
+        assert comparison.probes.maximum < 0.3e6          # probes < 0.3 MB/s
+        assert comparison.gridftp.minimum < 3e6           # lows near 1.5 MB/s
+        assert comparison.gridftp.maximum > 8e6           # highs near 10 MB/s
+        assert comparison.mean_ratio > 10.0               # order-of-magnitude gap
+        assert comparison.variability_ratio > 2.0         # qualitative mismatch

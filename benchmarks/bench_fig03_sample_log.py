@@ -1,0 +1,44 @@
+"""Figure 3: a sample transfer log.
+
+Regenerates the paper's sample: one sweep of transfers (10 MB ... 1 GB)
+from LBL toward the ANL client with 8 streams and 1 MB buffers, printed in
+the Figure 3 column layout.  The timed section is the per-transfer
+service-and-log path (the operation the instrumented server performs).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.units import MB, parse_size
+from repro.workload import AUG_2001, build_testbed
+
+SIZES = ["10M", "25M", "50M", "100M", "250M", "500M", "750M", "1G"]
+
+
+def run_sweep():
+    bed = build_testbed(seed=1, start_time=AUG_2001)
+    client, server = bed.clients["ANL"], bed.servers["LBL"]
+    for name in SIZES:
+        outcome = client.get(server, f"/home/ftp/data/{name}",
+                             streams=8, buffer=1 * MB)
+        bed.engine.run(until=outcome.end_time + 5.0)
+    return server.monitor.log.records()
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_sample_log(benchmark):
+    records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [list(r.as_row().values()) for r in records]
+    headers = list(records[0].as_row().keys())
+    print()
+    print(render_table(headers, rows, title="Figure 3 analogue — sample log"))
+
+    assert len(records) == len(SIZES)
+    for record, name in zip(records, SIZES):
+        assert record.file_size == parse_size(name)
+        assert record.streams == 8
+        assert record.tcp_buffer == 1 * MB
+        assert record.volume == "/home/ftp"
+    # The paper's sample shows bandwidth generally rising with size
+    # (2560 KB/s at 10 MB -> 8126 KB/s at 1 GB): check endpoints.
+    assert records[-1].bandwidth > 1.5 * records[0].bandwidth

@@ -1,0 +1,45 @@
+"""Figure 6: the GridFTP information provider's LDIF output.
+
+Regenerates the provider entry for the LBL server from a campaign log and
+prints it as LDIF (the fragment the paper shows: cn, hostname, gridftpurl,
+min/max/avg read bandwidth, per-class averages, ...).  The timed section
+is one full provider run (filter + classify + predict + render).
+"""
+
+import pytest
+
+from repro.core.predictors import paper_predictors
+from repro.mds import GridFTPInfoProvider, format_entries, validate_entry
+from repro.workload import AUG_2001, build_testbed
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_provider_entry(benchmark, august):
+    output = august["LBL-ANL"]
+    bed = build_testbed(seed=1, start_time=AUG_2001)
+    site = bed.sites["LBL"]
+    provider = GridFTPInfoProvider(
+        log=output.log,
+        site=site,
+        url="gsiftp://dpsslx04.lbl.gov:61000",
+        predictor=paper_predictors()["AVG15"],
+    )
+    now = output.log.latest().end_time + 60.0
+
+    entries = benchmark(lambda: provider.entries(now))
+    entry = entries[0]
+    print()
+    print(format_entries(entries))
+
+    validate_entry(entry)
+    # The Figure 6 fragment's attributes.
+    assert entry.first("cn") == "131.243.2.91"
+    assert entry.first("hostname") == "dpsslx04.lbl.gov"
+    assert entry.first("gridftpurl") == "gsiftp://dpsslx04.lbl.gov:61000"
+    for attr in ("minrdbandwidth", "maxrdbandwidth", "avgrdbandwidth",
+                 "avgrdbandwidth10mbrange"):
+        value = entry.first(attr)
+        assert value is not None and value.endswith("K")
+    # min <= avg <= max in KB.
+    as_kb = lambda a: float(entry.first(a)[:-1])
+    assert as_kb("minrdbandwidth") <= as_kb("avgrdbandwidth") <= as_kb("maxrdbandwidth")

@@ -1,0 +1,41 @@
+"""Figure 7: the transfer census (counts per class, link, month).
+
+Paper's table (August / December 2001)::
+
+    All     LBL 450 / 365    ISI 432 / 334
+    10 MB   LBL 168 / 134    ISI 162 /  94
+    100 MB  LBL 112 /  82    ISI 108 /  87
+    500 MB  LBL 112 /  82    ISI 108 /  87
+    1 GB    LBL  58 /  67    ISI  54 /  66
+
+We assert the magnitudes and the class mix (uniform draws over the 13
+sizes put 5/13 of transfers in the 10 MB class, 3/13 in each middle class,
+2/13 in the 1 GB class).  The timed section is the census computation.
+"""
+
+import pytest
+
+from repro.analysis import compute_census, render_census
+from repro.core import paper_classification
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_census(benchmark, august, december):
+    months = {"August": august, "December": december}
+    census = benchmark(lambda: compute_census(months))
+    print()
+    print(render_census(census))
+
+    cls = paper_classification()
+    expected_fraction = {"10MB": 5 / 13, "100MB": 3 / 13,
+                         "500MB": 3 / 13, "1GB": 2 / 13}
+    for month in ("August", "December"):
+        for link in ("LBL-ANL", "ISI-ANL"):
+            total = census.count(month, link, "All")
+            assert 330 <= total <= 560, (month, link, total)
+            for label, fraction in expected_fraction.items():
+                observed = census.count(month, link, label) / total
+                assert observed == pytest.approx(fraction, abs=0.08)
+            assert total == sum(
+                census.count(month, link, label) for label in cls.labels
+            )

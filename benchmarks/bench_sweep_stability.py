@@ -1,0 +1,37 @@
+"""Robustness sweep: the Section 6.2 claims with error bars.
+
+The paper had one dataset per month; this sweep reruns the entire
+pipeline (campaign generation -> 30-predictor evaluation -> claims) under
+five independent seeds and reports each headline metric's mean ± std.
+The claims must hold in every configuration.
+"""
+
+import pytest
+
+from repro.analysis.sweep import render_sweep, sweep_claims
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_claims_stable_across_seeds(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep_claims(seeds=SEEDS), rounds=1, iterations=1
+    )
+    print()
+    print(render_sweep(result))
+
+    assert result.all_hold(), {
+        key: claims for key, claims in result.claims.items() if not claims.all_hold()
+    }
+
+    aggregate = result.aggregate()
+    # The headline bands, now with error bars:
+    mean_worst, std_worst = aggregate["worst MAPE, >=100MB classes (%)"]
+    assert mean_worst < 40.0
+    mean_gain, _ = aggregate["classification gain, large (pp)"]
+    assert 0.0 < mean_gain < 15.0          # the paper's 5-10% zone
+    mean_small, _ = aggregate["10MB-class mean MAPE (%)"]
+    assert mean_small > 2 * mean_worst     # small files clearly harder
+    mean_ar_delta, _ = aggregate["AR minus simple (pp)"]
+    assert mean_ar_delta > -3.0            # AR earns nothing, on average

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark consumes the regenerated August datasets (seed 1 —
+the reference seed used throughout EXPERIMENTS.md).  Campaigns run once
+per session; rendered tables are printed so a ``pytest benchmarks/
+--benchmark-only -s`` run reproduces the paper's figures as text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compute_class_errors
+from repro.workload import AUG_2001, DEC_2001, run_month
+from repro.workload.campaigns import run_month_with_nws
+
+REFERENCE_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def august():
+    """The August datasets (both links), reference seed."""
+    return run_month(start_epoch=AUG_2001, seed=REFERENCE_SEED)
+
+
+@pytest.fixture(scope="session")
+def december():
+    """The December datasets."""
+    return run_month(start_epoch=DEC_2001, seed=REFERENCE_SEED)
+
+
+@pytest.fixture(scope="session")
+def august_nws():
+    """August with concurrent NWS probes (Figures 1-2)."""
+    return run_month_with_nws(start_epoch=AUG_2001, seed=REFERENCE_SEED)
+
+
+@pytest.fixture(scope="session")
+def august_errors(august):
+    """Per-link 30-predictor walk-forward error tables."""
+    return {
+        link: compute_class_errors(link, output.log.records())
+        for link, output in august.items()
+    }

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: regenerate a dataset, run the predictors, read the results.
+
+This walks the paper's core loop in five steps:
+
+1. run a two-week controlled GridFTP campaign over the simulated
+   LBL->ANL and ISI->ANL links (the August 2001 datasets);
+2. look at the transfer log the instrumented server wrote;
+3. walk the 30-predictor battery (15 plain + 15 file-size-classified)
+   forward over one log;
+4. print per-class error tables (the Figures 8-11 data);
+5. make a live prediction for the next 500 MB transfer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.core import History, evaluate, paper_classification
+from repro.core.predictors import classified_predictors, paper_predictors
+from repro.units import MB, fmt_bandwidth
+from repro.workload import run_month
+
+# ----------------------------------------------------------------------
+# 1. Regenerate the August datasets (both links share one testbed).
+# ----------------------------------------------------------------------
+print("Running the August campaigns (two weeks, both links)...")
+outputs = run_month(seed=1)
+for link, output in outputs.items():
+    print(f"  {link}: {len(output.log.records())} transfers logged")
+
+# ----------------------------------------------------------------------
+# 2. The server-side transfer log (Figure 3's columns).
+# ----------------------------------------------------------------------
+records = outputs["LBL-ANL"].log.records()
+print("\nFirst three log entries (LBL server):")
+rows = [list(r.as_row().values()) for r in records[:3]]
+print(render_table(list(records[0].as_row().keys()), rows))
+
+# ----------------------------------------------------------------------
+# 3. Walk the full battery forward over the log.
+# ----------------------------------------------------------------------
+battery = {**paper_predictors(), **classified_predictors()}
+result = evaluate(records, battery, training=15)
+print(f"\nEvaluated {len(battery)} predictors over "
+      f"{len(records) - 15} predictions each.")
+
+# ----------------------------------------------------------------------
+# 4. Per-class mean absolute percentage error.
+# ----------------------------------------------------------------------
+cls = paper_classification()
+table_rows = []
+for name in ("AVG", "AVG15", "MED15", "LV", "AR"):
+    row = [name]
+    for label in cls.labels:
+        row.append(result.mape_table(cls, label)[f"C-{name}"])
+    table_rows.append(row)
+print()
+print(render_table(
+    ["predictor (classified)", *cls.labels],
+    table_rows,
+    title="Mean absolute % error by file-size class (LBL-ANL)",
+))
+
+# ----------------------------------------------------------------------
+# 5. Predict the next transfer.
+# ----------------------------------------------------------------------
+history = History.from_records(records)
+now = records[-1].end_time + 600.0
+predictor = classified_predictors()["C-AVG15"]
+predicted = predictor.predict(history, target_size=500 * MB, now=now)
+print(f"\nPredicted bandwidth for the next 500 MB transfer: "
+      f"{fmt_bandwidth(predicted)}")
+print(f"Estimated transfer time: {500 * MB / predicted:.0f} s")

@@ -1,0 +1,64 @@
+"""Recomputation of every table and figure in the paper's evaluation.
+
+Each module computes one artifact's data (a plain dataclass) and renders
+it as an aligned-text table, so benchmarks and the CLI print the same rows
+the paper's figures plot:
+
+* :mod:`repro.analysis.nws_compare` — Figures 1–2 (NWS probe vs GridFTP
+  bandwidth per link).
+* :mod:`repro.analysis.census` — Figure 7 (transfer counts per file-size
+  class per link per month).
+* :mod:`repro.analysis.errors` — Figures 8–11 (per-class percent error of
+  the 15 predictors, classified and unclassified).
+* :mod:`repro.analysis.classification_impact` — Figures 12–13 (error
+  reduction from file-size classification).
+* :mod:`repro.analysis.relative_perf` — Figures 14–21 (best/worst
+  percentages per predictor).
+* :mod:`repro.analysis.summary` — the Section 6.2 textual claims, checked
+  numerically.
+* :mod:`repro.analysis.report` — table rendering helpers.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.nws_compare import NwsComparison, compare_probe_vs_gridftp, render_nws_comparison
+from repro.analysis.census import Census, compute_census, render_census
+from repro.analysis.errors import ClassErrors, compute_class_errors, render_class_errors
+from repro.analysis.classification_impact import (
+    ClassificationImpact,
+    compute_classification_impact,
+    render_classification_impact,
+)
+from repro.analysis.relative_perf import (
+    RelativeTable,
+    compute_relative_table,
+    render_relative_table,
+)
+from repro.analysis.summary import SummaryClaims, check_summary_claims, render_summary
+from repro.analysis.export import export_all
+from repro.analysis.sweep import SweepResult, render_sweep, sweep_claims
+
+__all__ = [
+    "render_table",
+    "NwsComparison",
+    "compare_probe_vs_gridftp",
+    "render_nws_comparison",
+    "Census",
+    "compute_census",
+    "render_census",
+    "ClassErrors",
+    "compute_class_errors",
+    "render_class_errors",
+    "ClassificationImpact",
+    "compute_classification_impact",
+    "render_classification_impact",
+    "RelativeTable",
+    "compute_relative_table",
+    "render_relative_table",
+    "SummaryClaims",
+    "check_summary_claims",
+    "render_summary",
+    "export_all",
+    "SweepResult",
+    "render_sweep",
+    "sweep_claims",
+]

@@ -1,0 +1,88 @@
+"""Figures 8–11: per-class percent error of the predictor battery.
+
+For one link, one walk-forward evaluation produces — per file-size class —
+the mean absolute percentage error of each of the 15 predictors, in both
+the classified and unclassified modes.  Figures 8/9/10/11 correspond to
+the 10 MB / 100 MB / 500 MB / 1 GB classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.classification import Classification, paper_classification
+from repro.core.evaluation import EvaluationResult
+from repro.core.fast import fast_evaluate
+from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
+from repro.logs.record import TransferRecord
+
+from repro.analysis.report import render_table
+
+__all__ = ["ClassErrors", "compute_class_errors", "render_class_errors"]
+
+
+@dataclass(frozen=True)
+class ClassErrors:
+    """MAPE by (class label, predictor, mode) for one link."""
+
+    link: str
+    classified: Dict[str, Dict[str, float]]    # label -> predictor -> MAPE
+    unclassified: Dict[str, Dict[str, float]]  # same, context-insensitive mode
+    result: EvaluationResult
+
+    def worst(self, label: str, mode: str = "classified") -> float:
+        """Worst predictor MAPE within a class (NaN entries ignored)."""
+        table = (self.classified if mode == "classified" else self.unclassified)[label]
+        finite = [v for v in table.values() if v == v]
+        return max(finite) if finite else float("nan")
+
+    def best(self, label: str, mode: str = "classified") -> float:
+        table = (self.classified if mode == "classified" else self.unclassified)[label]
+        finite = [v for v in table.values() if v == v]
+        return min(finite) if finite else float("nan")
+
+
+def compute_class_errors(
+    link: str,
+    records: Sequence[TransferRecord],
+    classification: Optional[Classification] = None,
+    training: int = 15,
+) -> ClassErrors:
+    """Run the 30-predictor evaluation and bucket errors by size class.
+
+    Uses the vectorized evaluator (:func:`repro.core.fast.fast_evaluate`),
+    which the test suite proves trace-identical to the generic walk.
+    """
+    cls = classification or paper_classification()
+    result = fast_evaluate(records, training=training, classification=cls)
+
+    classified: Dict[str, Dict[str, float]] = {}
+    unclassified: Dict[str, Dict[str, float]] = {}
+    for label in cls.labels:
+        table = result.mape_table(cls, label)
+        classified[label] = {n: table[f"C-{n}"] for n in PAPER_PREDICTOR_NAMES}
+        unclassified[label] = {n: table[n] for n in PAPER_PREDICTOR_NAMES}
+    return ClassErrors(
+        link=link, classified=classified, unclassified=unclassified, result=result
+    )
+
+
+def render_class_errors(errors: ClassErrors, label: str) -> str:
+    """One figure's table: predictors x {classified, unclassified} MAPE."""
+    rows: List[List[object]] = []
+    for name in PAPER_PREDICTOR_NAMES:
+        rows.append(
+            [
+                name,
+                errors.classified[label][name],
+                errors.unclassified[label][name],
+            ]
+        )
+    figure = {"10MB": 8, "100MB": 9, "500MB": 10, "1GB": 11}.get(label)
+    head = f"Figure {figure} analogue" if figure else "Class errors"
+    return render_table(
+        ["predictor", "classified %err", "unclassified %err"],
+        rows,
+        title=f"{head} — {errors.link}, {label} range",
+    )

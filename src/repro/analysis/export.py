@@ -1,0 +1,159 @@
+"""CSV export of figure data.
+
+The benchmarks print text tables; for anyone who wants to *plot* the
+figures (gnuplot, pandas, a spreadsheet), this module writes the raw
+series and tables as CSV files, one per figure:
+
+* ``fig01_02_<link>.csv`` — timestamped GridFTP and NWS probe series;
+* ``fig07_census.csv`` — the transfer census;
+* ``fig08_11_<link>.csv`` — per-class, per-predictor percent errors,
+  classified and unclassified;
+* ``fig12_13_<link>.csv`` — classification impact;
+* ``fig14_21_<link>.csv`` — best/worst relative performance.
+
+All writers take an output directory and return the written path(s).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Mapping
+
+from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
+from repro.workload.campaigns import CampaignOutput
+
+from repro.analysis.census import Census
+from repro.analysis.classification_impact import compute_classification_impact
+from repro.analysis.errors import ClassErrors
+from repro.analysis.relative_perf import RelativeTable
+
+__all__ = [
+    "export_bandwidth_series",
+    "export_census",
+    "export_class_errors",
+    "export_classification_impact",
+    "export_relative_performance",
+    "export_all",
+]
+
+
+def _open_writer(path: Path):
+    handle = path.open("w", newline="")
+    return handle, csv.writer(handle)
+
+
+def export_bandwidth_series(output: CampaignOutput, out_dir: Path) -> Path:
+    """Figures 1-2 raw data: both series, tagged, time-ordered."""
+    path = out_dir / f"fig01_02_{output.link}.csv"
+    handle, writer = _open_writer(path)
+    with handle:
+        writer.writerow(["series", "time", "bandwidth_bytes_per_sec", "file_size"])
+        for record in output.log.records():
+            writer.writerow(
+                ["gridftp", record.end_time, record.bandwidth, record.file_size]
+            )
+        if output.probes is not None:
+            for t, bw in output.probes:
+                writer.writerow(["nws_probe", t, bw, ""])
+    return path
+
+
+def export_census(census: Census, out_dir: Path) -> Path:
+    path = out_dir / "fig07_census.csv"
+    handle, writer = _open_writer(path)
+    with handle:
+        months = census.months()
+        writer.writerow(["class", "link", *months])
+        for label in ("All", *census.class_labels):
+            for link in census.links():
+                writer.writerow(
+                    [label, link]
+                    + [census.count(month, link, label) for month in months]
+                )
+    return path
+
+
+def export_class_errors(errors: ClassErrors, out_dir: Path) -> Path:
+    """Figures 8-11 data for one link."""
+    path = out_dir / f"fig08_11_{errors.link}.csv"
+    handle, writer = _open_writer(path)
+    with handle:
+        writer.writerow(["class", "predictor", "classified_pct_err",
+                         "unclassified_pct_err"])
+        for label in errors.classified:
+            for name in PAPER_PREDICTOR_NAMES:
+                writer.writerow([
+                    label, name,
+                    errors.classified[label][name],
+                    errors.unclassified[label][name],
+                ])
+    return path
+
+
+def export_classification_impact(errors: ClassErrors, out_dir: Path) -> Path:
+    """Figures 12-13 data for one link."""
+    impact = compute_classification_impact(errors)
+    path = out_dir / f"fig12_13_{errors.link}.csv"
+    handle, writer = _open_writer(path)
+    with handle:
+        writer.writerow(["predictor", "classified_avg", "unclassified_avg",
+                         "reduction"])
+        for name in PAPER_PREDICTOR_NAMES:
+            writer.writerow([
+                name,
+                impact.classified_avg[name],
+                impact.unclassified_avg[name],
+                impact.improvement(name),
+            ])
+    return path
+
+
+def export_relative_performance(table: RelativeTable, out_dir: Path) -> Path:
+    """Figures 14-21 data for one link."""
+    path = out_dir / f"fig14_21_{table.link}.csv"
+    handle, writer = _open_writer(path)
+    with handle:
+        writer.writerow(["class", "predictor", "best_pct", "worst_pct",
+                         "compared"])
+        for label, perf in table.per_class.items():
+            for name in table.predictor_names:
+                writer.writerow([
+                    label, name,
+                    perf.best_pct(name), perf.worst_pct(name), perf.compared,
+                ])
+    return path
+
+
+def export_all(
+    months: Mapping[str, Mapping[str, CampaignOutput]],
+    out_dir: str | Path,
+) -> List[Path]:
+    """Write every exportable artifact from campaign outputs.
+
+    ``months`` maps month name -> (link -> output), as for
+    :func:`repro.analysis.census.compute_census`.  Outputs that ran with
+    NWS sensors additionally get their probe series exported.
+    """
+    from repro.analysis.census import compute_census
+    from repro.analysis.errors import compute_class_errors
+    from repro.analysis.relative_perf import compute_relative_table
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    written.append(export_census(compute_census(months), out))
+
+    first_month = next(iter(months.values()))
+    classified_names = tuple(f"C-{n}" for n in PAPER_PREDICTOR_NAMES)
+    for link, output in first_month.items():
+        written.append(export_bandwidth_series(output, out))
+        errors = compute_class_errors(link, output.log.records())
+        written.append(export_class_errors(errors, out))
+        written.append(export_classification_impact(errors, out))
+        table = compute_relative_table(
+            link, errors.result, predictor_names=classified_names
+        )
+        written.append(export_relative_performance(table, out))
+    return written

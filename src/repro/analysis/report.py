@@ -1,0 +1,50 @@
+"""Aligned-text table rendering for analysis output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Floats print with one decimal; NaN prints as ``-`` (a class with no
+    predictions, for instance).
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    text_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)

@@ -1,0 +1,253 @@
+"""Command-line interface: run campaigns and print figure analogues.
+
+Examples::
+
+    repro campaign --month aug --seed 1 --out-dir logs/
+    repro report census --seed 1
+    repro report errors --link LBL-ANL --class 1GB --seed 1
+    repro report classification --link ISI-ANL --seed 1
+    repro report relative --link LBL-ANL --class 100MB --seed 1
+    repro report nws --link LBL-ANL --seed 1
+    repro report summary --seed 1
+    repro evaluate logs/aug-LBL-ANL.ulm --predictors C-AVG15,C-MED,SIZE
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis import (
+    check_summary_claims,
+    compare_probe_vs_gridftp,
+    compute_census,
+    compute_class_errors,
+    compute_classification_impact,
+    compute_relative_table,
+    render_census,
+    render_class_errors,
+    render_classification_impact,
+    render_nws_comparison,
+    render_relative_table,
+    render_summary,
+)
+from repro.core.classification import PAPER_CLASS_LABELS, paper_classification
+from repro.core.evaluation import evaluate
+from repro.core.predictors.registry import classified_predictors, make_predictor
+from repro.core.predictors.size_model import SizeScaledPredictor
+from repro.logs.logfile import TransferLog
+from repro.workload import AUG_2001, DEC_2001, run_month, run_month_with_nws
+from repro.workload.campaigns import CampaignOutput
+
+__all__ = ["main"]
+
+_MONTHS = {"aug": AUG_2001, "dec": DEC_2001}
+
+
+def _start_epoch(month: str) -> float:
+    try:
+        return _MONTHS[month.lower()]
+    except KeyError:
+        raise SystemExit(f"unknown month {month!r}; expected aug or dec") from None
+
+
+def _run(month: str, seed: int, with_nws: bool = False) -> Dict[str, CampaignOutput]:
+    start = _start_epoch(month)
+    runner = run_month_with_nws if with_nws else run_month
+    return runner(start_epoch=start, seed=seed)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    outputs = _run(args.month, args.seed)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for link, output in outputs.items():
+        path = out_dir / f"{args.month}-{link}.ulm"
+        n = output.log.save(path)
+        print(f"{link}: wrote {n} records to {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "census":
+        months = {
+            "August": _run("aug", args.seed),
+            "December": _run("dec", args.seed),
+        }
+        print(render_census(compute_census(months)))
+        return 0
+
+    outputs = _run(args.month, args.seed, with_nws=(kind == "nws"))
+    if kind == "nws":
+        for link, output in _select(outputs, args.link).items():
+            print(render_nws_comparison(compare_probe_vs_gridftp(output)))
+            print()
+        return 0
+
+    for link, output in _select(outputs, args.link).items():
+        errors = compute_class_errors(link, output.log.records())
+        if kind == "errors":
+            for label in _labels(args.size_class):
+                print(render_class_errors(errors, label))
+                print()
+        elif kind == "classification":
+            print(render_classification_impact(compute_classification_impact(errors)))
+            print()
+        elif kind == "relative":
+            table = compute_relative_table(
+                link, errors.result,
+                predictor_names=tuple(classified_predictors()),
+            )
+            for label in _labels(args.size_class):
+                print(render_relative_table(table, label))
+                print()
+        elif kind == "summary":
+            print(render_summary(check_summary_claims(errors)))
+            print()
+        else:  # pragma: no cover - argparse restricts choices
+            raise SystemExit(f"unknown report kind {kind!r}")
+    return 0
+
+
+def _resolve_predictor(name: str):
+    """Registry names plus the SIZE extension; raises SystemExit on typos."""
+    if name == "SIZE":
+        return SizeScaledPredictor()
+    try:
+        return make_predictor(name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown predictor {name!r}; expected a Figure 4 name "
+            f"(optionally C- prefixed) or SIZE"
+        ) from None
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    """Walk predictors over an external ULM log file."""
+    from repro.analysis.report import render_table
+
+    log = TransferLog.load(args.log_file)
+    if len(log) <= args.training:
+        raise SystemExit(
+            f"{args.log_file}: {len(log)} records, need more than "
+            f"the training prefix ({args.training})"
+        )
+    names = [n.strip() for n in args.predictors.split(",") if n.strip()]
+    battery = {name: _resolve_predictor(name) for name in names}
+    result = evaluate(log.records(), battery, training=args.training)
+
+    cls = paper_classification()
+    rows = []
+    for name in names:
+        trace = result[name]
+        row = [name]
+        for label in cls.labels:
+            row.append(trace.mean_abs_pct_error(trace.class_mask(cls, label)))
+        row.append(trace.mean_abs_pct_error())
+        row.append(trace.abstentions)
+        rows.append(row)
+    print(render_table(
+        ["predictor", *cls.labels, "overall", "abstained"],
+        rows,
+        title=(
+            f"{args.log_file}: {len(log)} records, "
+            f"{len(log) - args.training} predictions per predictor "
+            f"(MAPE %)"
+        ),
+    ))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Write every figure's data as CSV files."""
+    from repro.analysis.export import export_all
+
+    months = {
+        "August": _run("aug", args.seed, with_nws=args.with_nws),
+        "December": _run("dec", args.seed, with_nws=args.with_nws),
+    }
+    written = export_all(months, args.out_dir)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _select(
+    outputs: Dict[str, CampaignOutput], link: Optional[str]
+) -> Dict[str, CampaignOutput]:
+    if link is None:
+        return outputs
+    if link not in outputs:
+        raise SystemExit(f"unknown link {link!r}; expected one of {list(outputs)}")
+    return {link: outputs[link]}
+
+
+def _labels(size_class: Optional[str]) -> tuple:
+    if size_class is None:
+        return PAPER_CLASS_LABELS
+    if size_class not in PAPER_CLASS_LABELS:
+        raise SystemExit(
+            f"unknown class {size_class!r}; expected one of {PAPER_CLASS_LABELS}"
+        )
+    return (size_class,)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the IPPS 2002 wide-area transfer prediction paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a two-week campaign, save ULM logs")
+    campaign.add_argument("--month", default="aug", help="aug or dec")
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--out-dir", default="logs")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    report = sub.add_parser("report", help="print a figure/table analogue")
+    report.add_argument(
+        "kind",
+        choices=["census", "errors", "classification", "relative", "nws", "summary"],
+    )
+    report.add_argument("--month", default="aug")
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--link", default=None, help="LBL-ANL or ISI-ANL")
+    report.add_argument("--class", dest="size_class", default=None,
+                        help="10MB, 100MB, 500MB, or 1GB")
+    report.set_defaults(func=_cmd_report)
+
+    evaluate_cmd = sub.add_parser(
+        "evaluate", help="walk predictors over an external ULM log file"
+    )
+    evaluate_cmd.add_argument("log_file", help="path to a ULM transfer log")
+    evaluate_cmd.add_argument(
+        "--predictors", default="C-AVG15,C-MED,C-LV,SIZE",
+        help="comma-separated predictor names (Figure 4 names, C- variants, SIZE)",
+    )
+    evaluate_cmd.add_argument("--training", type=int, default=15)
+    evaluate_cmd.set_defaults(func=_cmd_evaluate)
+
+    export_cmd = sub.add_parser(
+        "export", help="write every figure's data as CSV files"
+    )
+    export_cmd.add_argument("--seed", type=int, default=1)
+    export_cmd.add_argument("--out-dir", default="figures")
+    export_cmd.add_argument(
+        "--with-nws", action="store_true",
+        help="attach NWS sensors so the Figures 1-2 probe series export too",
+    )
+    export_cmd.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

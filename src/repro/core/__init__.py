@@ -1,0 +1,55 @@
+"""The paper's primary contribution: GridFTP throughput prediction.
+
+Layout:
+
+* :mod:`repro.core.classification` — file-size classes (Section 4.3): the
+  context-sensitive filter, default bins 0–50 MB, 50–250 MB, 250–750 MB,
+  >750 MB labelled by their representative sizes 10 MB/100 MB/500 MB/1 GB.
+* :mod:`repro.core.history` — the observation history predictors consume:
+  parallel NumPy arrays of (time, bandwidth, size) with window/class views.
+* :mod:`repro.core.predictors` — the predictor battery of Figure 4
+  (means, medians, last value, temporal windows, AR models), the
+  classified wrappers, and the extensions (dynamic selection, NWS hybrid).
+* :mod:`repro.core.evaluation` — walk-forward evaluation with a training
+  prefix and percentage-error accounting (Section 6.2).
+* :mod:`repro.core.relative` — best/worst relative-performance tallies
+  (Figures 14–21).
+* :mod:`repro.core.selection` — the replica-selection broker that the
+  predictions exist to serve (Section 1).
+"""
+
+from repro.core.classification import Classification, paper_classification
+from repro.core.history import History, Observation
+from repro.core.evaluation import (
+    EvaluationResult,
+    PredictionTrace,
+    evaluate,
+    percentage_error,
+)
+from repro.core.relative import RelativePerformance, relative_performance
+from repro.core.selection import RankedReplica, ReplicaBroker
+from repro.core.accuracy import (
+    RiskAdjustedRanking,
+    RiskAssessedReplica,
+    backtest_error,
+)
+from repro.core.fast import fast_evaluate
+
+__all__ = [
+    "Classification",
+    "paper_classification",
+    "History",
+    "Observation",
+    "EvaluationResult",
+    "PredictionTrace",
+    "evaluate",
+    "percentage_error",
+    "RelativePerformance",
+    "relative_performance",
+    "RankedReplica",
+    "ReplicaBroker",
+    "RiskAdjustedRanking",
+    "RiskAssessedReplica",
+    "backtest_error",
+    "fast_evaluate",
+]

@@ -1,0 +1,56 @@
+"""The predictor battery (Section 4, Figure 4).
+
+Fifteen context-insensitive predictors in three mathematical families:
+
+* **mean-based** — ``AVG`` (all data), ``AVG5/15/25`` (last n values),
+  ``AVG5hr/15hr/25hr`` (temporal windows), ``LV`` (degenerate last value);
+* **median-based** — ``MED``, ``MED5/15/25``;
+* **auto-regressive** — ``AR`` (all data), ``AR5d/AR10d`` (temporal
+  windows), fitting ``Y_t = a + b*Y_{t-1}``.
+
+Each also exists in a *classified* variant that first filters history to
+the file-size class of the transfer being predicted (Section 4.3), giving
+the paper's 30 predictors.  Extensions beyond the paper's evaluation:
+:class:`~repro.core.predictors.dynamic.DynamicSelector` (NWS-style on-line
+best-of-battery) and :class:`~repro.core.predictors.hybrid.HybridPredictor`
+(GridFTP history regressed onto the regular NWS probe series), both named
+in the paper's future work.
+"""
+
+from repro.core.predictors.base import Predictor, PredictorError
+from repro.core.predictors.mean import TotalAverage, WindowedAverage, TemporalAverage
+from repro.core.predictors.median import TotalMedian, WindowedMedian
+from repro.core.predictors.last_value import LastValue
+from repro.core.predictors.arima import ArModel
+from repro.core.predictors.classified import ClassifiedPredictor
+from repro.core.predictors.dynamic import DynamicSelector
+from repro.core.predictors.hybrid import HybridPredictor
+from repro.core.predictors.size_model import SizeScaledPredictor
+from repro.core.predictors.extrapolation import SiteFactorModel
+from repro.core.predictors.registry import (
+    PAPER_PREDICTOR_NAMES,
+    paper_predictors,
+    classified_predictors,
+    make_predictor,
+)
+
+__all__ = [
+    "Predictor",
+    "PredictorError",
+    "TotalAverage",
+    "WindowedAverage",
+    "TemporalAverage",
+    "TotalMedian",
+    "WindowedMedian",
+    "LastValue",
+    "ArModel",
+    "ClassifiedPredictor",
+    "DynamicSelector",
+    "HybridPredictor",
+    "SizeScaledPredictor",
+    "SiteFactorModel",
+    "PAPER_PREDICTOR_NAMES",
+    "paper_predictors",
+    "classified_predictors",
+    "make_predictor",
+]

@@ -1,0 +1,73 @@
+"""Predictor protocol.
+
+A predictor maps an observation :class:`~repro.core.history.History` to an
+estimate of the bandwidth the *next* transfer will achieve.  The full
+signature carries two pieces of context:
+
+* ``target_size`` — the size of the transfer being predicted.  Context-
+  insensitive predictors ignore it; classified ones use it to pick the
+  history class.
+* ``now`` — the time at which the prediction is made (the start of the
+  upcoming transfer).  Temporal-window predictors anchor their windows
+  here, not at the last observation, because the paper's data arrives at
+  irregular intervals and "the last 5 hours" means wall-clock hours.
+
+``predict`` returns ``None`` when the predictor cannot produce an estimate
+(empty relevant history, singular regression).  The evaluator records such
+abstentions separately rather than coercing them to a value.
+
+Predictors are *stateless* with respect to evaluation — calling ``predict``
+twice with the same arguments gives the same answer — except for explicit
+caching predictors (:class:`~repro.core.predictors.dynamic.DynamicSelector`)
+which memoize scoring work but remain referentially transparent over
+growing prefixes of a fixed log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.history import History
+
+__all__ = ["Predictor", "PredictorError"]
+
+
+class PredictorError(RuntimeError):
+    """Raised for invalid predictor configuration (not data conditions)."""
+
+
+class Predictor:
+    """Base class; concrete predictors implement :meth:`predict`."""
+
+    #: Short identifier used in figures and the registry (e.g. ``"AVG5"``).
+    name: str = "base"
+
+    def predict(
+        self,
+        history: History,
+        target_size: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Estimate the next transfer's bandwidth in bytes/s, or ``None``.
+
+        Parameters
+        ----------
+        history:
+            Past observations, time-sorted.
+        target_size:
+            Size in bytes of the transfer being predicted (context).
+        now:
+            Prediction time in epoch seconds; defaults to the last
+            observation's time when omitted.
+        """
+        raise NotImplementedError
+
+    def _now(self, history: History, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        if len(history) == 0:
+            raise PredictorError(f"{self.name}: 'now' required with empty history")
+        return float(history.times[-1])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,56 @@
+"""Classified predictor wrapper (the context-sensitive factor, Section 4.3).
+
+Wraps any base predictor so that it sees only history observations whose
+file size falls in the same class as the transfer being predicted.  The
+paper's 30-predictor battery is the 15 context-insensitive predictors plus
+the same 15 behind this wrapper.
+
+Fallback semantics follow the paper's training-set remark: "this number
+does not imply ... that there were 15 relevant values, only that there
+were 15 values in the logs."  Early in a log a class may have no relevant
+history at all; in that case the wrapper either abstains (default) or
+falls back to the unclassified prediction (``fallback=True``), which is
+what a deployed provider would do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.classification import Classification
+from repro.core.history import History
+from repro.core.predictors.base import Predictor, PredictorError
+
+__all__ = ["ClassifiedPredictor"]
+
+
+class ClassifiedPredictor(Predictor):
+    """Filter history to the target's file-size class, then delegate."""
+
+    def __init__(
+        self,
+        base: Predictor,
+        classification: Classification,
+        fallback: bool = False,
+    ):
+        if isinstance(base, ClassifiedPredictor):
+            raise PredictorError("refusing to classify an already-classified predictor")
+        self.base = base
+        self.classification = classification
+        self.fallback = fallback
+        self.name = f"C-{base.name}"
+
+    def predict(
+        self,
+        history: History,
+        target_size: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        if target_size is None:
+            raise PredictorError(f"{self.name}: target_size is required")
+        label = self.classification.classify(target_size)
+        relevant = history.of_class(self.classification, label)
+        prediction = self.base.predict(relevant, target_size=target_size, now=now)
+        if prediction is None and self.fallback:
+            return self.base.predict(history, target_size=target_size, now=now)
+        return prediction

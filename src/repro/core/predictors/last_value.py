@@ -1,0 +1,32 @@
+"""The last-value predictor (``LV``).
+
+The degenerate sliding window: predict that the next transfer will match
+the previous one.  Harchol-Balter & Downey showed this is surprisingly
+effective for CPU load; on transfer logs it tracks fast load swings at the
+price of chasing every outlier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.history import History
+from repro.core.predictors.base import Predictor
+
+__all__ = ["LastValue"]
+
+
+class LastValue(Predictor):
+    """Predict the most recent observed bandwidth."""
+
+    name = "LV"
+
+    def predict(
+        self,
+        history: History,
+        target_size: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        if len(history) == 0:
+            return None
+        return float(history.values[-1])

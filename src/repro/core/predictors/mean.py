@@ -1,0 +1,83 @@
+"""Mean-based predictors (Section 4.1, first family).
+
+``AVG`` uses the entire history with equal weights; ``AVG{n}`` restricts to
+the last *n* measurements (the fixed-length / sliding window of Section
+4.2); ``AVG{h}hr`` restricts to measurements within the last *h* wall-clock
+hours (the temporal window, suited to irregularly spaced data).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.history import History
+from repro.core.predictors.base import Predictor, PredictorError
+from repro.units import HOUR
+
+__all__ = ["TotalAverage", "WindowedAverage", "TemporalAverage"]
+
+
+class TotalAverage(Predictor):
+    """Arithmetic mean of all past bandwidth observations (``AVG``)."""
+
+    name = "AVG"
+
+    def predict(
+        self,
+        history: History,
+        target_size: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        if len(history) == 0:
+            return None
+        return float(history.values.mean())
+
+
+class WindowedAverage(Predictor):
+    """Mean of the last ``window`` observations (``AVG5``, ``AVG15``, ``AVG25``)."""
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise PredictorError(f"window must be positive, got {window}")
+        self.window = window
+        self.name = f"AVG{window}"
+
+    def predict(
+        self,
+        history: History,
+        target_size: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        if len(history) == 0:
+            return None
+        return float(history.last(self.window).values.mean())
+
+
+class TemporalAverage(Predictor):
+    """Mean of observations in the last ``hours`` wall-clock hours.
+
+    Anchored at ``now`` (prediction time).  Returns ``None`` when the
+    window is empty — on sporadic data a short window can easily contain
+    nothing, which is exactly the drawback the paper notes for
+    context-insensitive windows on irregular samples.
+    """
+
+    def __init__(self, hours: float):
+        if hours <= 0:
+            raise PredictorError(f"hours must be positive, got {hours}")
+        self.hours = hours
+        self.name = f"AVG{hours:g}hr"
+
+    def predict(
+        self,
+        history: History,
+        target_size: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        if len(history) == 0:
+            return None
+        anchor = self._now(history, now)
+        window = history.since(anchor - self.hours * HOUR)
+        if len(window) == 0:
+            return None
+        return float(window.values.mean())

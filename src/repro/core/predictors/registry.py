@@ -1,0 +1,109 @@
+"""The named predictor battery of Figure 4.
+
+The paper evaluates exactly fifteen context-insensitive predictors::
+
+                    Average   Median    ARIMA
+    All data        AVG       MED       AR
+    Last 1 value    LV
+    Last 5 values   AVG5      MED5
+    Last 15 values  AVG15     MED15
+    Last 25 values  AVG25     MED25
+    Last 5 hours    AVG5hr
+    Last 15 hours   AVG15hr
+    Last 25 hours   AVG25hr
+    Last 5 days                         AR5d
+    Last 10 days                        AR10d
+
+plus the same fifteen with file-size classification (Section 4.3), for 30
+in total.  :func:`paper_predictors` builds the former,
+:func:`classified_predictors` the latter, and :func:`make_predictor`
+resolves a single predictor by name (``"AVG5"`` or ``"C-AVG5"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.classification import Classification, paper_classification
+from repro.core.predictors.arima import ArModel
+from repro.core.predictors.base import Predictor
+from repro.core.predictors.classified import ClassifiedPredictor
+from repro.core.predictors.last_value import LastValue
+from repro.core.predictors.mean import TemporalAverage, TotalAverage, WindowedAverage
+from repro.core.predictors.median import TotalMedian, WindowedMedian
+
+__all__ = [
+    "PAPER_PREDICTOR_NAMES",
+    "paper_predictors",
+    "classified_predictors",
+    "make_predictor",
+]
+
+#: Figure-order names of the 15 context-insensitive predictors.
+PAPER_PREDICTOR_NAMES: Tuple[str, ...] = (
+    "AVG",
+    "LV",
+    "AVG5",
+    "AVG15",
+    "AVG25",
+    "MED",
+    "MED5",
+    "MED15",
+    "MED25",
+    "AVG5hr",
+    "AVG15hr",
+    "AVG25hr",
+    "AR",
+    "AR5d",
+    "AR10d",
+)
+
+
+def _build(name: str) -> Predictor:
+    if name == "AVG":
+        return TotalAverage()
+    if name == "LV":
+        return LastValue()
+    if name.startswith("AVG") and name.endswith("hr"):
+        return TemporalAverage(hours=float(name[3:-2]))
+    if name.startswith("AVG"):
+        return WindowedAverage(window=int(name[3:]))
+    if name == "MED":
+        return TotalMedian()
+    if name.startswith("MED"):
+        return WindowedMedian(window=int(name[3:]))
+    if name == "AR":
+        return ArModel()
+    if name.startswith("AR") and name.endswith("d"):
+        return ArModel(window_days=float(name[2:-1]))
+    raise KeyError(f"unknown predictor name {name!r}")
+
+
+def paper_predictors() -> Dict[str, Predictor]:
+    """The 15 context-insensitive predictors, in figure order."""
+    return {name: _build(name) for name in PAPER_PREDICTOR_NAMES}
+
+
+def classified_predictors(
+    classification: Optional[Classification] = None,
+    fallback: bool = False,
+) -> Dict[str, Predictor]:
+    """The 15 classified variants, named ``C-<base>``."""
+    cls = classification or paper_classification()
+    out: Dict[str, Predictor] = {}
+    for name in PAPER_PREDICTOR_NAMES:
+        wrapped = ClassifiedPredictor(_build(name), cls, fallback=fallback)
+        out[wrapped.name] = wrapped
+    return out
+
+
+def make_predictor(
+    name: str,
+    classification: Optional[Classification] = None,
+    fallback: bool = False,
+) -> Predictor:
+    """Resolve one predictor by name; ``C-`` prefix selects the classified form."""
+    if name.startswith("C-"):
+        cls = classification or paper_classification()
+        return ClassifiedPredictor(_build(name[2:]), cls, fallback=fallback)
+    return _build(name)

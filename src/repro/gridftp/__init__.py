@@ -1,0 +1,45 @@
+"""GridFTP substrate: server, client, transfer engine, instrumentation.
+
+This reproduces the data-transfer service the paper instruments (Section 3):
+
+* :mod:`repro.gridftp.server` — the control/server module: sessions with
+  (stub GSI) authentication, data-channel setup for parallel transfers,
+  retrieve/store against logical volumes.
+* :mod:`repro.gridftp.client` — the client module: ``get``/``put``,
+  partial file transfers, and third-party (server-to-server) transfers.
+* :mod:`repro.gridftp.transfer` — the transfer engine that composes the
+  TCP path model with source/destination disk models into an *end-to-end*
+  timing — the paper's central measurement is the whole transfer function,
+  not the transport alone.
+* :mod:`repro.gridftp.instrumentation` — the monitor that appends one ULM
+  record per transfer to the server log (the paper's added code; ~25 ms
+  overhead per transfer).
+"""
+
+from repro.gridftp.errors import (
+    GridFTPError,
+    AuthenticationError,
+    FileNotFoundOnServer,
+    ServerBusyError,
+    TransferError,
+)
+from repro.gridftp.transfer import TransferEngine, TransferOutcome, TransferRequest
+from repro.gridftp.instrumentation import Monitor
+from repro.gridftp.server import GridFTPServer, Session, Credential
+from repro.gridftp.client import GridFTPClient
+
+__all__ = [
+    "GridFTPError",
+    "AuthenticationError",
+    "FileNotFoundOnServer",
+    "ServerBusyError",
+    "TransferError",
+    "TransferEngine",
+    "TransferOutcome",
+    "TransferRequest",
+    "Monitor",
+    "GridFTPServer",
+    "Session",
+    "Credential",
+    "GridFTPClient",
+]

@@ -1,0 +1,31 @@
+"""GridFTP error hierarchy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "GridFTPError",
+    "AuthenticationError",
+    "FileNotFoundOnServer",
+    "TransferError",
+    "ServerBusyError",
+]
+
+
+class GridFTPError(RuntimeError):
+    """Base class for all GridFTP service failures."""
+
+
+class AuthenticationError(GridFTPError):
+    """The presented credential was rejected by the server."""
+
+
+class FileNotFoundOnServer(GridFTPError):
+    """The requested path does not exist in any served volume."""
+
+
+class TransferError(GridFTPError):
+    """The transfer could not be performed (bad parameters, aborted, ...)."""
+
+
+class ServerBusyError(GridFTPError):
+    """The server's concurrent-session limit is reached (FTP 421)."""

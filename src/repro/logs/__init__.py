@@ -1,0 +1,73 @@
+"""GridFTP transfer logs.
+
+The instrumented GridFTP server appends one record per transfer to a log in
+Universal Logging Format (ULM) ``Keyword=Value`` lines (Section 3, Figure 3
+of the paper).  This package provides:
+
+* :mod:`repro.logs.record` — :class:`TransferRecord`, the typed form of one
+  log entry (source IP, file name/size, volume, timestamps, total time,
+  bandwidth, read/write, streams, TCP buffer).
+* :mod:`repro.logs.ulm` — ULM serialization and parsing with exact
+  round-tripping.
+* :mod:`repro.logs.logfile` — :class:`TransferLog`, an append-only log with
+  the trimming strategies the paper discusses (NWS-style running window,
+  NetLogger-style flush-and-restart) and file persistence.
+* :mod:`repro.logs.filters` — composable record filters (operation, host,
+  size class, time window, last-n).
+* :mod:`repro.logs.stats` — summary statistics over a record set, feeding
+  the MDS information provider (Figure 6's ``minrdbandwidth`` etc.).
+"""
+
+from repro.logs.record import Operation, TransferRecord
+from repro.logs.ulm import ULMError, format_record, parse_record, parse_lines
+from repro.logs.logfile import (
+    TransferLog,
+    TrimPolicy,
+    KeepAll,
+    RunningWindow,
+    MaxCount,
+    FlushRestart,
+)
+from repro.logs.filters import (
+    by_operation,
+    by_source_ip,
+    by_size_class,
+    by_size_range,
+    by_time_window,
+    since,
+    last_n,
+    chain,
+)
+from repro.logs.stats import (
+    BandwidthSummary,
+    RunningSummary,
+    summarize,
+    summarize_by_class,
+)
+
+__all__ = [
+    "Operation",
+    "TransferRecord",
+    "ULMError",
+    "format_record",
+    "parse_record",
+    "parse_lines",
+    "TransferLog",
+    "TrimPolicy",
+    "KeepAll",
+    "RunningWindow",
+    "MaxCount",
+    "FlushRestart",
+    "by_operation",
+    "by_source_ip",
+    "by_size_class",
+    "by_size_range",
+    "by_time_window",
+    "since",
+    "last_n",
+    "chain",
+    "BandwidthSummary",
+    "RunningSummary",
+    "summarize",
+    "summarize_by_class",
+]

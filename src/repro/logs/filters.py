@@ -1,0 +1,122 @@
+"""Composable filters over transfer records.
+
+These implement the history-selection primitives of Section 4: the
+context-*sensitive* filter (file-size class) and the context-*insensitive*
+ones (last-n measurements, temporal windows), plus bookkeeping filters
+(operation, source host) used by the information provider.
+
+Filters are plain functions ``Sequence[TransferRecord] -> List[...]`` so
+they compose with :func:`chain` and stay trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.logs.record import Operation, TransferRecord
+
+__all__ = [
+    "RecordFilter",
+    "by_operation",
+    "by_source_ip",
+    "by_size_range",
+    "by_size_class",
+    "by_time_window",
+    "since",
+    "last_n",
+    "chain",
+]
+
+RecordFilter = Callable[[Sequence[TransferRecord]], List[TransferRecord]]
+
+
+def by_operation(operation: Operation) -> RecordFilter:
+    """Keep transfers in one direction (server reads vs writes)."""
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return [r for r in records if r.operation is operation]
+
+    return apply
+
+
+def by_source_ip(source_ip: str) -> RecordFilter:
+    """Keep transfers to/from one remote host — i.e. one wide-area link."""
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return [r for r in records if r.source_ip == source_ip]
+
+    return apply
+
+
+def by_size_range(lo: int, hi: float) -> RecordFilter:
+    """Keep transfers with ``lo <= file_size < hi`` (bytes)."""
+    if lo < 0 or hi <= lo:
+        raise ValueError(f"need 0 <= lo < hi, got [{lo}, {hi})")
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return [r for r in records if lo <= r.file_size < hi]
+
+    return apply
+
+
+def by_size_class(classify: Callable[[int], str], label: str) -> RecordFilter:
+    """Keep transfers whose size falls in the named class.
+
+    ``classify`` maps a byte count to a class label (see
+    :class:`repro.core.classification.Classification`); keeping the
+    dependency as a callable avoids coupling the log layer to the
+    predictor layer.
+    """
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return [r for r in records if classify(r.file_size) == label]
+
+    return apply
+
+
+def by_time_window(start: float, end: float) -> RecordFilter:
+    """Keep transfers that *ended* within ``[start, end)``."""
+    if end <= start:
+        raise ValueError(f"need start < end, got [{start}, {end})")
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return [r for r in records if start <= r.end_time < end]
+
+    return apply
+
+
+def since(t: float) -> RecordFilter:
+    """Keep transfers that ended at or after ``t`` — the temporal window."""
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return [r for r in records if r.end_time >= t]
+
+    return apply
+
+
+def last_n(n: int) -> RecordFilter:
+    """Keep the ``n`` most recent transfers — the fixed-length window."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        return list(records[-n:])
+
+    return apply
+
+
+def chain(*filters: RecordFilter) -> RecordFilter:
+    """Compose filters left to right.
+
+    Order matters when mixing selection and windowing: size-class *then*
+    last-n gives "the last n transfers of this class", which is what the
+    classified predictors want.
+    """
+
+    def apply(records: Sequence[TransferRecord]) -> List[TransferRecord]:
+        out: List[TransferRecord] = list(records)
+        for f in filters:
+            out = f(out)
+        return out
+
+    return apply

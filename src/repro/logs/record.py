@@ -1,0 +1,156 @@
+"""The transfer log record (Figure 3 of the paper).
+
+One :class:`TransferRecord` is written per completed GridFTP transfer.  The
+fields mirror the paper's log columns exactly:
+
+=============  =====================================================
+Paper column   Field
+=============  =====================================================
+Source IP      ``source_ip`` — the remote client of the transfer
+File Name      ``file_name`` — absolute path on the server
+File Size      ``file_size`` — bytes
+Volume         ``volume`` — logical volume root
+StartTime      ``start_time`` — Unix epoch seconds
+EndTime        ``end_time`` — Unix epoch seconds
+TotalTime      ``total_time`` — seconds (property; end - start)
+Bandwidth      ``bandwidth`` — bytes/s sustained through the transfer
+Read/Write     ``operation`` — from the *server's* point of view
+Streams        ``streams`` — parallel TCP data channels
+TCP-Buffer     ``tcp_buffer`` — per-stream socket buffer, bytes
+=============  =====================================================
+
+The paper computes ``BW = File size / Transfer Time``; ``bandwidth`` is
+stored explicitly (the instrumentation computes it at log time) and
+validated to be consistent with the timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+from repro.units import bytes_per_sec_to_kbps
+
+__all__ = ["Operation", "TransferRecord"]
+
+
+class Operation(str, enum.Enum):
+    """Direction of the transfer, from the server's point of view.
+
+    ``READ``: the server read a file from its disk and sent it (a client
+    *get*); ``WRITE``: the server stored an incoming file (a client *put*).
+    """
+
+    READ = "read"
+    WRITE = "write"
+
+    @classmethod
+    def parse(cls, text: str) -> "Operation":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(f"unknown operation {text!r}; expected read/write") from None
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer, as logged by the instrumented server."""
+
+    source_ip: str
+    file_name: str
+    file_size: int
+    volume: str
+    start_time: float
+    end_time: float
+    bandwidth: float
+    operation: Operation
+    streams: int
+    tcp_buffer: int
+
+    def __post_init__(self) -> None:
+        if not self.source_ip:
+            raise ValueError("source_ip must be non-empty")
+        if not self.file_name:
+            raise ValueError("file_name must be non-empty")
+        if self.file_size <= 0:
+            raise ValueError(f"file_size must be positive, got {self.file_size}")
+        if not math.isfinite(self.start_time) or not math.isfinite(self.end_time):
+            raise ValueError("timestamps must be finite")
+        if self.end_time <= self.start_time:
+            raise ValueError(
+                f"end_time ({self.end_time}) must follow start_time ({self.start_time})"
+            )
+        if not math.isfinite(self.bandwidth) or self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.streams <= 0:
+            raise ValueError(f"streams must be positive, got {self.streams}")
+        if self.tcp_buffer <= 0:
+            raise ValueError(f"tcp_buffer must be positive, got {self.tcp_buffer}")
+        if not isinstance(self.operation, Operation):
+            object.__setattr__(self, "operation", Operation.parse(str(self.operation)))
+
+    # ------------------------------------------------------------------
+    # derived fields
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Transfer duration in seconds (the log's TotalTime column)."""
+        return self.end_time - self.start_time
+
+    @property
+    def bandwidth_kbps(self) -> float:
+        """Bandwidth in KB/s, the unit printed in the paper's log."""
+        return bytes_per_sec_to_kbps(self.bandwidth)
+
+    @classmethod
+    def from_timing(
+        cls,
+        *,
+        source_ip: str,
+        file_name: str,
+        file_size: int,
+        volume: str,
+        start_time: float,
+        end_time: float,
+        operation: Operation,
+        streams: int,
+        tcp_buffer: int,
+    ) -> "TransferRecord":
+        """Build a record computing bandwidth = size / (end - start)."""
+        duration = end_time - start_time
+        if duration <= 0:
+            raise ValueError("transfer duration must be positive")
+        return cls(
+            source_ip=source_ip,
+            file_name=file_name,
+            file_size=file_size,
+            volume=volume,
+            start_time=start_time,
+            end_time=end_time,
+            bandwidth=file_size / duration,
+            operation=operation,
+            streams=streams,
+            tcp_buffer=tcp_buffer,
+        )
+
+    def with_bandwidth(self, bandwidth: float) -> "TransferRecord":
+        """Copy with a replaced bandwidth (used for perturbation tests)."""
+        return replace(self, bandwidth=bandwidth)
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dict mirroring the paper's Figure 3 columns, for rendering."""
+        return {
+            "Source IP": self.source_ip,
+            "File Name": self.file_name,
+            "File Size (Bytes)": self.file_size,
+            "Volume": self.volume,
+            "StartTime": int(self.start_time),
+            "EndTime": int(self.end_time),
+            "TotalTime (Seconds)": round(self.total_time, 3),
+            "Bandwidth (KB/Sec)": int(round(self.bandwidth_kbps)),
+            "Read/Write": self.operation.value.capitalize(),
+            "Streams": self.streams,
+            "TCP-Buffer": self.tcp_buffer,
+        }

@@ -1,0 +1,138 @@
+"""Summary statistics over transfer records.
+
+The MDS information provider (Section 5.1, Figure 6) publishes per-server
+attributes such as ``minrdbandwidth``, ``maxrdbandwidth``,
+``avgrdbandwidth`` and per-class variants; this module computes them.
+Bandwidths are aggregated with NumPy for speed — a busy server can hold
+tens of thousands of records and the provider recomputes on every poll.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.logs.record import Operation, TransferRecord
+
+__all__ = ["BandwidthSummary", "RunningSummary", "summarize", "summarize_by_class"]
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """min/max/mean/median bandwidth over a record set, in bytes/s."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    stddev: float
+
+    @classmethod
+    def empty(cls) -> "BandwidthSummary":
+        return cls(count=0, minimum=0.0, maximum=0.0, mean=0.0, median=0.0, stddev=0.0)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """stddev / mean — the variability measure behind Figures 1–2."""
+        return self.stddev / self.mean if self.mean > 0 else 0.0
+
+
+class RunningSummary:
+    """Exact incremental bandwidth statistics, O(log n) per observation.
+
+    Mean and variance use Welford's algorithm; the median uses the
+    classic two-heap split (max-heap of the lower half, min-heap of the
+    upper).  ``summary()`` produces the same :class:`BandwidthSummary` a
+    batch :func:`summarize` would — verified property-style in the tests
+    — which is what lets the incremental information provider answer
+    inquiries without rescanning the log (Section 5.1's cost).
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lower: List[float] = []  # max-heap (negated values)
+        self._upper: List[float] = []  # min-heap
+
+    def add(self, value: float) -> None:
+        """Fold one bandwidth observation in."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        # Median heaps: push to lower, rebalance through upper.
+        heapq.heappush(self._lower, -value)
+        heapq.heappush(self._upper, -heapq.heappop(self._lower))
+        if len(self._upper) > len(self._lower):
+            heapq.heappush(self._lower, -heapq.heappop(self._upper))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _median(self) -> float:
+        if self._count == 0:
+            return 0.0
+        if len(self._lower) > len(self._upper):
+            return -self._lower[0]
+        return (-self._lower[0] + self._upper[0]) / 2.0
+
+    def summary(self) -> BandwidthSummary:
+        """Current statistics as an immutable snapshot."""
+        if self._count == 0:
+            return BandwidthSummary.empty()
+        return BandwidthSummary(
+            count=self._count,
+            minimum=self._min,
+            maximum=self._max,
+            mean=self._mean,
+            median=self._median(),
+            stddev=(self._m2 / self._count) ** 0.5,
+        )
+
+
+def summarize(
+    records: Sequence[TransferRecord],
+    operation: Operation | None = None,
+) -> BandwidthSummary:
+    """Aggregate bandwidth statistics, optionally for one direction only."""
+    if operation is not None:
+        records = [r for r in records if r.operation is operation]
+    if not records:
+        return BandwidthSummary.empty()
+    bw = np.fromiter((r.bandwidth for r in records), dtype=np.float64, count=len(records))
+    return BandwidthSummary(
+        count=len(records),
+        minimum=float(bw.min()),
+        maximum=float(bw.max()),
+        mean=float(bw.mean()),
+        median=float(np.median(bw)),
+        stddev=float(bw.std(ddof=0)),
+    )
+
+
+def summarize_by_class(
+    records: Sequence[TransferRecord],
+    classify: Callable[[int], str],
+    operation: Operation | None = None,
+) -> Dict[str, BandwidthSummary]:
+    """Per-file-size-class summaries, keyed by class label.
+
+    Only classes that actually occur in the records appear in the result;
+    the provider publishes an attribute per present class.
+    """
+    if operation is not None:
+        records = [r for r in records if r.operation is operation]
+    buckets: Dict[str, list] = {}
+    for record in records:
+        buckets.setdefault(classify(record.file_size), []).append(record)
+    return {label: summarize(bucket) for label, bucket in sorted(buckets.items())}

@@ -1,0 +1,149 @@
+"""Replica selection through the information service.
+
+:class:`~repro.core.selection.ReplicaBroker` reads site transfer logs
+directly — fine inside one administrative domain.  The paper's actual
+architecture (Figure 5) is looser: sites publish statistics and
+predictions through their GRIS into a GIIS, and *remote* brokers make
+decisions from directory inquiries alone, never touching logs.
+
+:class:`MdsReplicaBroker` is that broker.  Given a GIIS (or GRIS — same
+inquiry protocol), it:
+
+1. queries ``(objectclass=GridFTPPerf)`` entries;
+2. matches each candidate site by hostname or address attribute;
+3. reads the class-appropriate ``predictedrdbandwidth<class>range``
+   attribute for the file being fetched (falling back to the class
+   average, then the overall average — the best information published);
+4. ranks candidates by the resulting bandwidth.
+
+The decision quality is bounded by what providers publish — exactly the
+trade-off the paper's delivery infrastructure embodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.classification import Classification, paper_classification
+from repro.mds.ldif import Entry
+from repro.storage.filesystem import ReplicaCatalog
+from repro.units import KB
+
+__all__ = ["MdsRankedReplica", "MdsReplicaBroker"]
+
+
+def _parse_kb(value: Optional[str]) -> Optional[float]:
+    """Figure 6's '6062K' rendering -> bytes/s."""
+    if value is None:
+        return None
+    try:
+        return float(value.removesuffix("K").removesuffix("k")) * KB
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class MdsRankedReplica:
+    """A candidate ranked from directory information."""
+
+    site: str
+    hostname: Optional[str]
+    gridftp_url: Optional[str]
+    predicted_bandwidth: Optional[float]  # bytes/s; None = no usable entry
+    source_attribute: Optional[str]       # which attribute supplied the value
+
+    def estimated_time(self, size: int) -> Optional[float]:
+        if self.predicted_bandwidth is None or self.predicted_bandwidth <= 0:
+            return None
+        return size / self.predicted_bandwidth
+
+
+class MdsReplicaBroker:
+    """Ranks replicas from GIIS/GRIS inquiries (no log access).
+
+    Parameters
+    ----------
+    catalog:
+        Logical name -> replica site names.
+    directory:
+        Anything with ``search(now, flt=...) -> List[Entry]`` (a GIIS or
+        a GRIS).
+    site_hostnames:
+        Site name -> hostname, used to match catalog sites to directory
+        entries (the catalog speaks site names, the directory DNs).
+    classification:
+        Size classes; selects which per-class attribute to read.
+    """
+
+    def __init__(
+        self,
+        catalog: ReplicaCatalog,
+        directory,
+        site_hostnames: Dict[str, str],
+        classification: Optional[Classification] = None,
+    ):
+        self.catalog = catalog
+        self.directory = directory
+        self.site_hostnames = dict(site_hostnames)
+        self.classification = classification or paper_classification()
+
+    # ------------------------------------------------------------------
+    # directory access
+    # ------------------------------------------------------------------
+    def _entries_by_hostname(self, now: float) -> Dict[str, Entry]:
+        entries = self.directory.search(now, flt="(objectclass=GridFTPPerf)")
+        out: Dict[str, Entry] = {}
+        for entry in entries:
+            hostname = entry.first("hostname")
+            if hostname and hostname not in out:
+                out[hostname] = entry
+        return out
+
+    def _predicted_from(self, entry: Entry, size: int) -> tuple:
+        """(bandwidth, attribute) read from the most specific attribute."""
+        label = self.classification.classify(size).lower()
+        for attribute in (
+            f"predictedrdbandwidth{label}range",
+            f"avgrdbandwidth{label}range",
+            "avgrdbandwidth",
+        ):
+            bandwidth = _parse_kb(entry.first(attribute))
+            if bandwidth is not None:
+                return bandwidth, attribute
+        return None, None
+
+    # ------------------------------------------------------------------
+    # ranking
+    # ------------------------------------------------------------------
+    def rank(self, logical_name: str, now: float) -> List[MdsRankedReplica]:
+        """Candidates best-first, from directory information only."""
+        size = self.catalog.size_of(logical_name)
+        entries = self._entries_by_hostname(now)
+        ranked: List[MdsRankedReplica] = []
+        for site in self.catalog.locations(logical_name):
+            hostname = self.site_hostnames.get(site)
+            entry = entries.get(hostname) if hostname else None
+            if entry is None:
+                ranked.append(MdsRankedReplica(
+                    site=site, hostname=hostname, gridftp_url=None,
+                    predicted_bandwidth=None, source_attribute=None,
+                ))
+                continue
+            bandwidth, attribute = self._predicted_from(entry, size)
+            ranked.append(MdsRankedReplica(
+                site=site,
+                hostname=hostname,
+                gridftp_url=entry.first("gridftpurl"),
+                predicted_bandwidth=bandwidth,
+                source_attribute=attribute,
+            ))
+        ranked.sort(key=lambda r: (
+            r.predicted_bandwidth is None,
+            -(r.predicted_bandwidth or 0.0),
+            r.site,
+        ))
+        return ranked
+
+    def select(self, logical_name: str, now: float) -> MdsRankedReplica:
+        return self.rank(logical_name, now)[0]

@@ -1,0 +1,88 @@
+"""GIIS: the aggregate directory.
+
+A GIIS accepts soft-state registrations from GRISes (Figure 5 of the
+paper) and merges their entries into one searchable view.  Expired
+registrations drop out automatically; a hierarchical deployment is
+supported by letting one GIIS register with another (it quacks like a
+GRIS: it has a ``search`` method used through the same inquiry path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Union
+
+from repro.mds.ldif import Entry
+from repro.mds.query import Filter, parse_filter
+from repro.mds.registration import SoftStateRegistry
+
+__all__ = ["GIIS"]
+
+
+class _Searchable(Protocol):
+    name: str
+
+    def search(
+        self,
+        now: float,
+        flt: Union[str, Filter, None] = None,
+        base: Optional[str] = None,
+    ) -> List[Entry]:
+        ...
+
+
+class GIIS:
+    """Aggregates registered GRISes (or child GIISes)."""
+
+    def __init__(self, name: str, default_ttl: float = 600.0):
+        if not name:
+            raise ValueError("GIIS name must be non-empty")
+        if default_ttl <= 0:
+            raise ValueError(f"default_ttl must be positive, got {default_ttl}")
+        self.name = name
+        self.default_ttl = default_ttl
+        self._registry: SoftStateRegistry[_Searchable] = SoftStateRegistry()
+
+    # ------------------------------------------------------------------
+    # registration protocol
+    # ------------------------------------------------------------------
+    def register(
+        self, source: _Searchable, now: float, ttl: Optional[float] = None
+    ) -> None:
+        """Soft-state registration from a GRIS or child GIIS."""
+        if source is self:
+            raise ValueError("a GIIS cannot register with itself")
+        self._registry.register(source.name, source, ttl or self.default_ttl, now)
+
+    def renew(self, source_name: str, now: float) -> None:
+        self._registry.renew(source_name, now)
+
+    def registered(self, now: float) -> List[str]:
+        """Names of currently live sources."""
+        return [reg.key for reg in self._registry.live(now)]
+
+    # ------------------------------------------------------------------
+    # inquiry protocol
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        now: float,
+        flt: Union[str, Filter, None] = None,
+        base: Optional[str] = None,
+    ) -> List[Entry]:
+        """Merged view across all live sources.
+
+        Duplicate DNs (a source registered with two aggregators both
+        feeding this one) keep the first occurrence, matching the
+        merge-into-aggregate-view behaviour described in the paper.
+        """
+        parsed: Optional[Filter]
+        parsed = parse_filter(flt) if isinstance(flt, str) else flt
+        seen: set[str] = set()
+        merged: List[Entry] = []
+        for registration in self._registry.live(now):
+            for entry in registration.payload.search(now, parsed, base):
+                if entry.dn in seen:
+                    continue
+                seen.add(entry.dn)
+                merged.append(entry)
+        return merged

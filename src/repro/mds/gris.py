@@ -1,0 +1,103 @@
+"""GRIS: the per-site Grid Resource Information Service.
+
+A GRIS hosts *information providers* — components that generate directory
+entries on demand (our GridFTP performance provider is one).  It caches
+provider output for a configurable TTL, because recomputing statistics and
+predictions over a large log on every inquiry is exactly the 1–2 s cost
+the paper measures; the cache bounds that to once per TTL.
+
+Inquiries take an optional LDAP filter (parsed by :mod:`repro.mds.query`)
+and an optional DN-suffix base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple, Union
+
+from repro.mds.ldif import Entry
+from repro.mds.query import Filter, parse_filter
+
+__all__ = ["InformationProvider", "GRIS"]
+
+
+class InformationProvider(Protocol):
+    """Anything that can produce directory entries at a point in time."""
+
+    def entries(self, now: float) -> List[Entry]:
+        """Generate current entries (may be expensive; GRIS caches)."""
+        ...
+
+
+class GRIS:
+    """Hosts providers at one site and answers LDAP-style inquiries."""
+
+    def __init__(self, name: str, cache_ttl: float = 30.0):
+        if not name:
+            raise ValueError("GRIS name must be non-empty")
+        if cache_ttl < 0:
+            raise ValueError(f"cache_ttl must be >= 0, got {cache_ttl}")
+        self.name = name
+        self.cache_ttl = cache_ttl
+        self._providers: Dict[str, InformationProvider] = {}
+        self._cache: Dict[str, Tuple[float, List[Entry]]] = {}
+
+    # ------------------------------------------------------------------
+    # provider management
+    # ------------------------------------------------------------------
+    def add_provider(self, key: str, provider: InformationProvider) -> None:
+        if key in self._providers:
+            raise ValueError(f"provider {key!r} already registered with {self.name}")
+        self._providers[key] = provider
+
+    def remove_provider(self, key: str) -> None:
+        self._providers.pop(key, None)
+        self._cache.pop(key, None)
+
+    def providers(self) -> List[str]:
+        return list(self._providers)
+
+    # ------------------------------------------------------------------
+    # inquiry
+    # ------------------------------------------------------------------
+    def _provider_entries(self, key: str, now: float) -> List[Entry]:
+        cached = self._cache.get(key)
+        if cached is not None:
+            fetched_at, entries = cached
+            if now - fetched_at < self.cache_ttl:
+                return entries
+        entries = self._providers[key].entries(now)
+        self._cache[key] = (now, entries)
+        return entries
+
+    def search(
+        self,
+        now: float,
+        flt: Union[str, Filter, None] = None,
+        base: Optional[str] = None,
+    ) -> List[Entry]:
+        """All matching entries from all providers.
+
+        Parameters
+        ----------
+        now:
+            Inquiry time (drives cache validity).
+        flt:
+            LDAP filter text or a pre-parsed :class:`Filter`.
+        base:
+            If given, only entries whose DN ends with this suffix match.
+        """
+        parsed: Optional[Filter]
+        parsed = parse_filter(flt) if isinstance(flt, str) else flt
+        out: List[Entry] = []
+        for key in self._providers:
+            for entry in self._provider_entries(key, now):
+                if base is not None and not entry.dn.endswith(base):
+                    continue
+                if parsed is not None and not parsed.matches(entry):
+                    continue
+                out.append(entry)
+        return out
+
+    def invalidate(self) -> None:
+        """Drop cached provider output (e.g. after a known log change)."""
+        self._cache.clear()

@@ -1,0 +1,166 @@
+"""LDIF entries and serialization.
+
+The GRIS/GIIS publish information as LDAP entries: a distinguished name
+plus multi-valued attributes.  :class:`Entry` keeps attribute names
+case-insensitively (folded to lowercase, as LDAP does) and values ordered.
+
+The serializer implements the LDIF subset the reproduction needs:
+``dn:`` line, ``attr: value`` lines, ``attr:: base64`` for unsafe values,
+blank-line separation, and ``#`` comments on parse.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["LdifError", "Entry", "format_entries", "parse_ldif"]
+
+
+class LdifError(ValueError):
+    """Raised on malformed LDIF input or invalid entry construction."""
+
+
+def _needs_base64(value: str) -> bool:
+    if value == "":
+        return False
+    if value[0] in (" ", ":", "<"):
+        return True
+    if value != value.strip():
+        return True
+    return any(ord(c) < 32 or ord(c) > 126 for c in value)
+
+
+class Entry:
+    """One directory entry: a DN and ordered, case-folded attributes."""
+
+    def __init__(self, dn: str, attributes: Optional[Dict[str, Sequence[str]]] = None):
+        if not dn or not dn.strip():
+            raise LdifError("entry DN must be non-empty")
+        self.dn = dn.strip()
+        self._attrs: Dict[str, List[str]] = {}
+        if attributes:
+            for name, values in attributes.items():
+                for value in values:
+                    self.add(name, value)
+
+    # ------------------------------------------------------------------
+    # attributes
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: object) -> None:
+        """Append one attribute value (stored as string)."""
+        key = name.strip().lower()
+        if not key:
+            raise LdifError("attribute name must be non-empty")
+        self._attrs.setdefault(key, []).append(str(value))
+
+    def set(self, name: str, value: object) -> None:
+        """Replace all values of an attribute with one value."""
+        self._attrs[name.strip().lower()] = [str(value)]
+
+    def get(self, name: str) -> List[str]:
+        """All values of an attribute ([] if absent)."""
+        return list(self._attrs.get(name.strip().lower(), []))
+
+    def first(self, name: str) -> Optional[str]:
+        values = self._attrs.get(name.strip().lower())
+        return values[0] if values else None
+
+    def has(self, name: str) -> bool:
+        return name.strip().lower() in self._attrs
+
+    def attribute_names(self) -> List[str]:
+        return list(self._attrs)
+
+    def items(self) -> Iterable[Tuple[str, List[str]]]:
+        return ((k, list(v)) for k, v in self._attrs.items())
+
+    def __repr__(self) -> str:
+        return f"<Entry dn={self.dn!r} attrs={len(self._attrs)}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return self.dn == other.dn and self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        return hash(self.dn)
+
+
+def format_entries(entries: Iterable[Entry]) -> str:
+    """Serialize entries to LDIF text."""
+    blocks: List[str] = []
+    for entry in entries:
+        lines = []
+        if _needs_base64(entry.dn):
+            lines.append("dn:: " + base64.b64encode(entry.dn.encode()).decode())
+        else:
+            lines.append(f"dn: {entry.dn}")
+        for name, values in entry.items():
+            for value in values:
+                if _needs_base64(value):
+                    lines.append(f"{name}:: " + base64.b64encode(value.encode()).decode())
+                else:
+                    lines.append(f"{name}: {value}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + ("\n" if blocks else "")
+
+
+def parse_ldif(text: str) -> List[Entry]:
+    """Parse LDIF text into entries.
+
+    Supports comments (``#``), base64 values (``::``), and line
+    continuations (leading space).
+    """
+    # Unfold continuations first.
+    raw_lines = text.splitlines()
+    lines: List[str] = []
+    for line in raw_lines:
+        if line.startswith(" ") and lines:
+            lines[-1] += line[1:]
+        else:
+            lines.append(line)
+
+    entries: List[Entry] = []
+    current: Optional[List[Tuple[str, str]]] = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        if not current or current[0][0] != "dn":
+            raise LdifError("entry must start with a dn line")
+        dn = current[0][1]
+        entry = Entry(dn)
+        for name, value in current[1:]:
+            if name == "dn":
+                raise LdifError(f"duplicate dn inside entry {dn!r}")
+            entry.add(name, value)
+        entries.append(entry)
+        current = None
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            flush()
+            continue
+        if line.lstrip().startswith("#"):
+            continue
+        if ":" not in line:
+            raise LdifError(f"line {lineno}: missing ':' in {line!r}")
+        name, _, rest = line.partition(":")
+        name = name.strip().lower()
+        if rest.startswith(":"):
+            encoded = rest[1:].strip()
+            try:
+                value = base64.b64decode(encoded, validate=True).decode("utf-8")
+            except Exception as exc:
+                raise LdifError(f"line {lineno}: bad base64 value ({exc})") from None
+        else:
+            value = rest.strip()
+        if current is None:
+            if name != "dn":
+                raise LdifError(f"line {lineno}: entry must start with dn, got {name!r}")
+            current = []
+        current.append((name, value))
+    flush()
+    return entries

@@ -1,0 +1,192 @@
+"""LDAP search filters (RFC 2254 subset).
+
+The MDS inquiry protocol is LDAP search; users locate GridFTP performance
+entries with filters like::
+
+    (&(objectclass=GridFTPPerf)(avgrdbandwidth>=5000))
+    (|(hostname=*.lbl.gov)(hostname=*.anl.gov))
+    (!(numtransfers=0))
+
+Supported grammar::
+
+    filter     = "(" ( and / or / not / item ) ")"
+    and        = "&" filter+
+    or         = "|" filter+
+    not        = "!" filter
+    item       = attr ( "=" value / ">=" value / "<=" value / "=*"
+                        / "=" substring-with-* )
+
+Comparisons (``>=``, ``<=``) are numeric when both sides parse as floats
+(with a trailing ``K`` bandwidth suffix allowed), else lexicographic —
+matching how the shell-backend scripts of the era behaved.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mds.ldif import Entry
+
+__all__ = ["FilterError", "Filter", "parse_filter"]
+
+
+class FilterError(ValueError):
+    """Raised on unparseable filter text."""
+
+
+class Filter:
+    """Base filter node."""
+
+    def matches(self, entry: Entry) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class And(Filter):
+    children: Tuple[Filter, ...]
+
+    def matches(self, entry: Entry) -> bool:
+        return all(child.matches(entry) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or(Filter):
+    children: Tuple[Filter, ...]
+
+    def matches(self, entry: Entry) -> bool:
+        return any(child.matches(entry) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Not(Filter):
+    child: Filter
+
+    def matches(self, entry: Entry) -> bool:
+        return not self.child.matches(entry)
+
+
+def _as_number(text: str) -> Optional[float]:
+    try:
+        return float(text.removesuffix("K").removesuffix("k"))
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class Comparison(Filter):
+    """attr=value, attr>=value, attr<=value, presence, or substring match."""
+
+    attribute: str
+    operator: str  # '=', '>=', '<=', 'present'
+    value: str = ""
+
+    def matches(self, entry: Entry) -> bool:
+        values = entry.get(self.attribute)
+        if self.operator == "present":
+            return bool(values)
+        if not values:
+            return False
+        if self.operator == "=":
+            if "*" in self.value:
+                pattern = self.value.lower()
+                return any(fnmatch.fnmatchcase(v.lower(), pattern) for v in values)
+            return any(v.lower() == self.value.lower() for v in values)
+        # Ordering comparisons.
+        want = _as_number(self.value)
+        for v in values:
+            have = _as_number(v)
+            if want is not None and have is not None:
+                ok = have >= want if self.operator == ">=" else have <= want
+            else:
+                ok = v >= self.value if self.operator == ">=" else v <= self.value
+            if ok:
+                return True
+        return False
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse filter text into a :class:`Filter` tree."""
+    parser = _Parser(text.strip())
+    node = parser.parse_filter()
+    parser.expect_end()
+    return node
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def _peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise FilterError(f"unexpected end of filter: {self.text!r}")
+        return self.text[self.pos]
+
+    def _take(self, expected: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != expected:
+            found = self.text[self.pos] if self.pos < len(self.text) else "<end>"
+            raise FilterError(
+                f"expected {expected!r} at position {self.pos}, found {found!r}"
+            )
+        self.pos += 1
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.text):
+            raise FilterError(f"trailing characters at {self.pos}: {self.text[self.pos:]!r}")
+
+    def parse_filter(self) -> Filter:
+        self._take("(")
+        c = self._peek()
+        if c == "&":
+            self.pos += 1
+            node: Filter = And(tuple(self._parse_list()))
+        elif c == "|":
+            self.pos += 1
+            node = Or(tuple(self._parse_list()))
+        elif c == "!":
+            self.pos += 1
+            node = Not(self.parse_filter())
+        else:
+            node = self._parse_comparison()
+        self._take(")")
+        return node
+
+    def _parse_list(self) -> List[Filter]:
+        children = []
+        while self._peek() == "(":
+            children.append(self.parse_filter())
+        if not children:
+            raise FilterError(f"empty &/| list at position {self.pos}")
+        return children
+
+    def _parse_comparison(self) -> Comparison:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "=<>()":
+            self.pos += 1
+        attribute = self.text[start:self.pos].strip()
+        if not attribute:
+            raise FilterError(f"missing attribute name at position {start}")
+        if self.pos >= len(self.text):
+            raise FilterError("filter item missing operator")
+        c = self.text[self.pos]
+        if c in "<>":
+            self.pos += 1
+            self._take("=")
+            operator = c + "="
+        elif c == "=":
+            self.pos += 1
+            operator = "="
+        else:
+            raise FilterError(f"bad operator {c!r} at position {self.pos}")
+
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] != ")":
+            self.pos += 1
+        value = self.text[start:self.pos]
+        if operator == "=" and value == "*":
+            return Comparison(attribute=attribute, operator="present")
+        if not value:
+            raise FilterError(f"missing value for attribute {attribute!r}")
+        return Comparison(attribute=attribute, operator=operator, value=value)

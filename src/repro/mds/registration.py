@@ -1,0 +1,92 @@
+"""Soft-state registration (the MDS-2 registration protocol).
+
+A GRIS announces itself to a GIIS with a time-to-live; unless renewed, the
+registration silently expires and the GIIS stops consulting it.  Soft
+state is what lets the directory self-heal when providers die — nothing
+needs to deregister.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, TypeVar
+
+__all__ = ["Registration", "SoftStateRegistry"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Registration(Generic[T]):
+    """One live registration: a payload and its expiry."""
+
+    key: str
+    payload: T
+    ttl: float
+    registered_at: float
+    renewed_at: float
+
+    @property
+    def expires_at(self) -> float:
+        return self.renewed_at + self.ttl
+
+    def is_live(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class SoftStateRegistry(Generic[T]):
+    """TTL-based registry with lazy expiry.
+
+    Expired registrations are pruned on access; no background sweeper is
+    needed because every read passes ``now``.
+    """
+
+    def __init__(self) -> None:
+        self._registrations: Dict[str, Registration[T]] = {}
+
+    def register(self, key: str, payload: T, ttl: float, now: float) -> Registration[T]:
+        """Create or replace a registration."""
+        if not key:
+            raise ValueError("registration key must be non-empty")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        reg = Registration(key=key, payload=payload, ttl=ttl, registered_at=now, renewed_at=now)
+        self._registrations[key] = reg
+        return reg
+
+    def renew(self, key: str, now: float, ttl: Optional[float] = None) -> Registration[T]:
+        """Refresh an existing registration's lease.
+
+        Renewing an expired-but-not-yet-pruned key re-animates it (matching
+        soft-state semantics: the renewal *is* a registration message).
+        """
+        reg = self._registrations.get(key)
+        if reg is None:
+            raise KeyError(f"no registration for {key!r}")
+        reg.renewed_at = now
+        if ttl is not None:
+            if ttl <= 0:
+                raise ValueError(f"ttl must be positive, got {ttl}")
+            reg.ttl = ttl
+        return reg
+
+    def deregister(self, key: str) -> None:
+        self._registrations.pop(key, None)
+
+    def _prune(self, now: float) -> None:
+        dead = [k for k, r in self._registrations.items() if not r.is_live(now)]
+        for key in dead:
+            del self._registrations[key]
+
+    def live(self, now: float) -> List[Registration[T]]:
+        """All live registrations, in registration order."""
+        self._prune(now)
+        return list(self._registrations.values())
+
+    def get(self, key: str, now: float) -> Optional[Registration[T]]:
+        self._prune(now)
+        return self._registrations.get(key)
+
+    def __len__(self) -> int:
+        """Count including not-yet-pruned entries; use live() for accuracy."""
+        return len(self._registrations)

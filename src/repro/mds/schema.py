@@ -1,0 +1,139 @@
+"""Object classes for GridFTP performance data (reference [16]).
+
+The paper developed LDAP schemas for the provider's output; this module
+defines the reproduction's equivalent.  An :class:`ObjectClass` lists
+required and optional :class:`Attribute` definitions with value syntaxes;
+:func:`validate_entry` checks an LDIF entry against one.
+
+The ``GridFTPPerf`` object class covers Figure 6's attributes: identity
+(cn, hostname, gridftpurl), whole-log bandwidth statistics
+(min/max/avg/med, read and write), per-size-class averages
+(``avgrdbandwidth<class>range``), per-class predictions
+(``predictedrdbandwidth<class>range``), and bookkeeping (numtransfers,
+lastupdate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.mds.ldif import Entry
+
+__all__ = ["SchemaError", "Attribute", "ObjectClass", "GRIDFTP_PERF", "validate_entry"]
+
+
+class SchemaError(ValueError):
+    """Raised when an entry violates its object class."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An attribute type: name, value syntax, multiplicity."""
+
+    name: str
+    syntax: str = "string"  # string | integer | float | bandwidth
+    multivalued: bool = False
+
+    _SYNTAXES = ("string", "integer", "float", "bandwidth")
+
+    def __post_init__(self) -> None:
+        if self.syntax not in self._SYNTAXES:
+            raise ValueError(f"unknown syntax {self.syntax!r}; expected {self._SYNTAXES}")
+
+    def check(self, value: str) -> None:
+        """Raise :class:`SchemaError` if ``value`` violates the syntax."""
+        if self.syntax == "string":
+            return
+        text = value
+        if self.syntax == "bandwidth":
+            # Figure 6 prints bandwidths as '6062K'; accept a K suffix.
+            text = text.removesuffix("K")
+        try:
+            number = float(text)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {self.name}: {value!r} is not {self.syntax}"
+            ) from None
+        if self.syntax == "integer" and not float(text).is_integer():
+            raise SchemaError(f"attribute {self.name}: {value!r} is not an integer")
+        if number < 0 and self.syntax == "bandwidth":
+            raise SchemaError(f"attribute {self.name}: bandwidth must be >= 0")
+
+
+@dataclass(frozen=True)
+class ObjectClass:
+    """A named set of required/optional attribute definitions."""
+
+    name: str
+    required: Tuple[Attribute, ...]
+    optional: Tuple[Attribute, ...] = ()
+
+    def attribute(self, name: str) -> Attribute:
+        key = name.lower()
+        for attr in self.required + self.optional:
+            if attr.name.lower() == key:
+                return attr
+        raise KeyError(f"{self.name} has no attribute {name!r}")
+
+    def known_names(self) -> Dict[str, Attribute]:
+        return {a.name.lower(): a for a in self.required + self.optional}
+
+
+def _class_attrs(kind: str) -> Tuple[Attribute, ...]:
+    """Per-size-class attributes, e.g. avgrdbandwidth10mbrange."""
+    out = []
+    for label in ("10mb", "100mb", "500mb", "1gb"):
+        out.append(Attribute(f"{kind}{label}range", syntax="bandwidth"))
+    return tuple(out)
+
+
+GRIDFTP_PERF = ObjectClass(
+    name="GridFTPPerf",
+    required=(
+        Attribute("objectclass"),
+        Attribute("cn"),
+        Attribute("hostname"),
+        Attribute("gridftpurl"),
+        Attribute("numtransfers", syntax="integer"),
+        Attribute("lastupdate", syntax="float"),
+    ),
+    optional=(
+        Attribute("minrdbandwidth", syntax="bandwidth"),
+        Attribute("maxrdbandwidth", syntax="bandwidth"),
+        Attribute("avgrdbandwidth", syntax="bandwidth"),
+        Attribute("medrdbandwidth", syntax="bandwidth"),
+        Attribute("minwrbandwidth", syntax="bandwidth"),
+        Attribute("maxwrbandwidth", syntax="bandwidth"),
+        Attribute("avgwrbandwidth", syntax="bandwidth"),
+        Attribute("medwrbandwidth", syntax="bandwidth"),
+        Attribute("recentrdbandwidth", syntax="bandwidth", multivalued=True),
+        *_class_attrs("avgrdbandwidth"),
+        *_class_attrs("predictedrdbandwidth"),
+    ),
+)
+
+
+def validate_entry(entry: Entry, object_class: ObjectClass = GRIDFTP_PERF) -> None:
+    """Check required attributes, syntaxes, and multiplicity.
+
+    Unknown attributes are rejected: the provider controls its own output,
+    so any stray attribute is a bug, not extensibility.
+    """
+    known = object_class.known_names()
+    for attr in object_class.required:
+        if not entry.has(attr.name):
+            raise SchemaError(
+                f"{object_class.name}: missing required attribute {attr.name}"
+            )
+    for name, values in entry.items():
+        attr = known.get(name)
+        if attr is None:
+            raise SchemaError(f"{object_class.name}: unknown attribute {name!r}")
+        if len(values) > 1 and not attr.multivalued:
+            raise SchemaError(
+                f"{object_class.name}: attribute {name} is single-valued "
+                f"but has {len(values)} values"
+            )
+        for value in values:
+            attr.check(value)

@@ -1,0 +1,44 @@
+"""Wide-area network substrate.
+
+Models the end-to-end network half of a GridFTP transfer:
+
+* :mod:`repro.net.topology` — sites, links, and routed paths (networkx).
+* :mod:`repro.net.load` — background (cross-traffic) utilization processes:
+  a diurnal cycle, AR(1) noise, and heavy-tailed bursts.  These are what
+  give the synthetic GridFTP series the variability and asymmetric
+  outliers the paper observes (1.5–10.2 MB/s swings on the same link).
+* :mod:`repro.net.tcp` — an analytic TCP throughput model with connection
+  setup, slow start, window-limited steady state, and parallel-stream
+  aggregation.  Slow start is what couples achieved bandwidth to file
+  size (Section 4.3 of the paper), and the small-window single-stream
+  case is what makes the simulated NWS probes slow (Figures 1–2).
+"""
+
+from repro.net.topology import Site, Link, Path, Topology
+from repro.net.load import (
+    LoadModel,
+    ConstantLoad,
+    DiurnalLoad,
+    Ar1Load,
+    BurstLoad,
+    CompositeLoad,
+    standard_link_load,
+)
+from repro.net.tcp import TcpConfig, TcpModel, TransferTiming
+
+__all__ = [
+    "Site",
+    "Link",
+    "Path",
+    "Topology",
+    "LoadModel",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "Ar1Load",
+    "BurstLoad",
+    "CompositeLoad",
+    "standard_link_load",
+    "TcpConfig",
+    "TcpModel",
+    "TransferTiming",
+]

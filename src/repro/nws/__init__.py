@@ -1,0 +1,49 @@
+"""Network Weather Service (NWS) substrate.
+
+The paper contrasts its GridFTP-log approach with the NWS (Wolski, 1998):
+a lightweight monitoring system that probes each path with *small* (64 KB,
+default TCP buffer) transfers at *regular* intervals (every 5 minutes in
+Figures 1–2) and forecasts the series with a battery of simple predictors,
+dynamically selecting whichever has the lowest accumulated error.
+
+We need the NWS for three reproduction targets:
+
+* **Figures 1–2** — probe bandwidth vs GridFTP end-to-end bandwidth on the
+  same simulated links over two weeks.
+* **The dynamic-selection technique** (Section 7 future work) — ported to
+  the GridFTP predictors as :class:`repro.core.predictors.dynamic`.
+* **The hybrid predictor** (Section 7) — regressing sporadic GridFTP
+  observations onto the regular NWS series.
+
+Components: :mod:`repro.nws.series` (timestamped measurement series),
+:mod:`repro.nws.sensor` (the periodic probe process), and
+:mod:`repro.nws.forecaster` (the forecaster battery with MSE-driven
+dynamic selection).
+"""
+
+from repro.nws.series import TimeSeries
+from repro.nws.sensor import NwsSensor, ProbeConfig
+from repro.nws.forecaster import (
+    Forecaster,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    LastValue,
+    ExponentialSmoothing,
+    DynamicForecaster,
+    standard_battery,
+)
+
+__all__ = [
+    "TimeSeries",
+    "NwsSensor",
+    "ProbeConfig",
+    "Forecaster",
+    "RunningMean",
+    "SlidingMean",
+    "SlidingMedian",
+    "LastValue",
+    "ExponentialSmoothing",
+    "DynamicForecaster",
+    "standard_battery",
+]

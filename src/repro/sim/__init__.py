@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal deterministic substrate on which the
+simulated wide-area testbed runs:
+
+* :class:`~repro.sim.engine.Engine` — a priority-queue event scheduler with
+  a floating-point clock measured in Unix epoch seconds.
+* :class:`~repro.sim.process.Process` — generator-based cooperative
+  processes (``yield Delay(dt)``) for long-running activities such as the
+  NWS probe loop or a transfer campaign driver.
+* :class:`~repro.sim.rng.RngStreams` — named, independently seeded
+  ``numpy.random.Generator`` streams so that adding a new source of
+  randomness never perturbs existing ones.
+
+Everything above this layer (network load, TCP, GridFTP, workloads) is
+pure model code that asks the engine for *now* and schedules callbacks.
+"""
+
+from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.process import Delay, Process, Interrupt
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Engine",
+    "Event",
+    "SimulationError",
+    "Process",
+    "Delay",
+    "Interrupt",
+    "RngStreams",
+]

@@ -1,0 +1,90 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+A process is a Python generator that yields :class:`Delay` objects; the
+engine resumes it after the requested simulated time has elapsed.  This is
+the natural way to express long-running loops such as
+
+* the NWS sensor ("probe, sleep 5 minutes, repeat"),
+* the controlled transfer campaign ("transfer, sleep U(1 min, 10 h), repeat").
+
+The implementation is intentionally tiny — no resources, no shared stores —
+because transfers themselves are computed analytically by the TCP model and
+only need a single completion event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+__all__ = ["Delay", "Process", "Interrupt"]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yielded by a process generator to sleep for ``seconds`` of sim time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError(f"negative delay: {self.seconds}")
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when it is interrupted."""
+
+
+class Process:
+    """Drives a generator through the engine.
+
+    Parameters
+    ----------
+    engine:
+        The event engine on which delays are scheduled.
+    generator:
+        A generator yielding :class:`Delay` instances.
+    name:
+        Optional label used in error messages.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator, name: str = "process"):
+        self._engine = engine
+        self._gen = generator
+        self.name = name
+        self.alive = True
+        self._pending_event: Optional[Event] = None
+        # Start on the next engine tick at the current time so that process
+        # creation order, not construction side effects, determines behaviour.
+        self._pending_event = engine.schedule(0.0, self._resume)
+
+    def _resume(self) -> None:
+        self._pending_event = None
+        if not self.alive:
+            return
+        try:
+            item = next(self._gen)
+        except StopIteration:
+            self.alive = False
+            return
+        except Interrupt:
+            self.alive = False
+            return
+        if not isinstance(item, Delay):
+            self.alive = False
+            raise SimulationError(
+                f"{self.name}: processes must yield Delay, got {type(item).__name__}"
+            )
+        self._pending_event = self._engine.schedule(item.seconds, self._resume)
+
+    def interrupt(self) -> None:
+        """Stop the process: cancel its pending wakeup and close the generator."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._gen.close()

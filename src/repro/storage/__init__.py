@@ -1,0 +1,18 @@
+"""Storage-system substrate.
+
+The paper stresses (Section 3) that the end-to-end transfer function
+includes storage devices, which are *less* amenable to law-of-large-numbers
+smoothing than wide-area links: one extra concurrent reader visibly moves a
+disk's rate.  This package supplies:
+
+* :mod:`repro.storage.disk` — a disk model with seek latency, a sustained
+  transfer rate, and explicit contention from concurrently active streams.
+* :mod:`repro.storage.filesystem` — logical volumes (the log's ``Volume``
+  field) holding named files, plus a replica catalog mapping logical file
+  names to the sites that hold copies.
+"""
+
+from repro.storage.disk import Disk, DiskSpec
+from repro.storage.filesystem import LogicalVolume, ReplicaCatalog
+
+__all__ = ["Disk", "DiskSpec", "LogicalVolume", "ReplicaCatalog"]

@@ -1,0 +1,156 @@
+"""The controlled transfer campaign of Section 6.1.
+
+"Logs were generated using controlled GridFTP experiments that were
+performed daily from 6 pm to 8 am CDT, selecting a random file size from
+the set {1M, ..., 1G} and randomly sleeping ... between file transfers",
+with 1 MB TCP buffers and eight parallel streams, for two weeks per data
+set.
+
+One fidelity note, recorded here and in EXPERIMENTS.md: the paper states
+sleeps of "1 minute to 10 hours", yet reports 350–450 transfers per
+two-week log (Figure 7) — impossible with uniform sleeps that long (the
+mean gap would exceed 5 hours, giving < 60 transfers).  We draw sleeps
+log-uniform between ``sleep_min`` and ``sleep_max`` with a default max of
+2 hours, which reproduces Figure 7's transfer counts; the paper's literal
+bounds remain available via the config.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gridftp.transfer import TransferOutcome
+from repro.sim.process import Delay, Process
+from repro.units import DAY, HOUR, MB, MINUTE
+from repro.workload.scenarios import PAPER_SIZES, Testbed
+
+__all__ = ["CampaignConfig", "ControlledCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one controlled campaign over one link."""
+
+    start_epoch: float
+    days: int = 14
+    window_start_hour: float = 18.0   # 6 pm
+    window_end_hour: float = 8.0      # 8 am (next day)
+    sizes: Tuple[int, ...] = PAPER_SIZES
+    sleep_min: float = 1 * MINUTE
+    sleep_max: float = 2 * HOUR
+    streams: int = 8
+    buffer: int = 1 * MB
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError(f"days must be positive, got {self.days}")
+        if not self.sizes:
+            raise ValueError("sizes must be non-empty")
+        if not (0 < self.sleep_min < self.sleep_max):
+            raise ValueError("need 0 < sleep_min < sleep_max")
+        for hour in (self.window_start_hour, self.window_end_hour):
+            if not (0 <= hour < 24):
+                raise ValueError(f"window hours must be in [0, 24), got {hour}")
+        if self.window_start_hour == self.window_end_hour:
+            raise ValueError("window must not be empty")
+        if self.streams <= 0 or self.buffer <= 0:
+            raise ValueError("streams and buffer must be positive")
+
+    @property
+    def end_epoch(self) -> float:
+        return self.start_epoch + self.days * DAY
+
+    def in_window(self, t: float) -> bool:
+        """Is ``t`` inside the daily transfer window?"""
+        hour = (t % DAY) / HOUR
+        start, end = self.window_start_hour, self.window_end_hour
+        if start < end:
+            return start <= hour < end
+        return hour >= start or hour < end  # window spans midnight
+
+    def seconds_until_window(self, t: float) -> float:
+        """Seconds from ``t`` to the next window opening (0 if inside)."""
+        if self.in_window(t):
+            return 0.0
+        hour = (t % DAY) / HOUR
+        delta_hours = (self.window_start_hour - hour) % 24.0
+        return delta_hours * HOUR
+
+
+class ControlledCampaign:
+    """Drives one client pulling files from one server on a schedule.
+
+    Runs as a simulation process; collected outcomes (and the server's
+    log) are available after the engine has run past ``config.end_epoch``.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        server_site: str,
+        client_site: str,
+        config: CampaignConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if server_site == client_site:
+            raise ValueError("campaign needs two distinct sites")
+        self.testbed = testbed
+        self.server = testbed.servers[server_site]
+        self.client = testbed.clients[client_site]
+        self.config = config
+        self._rng = rng if rng is not None else testbed.streams.get(
+            f"campaign:{server_site}->{client_site}"
+        )
+        self.outcomes: List[TransferOutcome] = []
+        self._process: Optional[Process] = None
+
+    @property
+    def link_name(self) -> str:
+        return f"{self.server.site.name}-{self.client.site.name}"
+
+    def start(self) -> Process:
+        if self._process is not None and self._process.alive:
+            raise RuntimeError("campaign already running")
+        self._process = Process(
+            self.testbed.engine, self._run(), name=f"campaign:{self.link_name}"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.interrupt()
+            self._process = None
+
+    # ------------------------------------------------------------------
+    # the schedule
+    # ------------------------------------------------------------------
+    def _draw_size(self) -> int:
+        return int(self._rng.choice(self.config.sizes))
+
+    def _draw_sleep(self) -> float:
+        """Log-uniform sleep in [sleep_min, sleep_max]."""
+        lo, hi = math.log(self.config.sleep_min), math.log(self.config.sleep_max)
+        return float(math.exp(self._rng.uniform(lo, hi)))
+
+    def _run(self) -> Generator[Delay, None, None]:
+        cfg = self.config
+        engine = self.testbed.engine
+        if engine.now < cfg.start_epoch:
+            yield Delay(cfg.start_epoch - engine.now)
+        while engine.now < cfg.end_epoch:
+            wait = cfg.seconds_until_window(engine.now)
+            if wait > 0:
+                yield Delay(wait)
+                continue
+            size = self._draw_size()
+            path = self.testbed.data_path(size)
+            outcome = self.client.get(
+                self.server, path, streams=cfg.streams, buffer=cfg.buffer
+            )
+            self.outcomes.append(outcome)
+            yield Delay(outcome.duration)
+            yield Delay(self._draw_sleep())

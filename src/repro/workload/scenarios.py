@@ -1,0 +1,129 @@
+"""The three-site testbed of Section 6.
+
+Sites: Argonne (ANL, where the client pulling data lives), the USC
+Information Sciences Institute (ISI), and Lawrence Berkeley National
+Laboratory (LBL).  The measured links are LBL->ANL and ISI->ANL.
+
+Link parameters are OC-3-class (155 Mb/s, ~19.4 MB/s raw) with RTTs in the
+ranges one measured on ESnet circa 2001 (ANL-LBL ~55 ms, ANL-ISI ~65 ms).
+Each link carries an independent background-load process (diurnal + AR(1)
+noise + bursts); the load means differ slightly so the two links are
+distinguishable, as Figures 1 vs 2 are.
+
+Every server exports a ``/home/ftp`` volume pre-populated with the
+thirteen standard file sizes of Section 6.1 under ``/home/ftp/data/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.server import GridFTPServer
+from repro.gridftp.transfer import TransferEngine
+from repro.net.load import standard_link_load
+from repro.net.tcp import TcpModel
+from repro.net.topology import Link, Site, Topology
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.storage.disk import Disk, DiskSpec
+from repro.storage.filesystem import LogicalVolume
+from repro.units import GB, MB, fmt_size, mbps_network_to_bytes_per_sec
+
+__all__ = ["AUG_2001", "DEC_2001", "PAPER_SIZES", "Testbed", "build_testbed"]
+
+#: 2001-08-01 00:00:00 UTC and 2001-12-01 00:00:00 UTC.
+AUG_2001 = 996_624_000.0
+DEC_2001 = 1_007_164_800.0
+
+#: The thirteen file sizes of Section 6.1: {1M ... 1G}.
+PAPER_SIZES: Tuple[int, ...] = (
+    1 * MB, 2 * MB, 5 * MB, 10 * MB, 25 * MB,
+    50 * MB, 100 * MB, 150 * MB, 250 * MB, 400 * MB,
+    500 * MB, 750 * MB, 1 * GB,
+)
+
+_SITE_SPECS = (
+    # name, domain, address, hostname
+    ("ANL", "anl.gov", "140.221.65.69", "pitcairn.mcs.anl.gov"),
+    ("ISI", "isi.edu", "128.9.160.50", "jet.isi.edu"),
+    ("LBL", "lbl.gov", "131.243.2.91", "dpsslx04.lbl.gov"),
+)
+
+_LINK_SPECS = (
+    # a, b, capacity (Mb/s), rtt (s), load mean, diurnal amplitude
+    ("ANL", "LBL", 155.0, 0.055, 0.42, 0.20),
+    ("ANL", "ISI", 155.0, 0.065, 0.50, 0.24),
+)
+
+
+@dataclass
+class Testbed:
+    """Everything a campaign needs, wired together."""
+
+    engine: Engine
+    streams: RngStreams
+    topology: Topology
+    sites: Dict[str, Site] = field(default_factory=dict)
+    servers: Dict[str, GridFTPServer] = field(default_factory=dict)
+    clients: Dict[str, GridFTPClient] = field(default_factory=dict)
+    disks: Dict[str, Disk] = field(default_factory=dict)
+
+    def data_path(self, size: int) -> str:
+        """Path of the standard file of ``size`` bytes on every server."""
+        return f"/home/ftp/data/{fmt_size(size)}"
+
+
+def build_testbed(seed: int = 0, start_time: float = AUG_2001) -> Testbed:
+    """Construct the three-site testbed, deterministically from ``seed``."""
+    engine = Engine(start_time=start_time)
+    # Fork by start epoch so campaigns at different dates (August vs
+    # December) are distinct datasets, not replays of the same draws.
+    streams = RngStreams(seed=seed).fork(f"start:{start_time:.0f}")
+    topology = Topology()
+    bed = Testbed(engine=engine, streams=streams, topology=topology)
+
+    for name, domain, address, hostname in _SITE_SPECS:
+        site = Site(name=name, domain=domain, address=address, hostname=hostname)
+        topology.add_site(site)
+        bed.sites[name] = site
+
+    for a, b, mbps, rtt, mean, amplitude in _LINK_SPECS:
+        load = standard_link_load(
+            streams.get(f"load:{a}-{b}"),
+            t0=start_time,
+            mean=mean,
+            diurnal_amplitude=amplitude,
+        )
+        topology.add_link(
+            Link(
+                a=a,
+                b=b,
+                capacity=mbps_network_to_bytes_per_sec(mbps),
+                rtt=rtt,
+                load=load,
+            )
+        )
+
+    tcp = TcpModel()
+    for name in bed.sites:
+        site = bed.sites[name]
+        disk = Disk(name=f"{name.lower()}-array", spec=DiskSpec())
+        bed.disks[name] = disk
+        volume = LogicalVolume(root="/home/ftp", disk=disk)
+        for size in PAPER_SIZES:
+            volume.add_file(f"data/{fmt_size(size)}", size)
+        transfer_engine = TransferEngine(
+            tcp=tcp, rng=streams.get(f"transfer:{name}")
+        )
+        bed.servers[name] = GridFTPServer(
+            site=site,
+            engine=engine,
+            topology=topology,
+            volumes=[volume],
+            transfer_engine=transfer_engine,
+            port=61_000,
+        )
+        bed.clients[name] = GridFTPClient(site=site, disk=disk, engine=engine)
+    return bed

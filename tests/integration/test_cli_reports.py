@@ -1,0 +1,63 @@
+"""CLI report commands end to end.
+
+Each report regenerates its campaign internally; we run the fast-enough
+ones and check the printed artifacts carry the expected structure.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    rc = main(list(argv))
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+def test_report_summary(capsys):
+    out = run(capsys, "report", "summary", "--seed", "1")
+    assert "Section 6.2 claims — LBL-ANL" in out
+    assert "Section 6.2 claims — ISI-ANL" in out
+    assert "[ok]" in out and "[FAIL]" not in out
+
+
+def test_report_errors_single_class_single_link(capsys):
+    out = run(capsys, "report", "errors", "--link", "LBL-ANL",
+              "--class", "1GB", "--seed", "1")
+    assert "Figure 11 analogue — LBL-ANL, 1GB range" in out
+    assert "AVG25hr" in out
+    assert "Figure 8" not in out  # class restriction respected
+
+
+def test_report_errors_all_classes(capsys):
+    out = run(capsys, "report", "errors", "--link", "ISI-ANL", "--seed", "1")
+    for figure in ("Figure 8", "Figure 9", "Figure 10", "Figure 11"):
+        assert figure in out
+
+
+def test_report_classification(capsys):
+    out = run(capsys, "report", "classification", "--link", "LBL-ANL",
+              "--seed", "1")
+    assert "Figure 12 analogue" in out
+    assert "mean reduction" in out
+
+
+def test_report_relative(capsys):
+    out = run(capsys, "report", "relative", "--link", "ISI-ANL",
+              "--class", "500MB", "--seed", "1")
+    assert "Figure 16 analogue" in out
+    assert "best %" in out
+
+
+def test_report_nws(capsys):
+    out = run(capsys, "report", "nws", "--link", "LBL-ANL", "--seed", "1")
+    assert "Figure 1/2 analogue — LBL-ANL" in out
+    assert "NWS probe" in out
+
+
+@pytest.mark.slow
+def test_report_census(capsys):
+    out = run(capsys, "report", "census", "--seed", "1")
+    assert "Figure 7 analogue" in out
+    assert "August" in out and "December" in out

@@ -1,0 +1,121 @@
+"""Concurrent transfers: contention is visible end to end.
+
+Section 3's motivation for whole-system measurement: storage systems are
+not statistically smooth — "no longer does one additional flow or task
+have an insignificant effect".  These tests check that concurrency
+actually propagates into the measured bandwidths.
+"""
+
+from repro.sim import Delay, Process
+from repro.units import MB
+from repro.workload import AUG_2001, build_testbed
+
+
+def fetch_concurrently(n_clients, seed=17, size=500 * MB):
+    """n other ANL-side pulls overlap a measured LBL->ANL transfer."""
+    bed = build_testbed(seed=seed, start_time=AUG_2001)
+    client = bed.clients["ANL"]
+    server = bed.servers["LBL"]
+    path = bed.data_path(size)
+
+    # Start n background transfers at t0 (they acquire the disks)...
+    background = [
+        client.get(server, path, streams=8, buffer=1 * MB) for _ in range(n_clients)
+    ]
+    # ...then the measured transfer while they are in flight.
+    measured = client.get(server, path, streams=8, buffer=1 * MB)
+    bed.engine.run(until=max(o.end_time for o in background + [measured]) + 1)
+    return measured.bandwidth
+
+
+class TestDiskContention:
+    def test_more_concurrency_lower_bandwidth(self):
+        solo = fetch_concurrently(0)
+        crowded = fetch_concurrently(6)
+        assert crowded < solo
+
+    def test_single_extra_flow_has_visible_effect(self):
+        """The paper's 'no law of large numbers' point, literally."""
+        solo = fetch_concurrently(0)
+        one_more = fetch_concurrently(1)
+        assert one_more < solo * 0.999  # measurably lower, not noise-level
+
+
+class TestInterleavedCampaignsShareState:
+    def test_cross_link_contention_through_shared_client_disk(self):
+        """Both campaigns pull to the same ANL host; a transfer on one link
+        overlapping a transfer on the other shares the ANL disk."""
+        bed = build_testbed(seed=23, start_time=AUG_2001)
+        client = bed.clients["ANL"]
+        lbl, isi = bed.servers["LBL"], bed.servers["ISI"]
+        path = bed.data_path(1000 * MB)
+
+        alone = client.get(lbl, path, streams=8, buffer=1 * MB)
+        bed.engine.run(until=alone.end_time + 1)
+
+        # Saturate the ANL disk via many ISI pulls, then re-measure LBL.
+        for _ in range(8):
+            client.get(isi, path, streams=8, buffer=1 * MB)
+        crowded = client.get(lbl, path, streams=8, buffer=1 * MB)
+        assert crowded.bandwidth < alone.bandwidth
+
+    def test_overlapping_processes_interleave_deterministically(self):
+        """Two processes issuing transfers concurrently produce identical
+        logs across runs — concurrency does not break determinism."""
+
+        def run_once():
+            bed = build_testbed(seed=31, start_time=AUG_2001)
+            client = bed.clients["ANL"]
+
+            def puller(server_name, period):
+                def proc():
+                    for _ in range(5):
+                        outcome = client.get(
+                            bed.servers[server_name],
+                            bed.data_path(100 * MB),
+                            streams=8,
+                            buffer=1 * MB,
+                        )
+                        yield Delay(outcome.duration + period)
+                return proc
+
+            Process(bed.engine, puller("LBL", 120.0)())
+            Process(bed.engine, puller("ISI", 90.0)())
+            bed.engine.run(until=AUG_2001 + 3600 * 6)
+            return [
+                (r.source_ip, r.end_time, r.bandwidth)
+                for name in ("LBL", "ISI")
+                for r in bed.servers[name].monitor.log.records()
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestOpenWorkloadConcurrency:
+    def test_poisson_requests_can_overlap(self):
+        """Open workload fires without waiting for completion; overlapping
+        requests raise the ANL disk's concurrent count above 1."""
+        bed = build_testbed(seed=29, start_time=AUG_2001)
+        client = bed.clients["ANL"]
+        server = bed.servers["LBL"]
+        peak = {"active": 0}
+
+        def handler(name, now):
+            client.get(server, bed.data_path(1000 * MB), streams=8, buffer=1 * MB)
+            peak["active"] = max(peak["active"], bed.disks["ANL"].active)
+
+        from repro.workload import OpenWorkload, OpenWorkloadConfig
+        from repro.units import HOUR
+
+        workload = OpenWorkload(
+            bed,
+            OpenWorkloadConfig(
+                mean_interarrival=30.0,  # far shorter than a 1 GB transfer
+                duration=2 * HOUR,
+                logical_names=("lfn://x",),
+            ),
+            handler,
+        )
+        workload.start()
+        bed.engine.run(until=AUG_2001 + 3 * HOUR)
+        assert peak["active"] >= 2

@@ -1,0 +1,130 @@
+"""Failure injection: the system degrades loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReplicaBroker, evaluate
+from repro.core.predictors import classified_predictors, paper_predictors
+from repro.gridftp import (
+    AuthenticationError,
+    Credential,
+    FileNotFoundOnServer,
+    TransferError,
+)
+from repro.logs import TransferLog, ULMError
+from repro.storage import ReplicaCatalog
+from repro.units import MB
+
+
+class TestAuthFailures:
+    def test_revoked_credential_blocks_all_operations(self, testbed):
+        client = testbed.clients["ANL"]
+        client.credential = Credential(subject=client.credential.subject,
+                                       valid=False)
+        server = testbed.servers["LBL"]
+        for op in (
+            lambda: client.get(server, testbed.data_path(10 * MB)),
+            lambda: client.put(server, "/home/ftp/x", 10),
+            lambda: client.partial_get(server, testbed.data_path(10 * MB), 0, 5),
+        ):
+            with pytest.raises(AuthenticationError):
+                op()
+        assert len(server.monitor.log) == 0  # nothing leaked into the log
+
+    def test_grid_map_lockout_is_per_server(self, testbed):
+        lbl = testbed.servers["LBL"]
+        lbl.grid_map = {"/O=Grid/CN=someone-else"}
+        client = testbed.clients["ANL"]
+        with pytest.raises(AuthenticationError):
+            client.get(lbl, testbed.data_path(10 * MB))
+        # Other servers unaffected.
+        client.get(testbed.servers["ISI"], testbed.data_path(10 * MB))
+
+
+class TestMissingData:
+    def test_missing_file_fails_without_log_entry(self, testbed):
+        server = testbed.servers["LBL"]
+        before = len(server.monitor.log)
+        with pytest.raises(FileNotFoundOnServer):
+            testbed.clients["ANL"].get(server, "/home/ftp/data/13G")
+        assert len(server.monitor.log) == before
+
+    def test_partial_read_past_eof_rejected(self, testbed):
+        client = testbed.clients["ANL"]
+        server = testbed.servers["LBL"]
+        path = testbed.data_path(10 * MB)
+        with pytest.raises(TransferError):
+            client.partial_get(server, path, offset=9 * MB, length=2 * MB)
+
+
+class TestCorruptLogs:
+    def test_truncated_line_reported_with_line_number(self, tmp_path,
+                                                      short_campaign_output):
+        path = tmp_path / "log.ulm"
+        short_campaign_output.log.save(path)
+        text = path.read_text().splitlines()
+        text[3] = text[3][: len(text[3]) // 2]  # chop a line mid-field
+        path.write_text("\n".join(text))
+        with pytest.raises(ULMError, match="line 4"):
+            TransferLog.load(path)
+
+    def test_tampered_values_rejected(self, tmp_path, short_campaign_output):
+        path = tmp_path / "log.ulm"
+        short_campaign_output.log.save(path)
+        import re
+
+        text = re.sub(r"GFTP\.BW=[\d.e+-]+", "GFTP.BW=-1.0",
+                      path.read_text(), count=1)
+        path.write_text(text)
+        with pytest.raises(ULMError):
+            TransferLog.load(path)
+
+
+class TestDegenerateEvaluation:
+    def test_all_abstaining_predictor_yields_empty_trace(self, sample_records):
+        """A temporal window far narrower than the sampling gap abstains on
+        every prediction; the result reports that, not a crash."""
+        from repro.core.predictors import TemporalAverage
+
+        # sample_records are 2 hours apart; a 6-minute window is always empty.
+        predictor = TemporalAverage(hours=0.1)
+        result = evaluate(sample_records, {"never": predictor})
+        assert len(result["never"]) == 0
+        assert result["never"].abstentions == len(sample_records) - 15
+        assert np.isnan(result["never"].mean_abs_pct_error())
+
+    def test_broker_with_empty_catalog_site_logs(self):
+        catalog = ReplicaCatalog()
+        catalog.register("f", "LBL", 100)
+        broker = ReplicaBroker(catalog, {}, paper_predictors()["AVG"])
+        ranked = broker.rank("f", "1.2.3.4", now=0.0)
+        assert ranked[0].predicted_bandwidth is None
+
+    def test_classified_battery_on_single_class_log(self, record_factory):
+        """A log with only 1GB transfers: other classes' predictions
+        abstain (classified mode) rather than fabricate."""
+        records = [
+            record_factory(start=1000.0 * (i + 1), size=900 * MB)
+            for i in range(20)
+        ]
+        result = evaluate(records, classified_predictors())
+        assert len(result["C-AVG"]) == 5  # all 1GB targets predicted
+        assert result["C-AVG"].abstentions == 0
+
+
+class TestEngineMisuse:
+    def test_exception_in_event_propagates_and_engine_recovers(self):
+        from repro.sim import Engine
+
+        eng = Engine()
+
+        def boom():
+            raise RuntimeError("injected")
+
+        eng.schedule(1.0, boom)
+        eng.schedule(2.0, lambda: None)
+        with pytest.raises(RuntimeError, match="injected"):
+            eng.run()
+        # The failed event is consumed; the engine continues.
+        eng.run()
+        assert eng.now == 2.0

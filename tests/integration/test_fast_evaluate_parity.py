@@ -1,0 +1,87 @@
+"""Parity: the vectorized evaluator equals the generic one, exactly.
+
+Every one of the 30 traces (15 plain + 15 classified) must agree with the
+generic walk on which predictions were made (indices, abstentions) and on
+the predicted values to floating-point tolerance, on a real campaign log.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate, fast_evaluate
+from repro.core.predictors import classified_predictors, paper_predictors
+
+
+@pytest.fixture(scope="module")
+def both_results(august_outputs):
+    records = august_outputs["LBL-ANL"].log.records()
+    generic = evaluate(
+        records, {**paper_predictors(), **classified_predictors()}, training=15
+    )
+    fast = fast_evaluate(records, training=15)
+    return generic, fast
+
+
+def test_same_trace_names(both_results):
+    generic, fast = both_results
+    assert set(generic.names()) == set(fast.names())
+
+
+@pytest.mark.parametrize("name", [
+    "AVG", "LV", "AVG5", "AVG15", "AVG25",
+    "MED", "MED5", "MED15", "MED25",
+    "AVG5hr", "AVG15hr", "AVG25hr",
+    "AR", "AR5d", "AR10d",
+])
+def test_plain_predictor_parity(both_results, name):
+    generic, fast = both_results
+    g, f = generic[name], fast[name]
+    assert list(g.indices) == list(f.indices), name
+    assert g.abstentions == f.abstentions, name
+    np.testing.assert_allclose(f.predicted, g.predicted, rtol=1e-9)
+    np.testing.assert_array_equal(f.actual, g.actual)
+    np.testing.assert_array_equal(f.sizes, g.sizes)
+    np.testing.assert_array_equal(f.times, g.times)
+
+
+@pytest.mark.parametrize("name", [f"C-{n}" for n in (
+    "AVG", "LV", "AVG5", "AVG15", "AVG25",
+    "MED", "MED5", "MED15", "MED25",
+    "AVG5hr", "AVG15hr", "AVG25hr",
+    "AR", "AR5d", "AR10d",
+)])
+def test_classified_predictor_parity(both_results, name):
+    generic, fast = both_results
+    g, f = generic[name], fast[name]
+    assert list(g.indices) == list(f.indices), name
+    assert g.abstentions == f.abstentions, name
+    np.testing.assert_allclose(f.predicted, g.predicted, rtol=1e-9)
+
+
+def test_mape_tables_agree(both_results):
+    from repro.core import paper_classification
+
+    generic, fast = both_results
+    cls = paper_classification()
+    for label in cls.labels:
+        g_table = generic.mape_table(cls, label)
+        f_table = fast.mape_table(cls, label)
+        for name, g_value in g_table.items():
+            f_value = f_table[name]
+            if g_value != g_value:
+                assert f_value != f_value, (label, name)
+            else:
+                assert f_value == pytest.approx(g_value, rel=1e-9), (label, name)
+
+
+def test_unclassified_only_mode(august_outputs):
+    records = august_outputs["ISI-ANL"].log.records()
+    fast = fast_evaluate(records, classified=False)
+    assert len(fast.names()) == 15
+    assert not any(n.startswith("C-") for n in fast.names())
+
+
+def test_validation(august_outputs):
+    records = august_outputs["ISI-ANL"].log.records()
+    with pytest.raises(ValueError):
+        fast_evaluate(records, training=0)

@@ -1,0 +1,39 @@
+"""Integration: campaign logs survive the full ULM persistence cycle."""
+
+from repro.core import evaluate
+from repro.core.predictors import paper_predictors
+from repro.logs import TransferLog
+
+
+def test_full_campaign_log_roundtrip(short_campaign_output, tmp_path):
+    log = short_campaign_output.log
+    path = tmp_path / "campaign.ulm"
+    written = log.save(path)
+    assert written == len(log)
+    loaded = TransferLog.load(path)
+    assert loaded.records() == log.records()
+
+
+def test_evaluation_identical_on_reloaded_log(short_campaign_output, tmp_path):
+    """Predictions from a reloaded log are bit-identical: the ULM format
+    loses nothing the predictors consume."""
+    log = short_campaign_output.log
+    path = tmp_path / "campaign.ulm"
+    log.save(path)
+    reloaded = TransferLog.load(path)
+
+    battery = {"AVG15": paper_predictors()["AVG15"]}
+    a = evaluate(log.records(), battery)
+    b = evaluate(reloaded.records(), battery)
+    assert list(a["AVG15"].predicted) == list(b["AVG15"].predicted)
+
+
+def test_ulm_file_is_line_oriented_text(short_campaign_output, tmp_path):
+    path = tmp_path / "campaign.ulm"
+    short_campaign_output.log.save(path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(short_campaign_output.log)
+    for line in lines[:10]:
+        assert line.startswith("DATE=")
+        assert "PROG=gridftp" in line
+        assert len(line.encode()) < 512  # the paper's size bound

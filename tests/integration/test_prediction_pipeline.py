@@ -1,0 +1,122 @@
+"""Integration: logs -> predictors -> evaluation -> paper claims."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_summary_claims,
+    compute_class_errors,
+    compute_classification_impact,
+    compute_relative_table,
+)
+from repro.core import evaluate, paper_classification
+from repro.core.predictors import (
+    DynamicSelector,
+    classified_predictors,
+    paper_predictors,
+)
+from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
+
+
+@pytest.fixture(scope="module")
+def class_errors(august_outputs):
+    return {
+        link: compute_class_errors(link, output.log.records())
+        for link, output in august_outputs.items()
+    }
+
+
+class TestSection62Claims:
+    def test_all_claims_hold_both_links(self, class_errors):
+        for link, errors in class_errors.items():
+            claims = check_summary_claims(errors)
+            assert claims.all_hold(), (link, claims)
+
+    def test_classified_errors_in_paper_band_for_large_classes(self, class_errors):
+        """'Even simple techniques are at worst off by about 25%.'"""
+        for errors in class_errors.values():
+            for label in ("100MB", "500MB", "1GB"):
+                for name in PAPER_PREDICTOR_NAMES:
+                    assert errors.classified[label][name] < 55.0
+
+    def test_classification_gain_in_5_to_10_percent_zone(self, class_errors):
+        """Paper: 5-10% average improvement (large classes; small-class
+        gains are far larger and excluded)."""
+        gains = [
+            compute_classification_impact(errors).mean_improvement(exclude_small=True)
+            for errors in class_errors.values()
+        ]
+        assert all(g > 0 for g in gains)
+        assert np.mean(gains) == pytest.approx(6.0, abs=5.0)
+
+    def test_small_class_gain_dominates(self, class_errors):
+        for errors in class_errors.values():
+            impact = compute_classification_impact(errors)
+            small_gain = (
+                impact.per_class["AVG"]["10MB"][1] - impact.per_class["AVG"]["10MB"][0]
+            )
+            large_gain = (
+                impact.per_class["AVG"]["1GB"][1] - impact.per_class["AVG"]["1GB"][0]
+            )
+            assert small_gain > large_gain
+
+
+class TestRelativePerformance:
+    def test_every_class_has_competitions(self, class_errors):
+        cls = paper_classification()
+        for link, errors in class_errors.items():
+            table = compute_relative_table(
+                link, errors.result,
+                predictor_names=tuple(f"C-{n}" for n in PAPER_PREDICTOR_NAMES),
+            )
+            for label in cls.labels:
+                assert table.per_class[label].compared > 10, (link, label)
+
+    def test_best_and_worst_spread_across_battery(self, class_errors):
+        """No single predictor dominates: the paper's 'improvement nullified'
+        observation implies best% is spread around."""
+        for link, errors in class_errors.items():
+            table = compute_relative_table(
+                link, errors.result,
+                predictor_names=tuple(f"C-{n}" for n in PAPER_PREDICTOR_NAMES),
+            )
+            perf = table.per_class["1GB"]
+            top = max(perf.best_pct(n) for n in table.predictor_names)
+            assert top < 80.0  # nobody wins everything
+
+
+class TestDynamicSelection:
+    def test_dynamic_selector_competitive_with_battery(self, august_outputs):
+        """The NWS-style extension: dynamic selection should land near the
+        best fixed member, and never catastrophically off."""
+        records = august_outputs["LBL-ANL"].log.records()
+        members = {
+            name: predictor
+            for name, predictor in paper_predictors().items()
+            if name in ("AVG", "AVG15", "MED15", "LV")
+        }
+        battery = dict(members)
+        battery["DYN"] = DynamicSelector(list(members.values()))
+        result = evaluate(records, battery)
+        table = result.mape_table()
+        best_member = min(table[n] for n in members)
+        worst_member = max(table[n] for n in members)
+        assert table["DYN"] <= worst_member + 1.0
+        assert table["DYN"] <= best_member * 1.5
+
+
+class TestTrainingPrefix:
+    def test_varying_training_prefix(self, august_outputs):
+        records = august_outputs["ISI-ANL"].log.records()
+        short = evaluate(records, {"AVG15": paper_predictors()["AVG15"]}, training=5)
+        default = evaluate(records, {"AVG15": paper_predictors()["AVG15"]}, training=15)
+        assert len(short["AVG15"]) == len(default["AVG15"]) + 10
+
+    def test_classified_battery_abstains_early_not_late(self, august_outputs):
+        records = august_outputs["ISI-ANL"].log.records()
+        result = evaluate(records, classified_predictors())
+        # With ~450 mixed-size records, every class fills up quickly:
+        # abstentions happen, but only on a small fraction of predictions.
+        for name, trace in result.traces.items():
+            total = len(trace) + trace.abstentions
+            assert trace.abstentions <= total * 0.2, name

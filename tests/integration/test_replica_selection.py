@@ -1,0 +1,62 @@
+"""Integration: the replica-selection use case end to end.
+
+Two sites hold a replica; the LBL-ANL path is systematically less loaded
+than the ISI-ANL path (testbed construction), so a broker fed each site's
+transfer log should prefer LBL most of the time, and its choices should
+beat always picking the slower site.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ReplicaBroker
+from repro.core.predictors import classified_predictors, paper_predictors
+from repro.storage import ReplicaCatalog
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def broker_setup(august_outputs):
+    catalog = ReplicaCatalog()
+    logs = {}
+    for output in august_outputs.values():
+        catalog.register("lfn://physics/run42", output.server_site, 1 * GB)
+        logs[output.server_site] = output.log
+    client = "140.221.65.69"  # the ANL client both campaigns used
+    return catalog, logs, client
+
+
+def test_broker_ranks_both_sites(broker_setup):
+    catalog, logs, client = broker_setup
+    broker = ReplicaBroker(catalog, logs, paper_predictors()["AVG15"])
+    ranked = broker.rank("lfn://physics/run42", client, now=2e9)
+    assert len(ranked) == 2
+    assert all(r.predicted_bandwidth is not None for r in ranked)
+
+
+def test_broker_prefers_faster_link_on_average(broker_setup, august_outputs):
+    catalog, logs, client = broker_setup
+    broker = ReplicaBroker(catalog, logs, classified_predictors()["C-AVG15"])
+    choice = broker.select("lfn://physics/run42", client, now=2e9)
+    means = {
+        output.server_site: np.mean([r.bandwidth for r in output.log.records()])
+        for output in august_outputs.values()
+    }
+    truly_faster = max(means, key=means.get)
+    assert choice.site == truly_faster
+
+
+def test_predicted_bandwidths_plausible(broker_setup):
+    catalog, logs, client = broker_setup
+    broker = ReplicaBroker(catalog, logs, classified_predictors()["C-AVG"])
+    for ranked in broker.rank("lfn://physics/run42", client, now=2e9):
+        assert 1e6 < ranked.predicted_bandwidth < 20e6
+
+
+def test_estimated_transfer_time_consistent(broker_setup):
+    catalog, logs, client = broker_setup
+    broker = ReplicaBroker(catalog, logs, paper_predictors()["AVG"])
+    best = broker.select("lfn://physics/run42", client, now=2e9)
+    eta = best.estimated_time(1 * GB)
+    assert eta == pytest.approx(1 * GB / best.predicted_bandwidth)
+    assert 30 < eta < 1000  # gigabyte over a loaded OC-3: O(minutes)

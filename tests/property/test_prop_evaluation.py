@@ -1,0 +1,52 @@
+"""Property tests: evaluation accounting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate, paper_classification
+from repro.core.predictors import LastValue, TotalAverage
+from tests.property.test_prop_predictors import histories
+
+
+@given(history=histories(min_size=6, max_size=40),
+       training=st.integers(min_value=1, max_value=5))
+@settings(max_examples=100)
+def test_predictions_plus_abstentions_cover_the_walk(history, training):
+    result = evaluate(history, {"AVG": TotalAverage(), "LV": LastValue()},
+                      training=training)
+    expected = max(0, len(history) - training)
+    for trace in result.traces.values():
+        assert len(trace) + trace.abstentions == expected
+
+
+@given(history=histories(min_size=6, max_size=40))
+@settings(max_examples=100)
+def test_lv_trace_reproduces_shifted_series(history):
+    result = evaluate(history, {"LV": LastValue()}, training=1)
+    trace = result["LV"]
+    assert list(trace.predicted) == list(history.values[:-1])
+    assert list(trace.actual) == list(history.values[1:])
+
+
+@given(history=histories(min_size=6, max_size=40))
+@settings(max_examples=100)
+def test_class_masks_partition_each_trace(history):
+    cls = paper_classification()
+    result = evaluate(history, {"AVG": TotalAverage()}, training=2)
+    trace = result["AVG"]
+    masks = [trace.class_mask(cls, label) for label in cls.labels]
+    stacked = np.vstack(masks) if len(trace) else np.zeros((4, 0), dtype=bool)
+    assert (stacked.sum(axis=0) == 1).all()
+
+
+@given(history=histories(min_size=6, max_size=40))
+@settings(max_examples=100)
+def test_pct_errors_nonnegative_and_consistent(history):
+    result = evaluate(history, {"AVG": TotalAverage()}, training=2)
+    trace = result["AVG"]
+    errors = trace.pct_errors
+    assert (errors >= 0).all()
+    if len(trace):
+        recomputed = abs(trace.actual[0] - trace.predicted[0]) / trace.actual[0] * 100
+        assert errors[0] == recomputed

@@ -1,0 +1,75 @@
+"""Property tests: History views and classification partition laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Classification, paper_classification
+from repro.units import GB, MB
+from tests.property.test_prop_predictors import histories
+
+
+@given(history=histories())
+@settings(max_examples=100)
+def test_classes_partition_every_history(history):
+    """of_class over all labels is a partition: lengths sum, no overlap."""
+    cls = paper_classification()
+    total = sum(len(history.of_class(cls, label)) for label in cls.labels)
+    assert total == len(history)
+
+
+@given(history=histories(), n=st.integers(min_value=1, max_value=80))
+@settings(max_examples=100)
+def test_last_n_is_a_suffix(history, n):
+    suffix = history.last(n)
+    k = min(n, len(history))
+    assert len(suffix) == k
+    assert list(suffix.values) == list(history.values[-k:])
+
+
+@given(history=histories(), t=st.floats(min_value=0, max_value=1e7, allow_nan=False))
+@settings(max_examples=100)
+def test_since_keeps_exactly_late_observations(history, t):
+    window = history.since(t)
+    assert len(window) == int(np.sum(history.times >= t))
+    if len(window):
+        assert window.times[0] >= t
+
+
+@given(history=histories(), k=st.integers(min_value=0, max_value=80))
+@settings(max_examples=100)
+def test_prefix_plus_remainder_is_identity(history, k):
+    k = min(k, len(history))
+    prefix = history.prefix(k)
+    assert list(prefix.values) + list(history.values[k:]) == list(history.values)
+
+
+@given(size=st.integers(min_value=1, max_value=10 * GB))
+@settings(max_examples=200)
+def test_classify_assigns_exactly_one_class(size):
+    cls = paper_classification()
+    label = cls.classify(size)
+    lo, hi = cls.bounds(label)
+    assert lo <= size < hi
+    # No other class contains it.
+    others = [l for l in cls.labels if l != label]
+    for other in others:
+        lo2, hi2 = cls.bounds(other)
+        assert not (lo2 <= size < hi2)
+
+
+@given(
+    edges=st.lists(
+        st.integers(min_value=1 * MB, max_value=5 * GB),
+        min_size=1, max_size=5, unique=True,
+    ).map(sorted),
+    size=st.integers(min_value=1, max_value=10 * GB),
+)
+@settings(max_examples=150)
+def test_custom_classifications_cover_all_sizes(edges, size):
+    labels = tuple(f"c{i}" for i in range(len(edges) + 1))
+    cls = Classification(edges=tuple(edges), labels=labels)
+    label = cls.classify(size)
+    assert label in labels
+    lo, hi = cls.bounds(label)
+    assert lo <= size < hi

@@ -1,0 +1,60 @@
+"""Property tests: LDIF round-trips and filter algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mds import Entry, format_entries, parse_ldif, parse_filter
+
+attr_names = st.from_regex(r"[a-z][a-z0-9]{0,15}", fullmatch=True).filter(
+    lambda s: s != "dn"
+)
+# Values: any printable ASCII plus some unicode; LDIF must base64 when needed.
+attr_values = st.text(min_size=0, max_size=40).filter(
+    lambda s: "\n" not in s and "\r" not in s
+)
+
+entries = st.builds(
+    lambda dn_suffix, attrs: Entry(
+        f"cn={dn_suffix},o=grid",
+        {name: values for name, values in attrs.items()},
+    ),
+    dn_suffix=st.from_regex(r"[a-z0-9.]{1,12}", fullmatch=True),
+    attrs=st.dictionaries(
+        attr_names,
+        st.lists(attr_values, min_size=1, max_size=3),
+        max_size=6,
+    ),
+)
+
+
+@given(entry_list=st.lists(entries, max_size=5))
+@settings(max_examples=150)
+def test_ldif_roundtrip(entry_list):
+    assert parse_ldif(format_entries(entry_list)) == entry_list
+
+
+@given(entry=entries)
+@settings(max_examples=100)
+def test_presence_filter_matches_iff_attribute_exists(entry):
+    for name in entry.attribute_names():
+        assert parse_filter(f"({name}=*)").matches(entry)
+    assert not parse_filter("(zzzabsent=*)").matches(entry)
+
+
+@given(entry=entries)
+@settings(max_examples=100)
+def test_not_is_involutive(entry):
+    f = parse_filter("(&(cn=*)(!(zzzabsent=*)))")
+    double = parse_filter("(!(!(cn=*)))")
+    assert double.matches(entry) == parse_filter("(cn=*)").matches(entry)
+    assert f.matches(entry) == parse_filter("(cn=*)").matches(entry)
+
+
+@given(entry=entries)
+@settings(max_examples=100)
+def test_and_or_duality(entry):
+    """De Morgan over presence filters."""
+    a, b = "(cn=*)", "(zzzabsent=*)"
+    lhs = parse_filter(f"(!(&{a}{b}))").matches(entry)
+    rhs = parse_filter(f"(|(!{a})(!{b}))").matches(entry)
+    assert lhs == rhs

@@ -1,0 +1,70 @@
+"""Property tests: log trimming policies conserve and bound correctly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import FlushRestart, MaxCount, RunningWindow, TransferLog
+from tests.conftest import make_record
+
+
+@st.composite
+def record_sequences(draw, max_size=40):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    gaps = draw(st.lists(
+        st.floats(min_value=1.0, max_value=100_000.0, allow_nan=False),
+        min_size=n, max_size=n,
+    ))
+    records = []
+    t = 1_000.0
+    for gap in gaps:
+        records.append(make_record(start=t, duration=10.0))
+        t += gap + 10.0
+    return records
+
+
+@given(records=record_sequences(), count=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100)
+def test_max_count_bounds_length_keeps_newest(records, count):
+    log = TransferLog(trim=MaxCount(count))
+    log.extend(records)
+    retained = log.records()
+    assert len(retained) <= count
+    assert retained == records[-len(retained):]
+
+
+@given(records=record_sequences(),
+       max_age=st.floats(min_value=10.0, max_value=1e6, allow_nan=False))
+@settings(max_examples=100)
+def test_running_window_retains_only_fresh(records, max_age):
+    log = TransferLog(trim=RunningWindow(max_age))
+    log.extend(records)
+    newest_end = records[-1].end_time
+    for record in log:
+        assert record.end_time >= newest_end - max_age
+    # No fresh record may be dropped.
+    fresh = [r for r in records if r.end_time >= newest_end - max_age]
+    assert log.records() == fresh
+
+
+@given(records=record_sequences(), threshold=st.integers(min_value=1, max_value=15))
+@settings(max_examples=100)
+def test_flush_restart_conserves_records(records, threshold):
+    policy = FlushRestart(threshold)
+    log = TransferLog(trim=policy)
+    log.extend(records)
+    archived = [r for batch in policy.archived for r in batch]
+    assert archived + log.records() == records
+    assert len(log) < threshold
+
+
+@given(records=record_sequences())
+@settings(max_examples=100)
+def test_log_is_always_end_time_sorted(records):
+    log = TransferLog()
+    # Append in a shuffled-ish order: reversed halves.
+    half = len(records) // 2
+    for record in records[half:] + records[:half]:
+        log.append(record)
+    ends = [r.end_time for r in log]
+    assert ends == sorted(ends)
+    assert len(log) == len(records)

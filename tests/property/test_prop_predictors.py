@@ -1,0 +1,136 @@
+"""Property tests: predictor invariants over arbitrary histories.
+
+The central invariants:
+
+* every mean/median predictor's output lies within [min, max] of the
+  values it may legally consume;
+* predictions are invariant to *future* data (only the prefix matters);
+* the classified wrapper equals the base predictor run on the class-
+  filtered history.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import History, paper_classification
+from repro.core.predictors import (
+    ArModel,
+    ClassifiedPredictor,
+    LastValue,
+    TemporalAverage,
+    TotalAverage,
+    TotalMedian,
+    WindowedAverage,
+    WindowedMedian,
+    paper_predictors,
+)
+from repro.units import GB, HOUR, MB
+
+
+@st.composite
+def histories(draw, min_size=1, max_size=60):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=10 * HOUR, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    times = np.cumsum(gaps)
+    values = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=1e3, max_value=1e8, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    sizes = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=1 * MB, max_value=2 * GB),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    return History(times=times, values=values, sizes=sizes)
+
+
+BOUNDED_PREDICTORS = [
+    TotalAverage(),
+    TotalMedian(),
+    LastValue(),
+    WindowedAverage(5),
+    WindowedAverage(25),
+    WindowedMedian(5),
+    TemporalAverage(hours=15),
+]
+
+
+@given(history=histories())
+@settings(max_examples=100)
+def test_bounded_predictors_stay_in_value_range(history):
+    now = float(history.times[-1]) + 60.0
+    lo, hi = float(history.values.min()), float(history.values.max())
+    for predictor in BOUNDED_PREDICTORS:
+        predicted = predictor.predict(history, target_size=100 * MB, now=now)
+        if predicted is not None:
+            assert lo - 1e-9 <= predicted <= hi + 1e-9, predictor.name
+
+
+@given(history=histories(min_size=5))
+@settings(max_examples=50)
+def test_prediction_depends_only_on_prefix(history):
+    """Predicting from prefix(k) must ignore observations k..n."""
+    k = len(history) // 2
+    prefix = history.prefix(k)
+    standalone = History(
+        times=history.times[:k].copy(),
+        values=history.values[:k].copy(),
+        sizes=history.sizes[:k].copy(),
+    )
+    now = float(history.times[k])
+    for predictor in paper_predictors().values():
+        a = predictor.predict(prefix, target_size=100 * MB, now=now)
+        b = predictor.predict(standalone, target_size=100 * MB, now=now)
+        assert a == b, predictor.name
+
+
+@given(history=histories(), target=st.integers(min_value=1 * MB, max_value=2 * GB))
+@settings(max_examples=100)
+def test_classified_equals_base_on_filtered_history(history, target):
+    cls = paper_classification()
+    base = TotalAverage()
+    wrapped = ClassifiedPredictor(base, cls)
+    now = float(history.times[-1]) + 1.0
+    label = cls.classify(target)
+    filtered = history.of_class(cls, label)
+    expected = base.predict(filtered, target_size=target, now=now)
+    assert wrapped.predict(history, target_size=target, now=now) == expected
+
+
+@given(history=histories(min_size=3))
+@settings(max_examples=100)
+def test_ar_prediction_is_finite_and_positive_floor(history):
+    predictor = ArModel()
+    predicted = predictor.predict(history, now=float(history.times[-1]) + 1.0)
+    assert predicted is not None
+    assert np.isfinite(predicted)
+    assert predicted >= 0.1 * float(history.values.min()) - 1e-9
+
+
+@given(history=histories())
+@settings(max_examples=100)
+def test_constant_history_predicted_exactly(history):
+    """Every predictor should nail a constant series."""
+    constant = History(
+        times=history.times,
+        values=np.full(len(history), 5e6),
+        sizes=history.sizes,
+    )
+    now = float(constant.times[-1]) + 1.0
+    for predictor in paper_predictors().values():
+        predicted = predictor.predict(constant, target_size=100 * MB, now=now)
+        if predicted is not None:
+            assert predicted == 5e6, predictor.name

@@ -1,0 +1,73 @@
+"""Property tests: replica broker ranking invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReplicaBroker
+from repro.core.predictors import TotalAverage
+from repro.logs import TransferLog
+from repro.storage import ReplicaCatalog
+from repro.units import MB
+from tests.conftest import make_record
+
+CLIENT = "140.221.65.69"
+
+
+@st.composite
+def site_worlds(draw):
+    """2-5 sites, each with 0-10 records of random bandwidth to the client."""
+    n_sites = draw(st.integers(min_value=2, max_value=5))
+    sites = [f"S{i}" for i in range(n_sites)]
+    logs = {}
+    for site in sites:
+        n = draw(st.integers(min_value=0, max_value=10))
+        log = TransferLog()
+        for j in range(n):
+            bw = draw(st.floats(min_value=1e5, max_value=2e7, allow_nan=False))
+            log.append(
+                make_record(start=1000.0 * (j + 1), size=500 * MB,
+                            bandwidth=bw, source_ip=CLIENT)
+            )
+        logs[site] = log
+    return sites, logs
+
+
+@given(world=site_worlds())
+@settings(max_examples=100)
+def test_ranking_is_a_permutation_sorted_by_prediction(world):
+    sites, logs = world
+    catalog = ReplicaCatalog()
+    for site in sites:
+        catalog.register("f", site, 500 * MB)
+    broker = ReplicaBroker(catalog, logs, TotalAverage())
+    ranked = broker.rank("f", CLIENT, now=1e9)
+
+    # Permutation of all candidates.
+    assert sorted(r.site for r in ranked) == sorted(sites)
+
+    # Known-bandwidth candidates precede unknowns and descend.
+    known = [r for r in ranked if r.predicted_bandwidth is not None]
+    unknown = [r for r in ranked if r.predicted_bandwidth is None]
+    assert ranked == known + unknown
+    values = [r.predicted_bandwidth for r in known]
+    assert values == sorted(values, reverse=True)
+
+    # Predictions equal each site's own history mean.
+    for r in known:
+        records = logs[r.site].records()
+        expected = float(np.mean([rec.bandwidth for rec in records]))
+        assert r.predicted_bandwidth == expected
+
+
+@given(world=site_worlds())
+@settings(max_examples=50)
+def test_select_is_first_of_rank_and_stable(world):
+    sites, logs = world
+    catalog = ReplicaCatalog()
+    for site in sites:
+        catalog.register("f", site, 500 * MB)
+    broker = ReplicaBroker(catalog, logs, TotalAverage())
+    first = broker.select("f", CLIENT, now=1e9)
+    again = broker.select("f", CLIENT, now=1e9)
+    assert first == again == broker.rank("f", CLIENT, now=1e9)[0]

@@ -1,0 +1,68 @@
+"""Property tests: ULM serialization round-trips for arbitrary records."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import Operation, TransferRecord, format_record, parse_record
+from repro.logs.ulm import format_fields, parse_fields
+
+# File names can contain nearly anything printable (the paper's contain
+# spaces); avoid control characters which no filesystem produces.
+file_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=80,
+).filter(lambda s: s.strip())
+
+records = st.builds(
+    lambda name, size, start, duration, bw, op, streams, buffer: TransferRecord(
+        source_ip="140.221.65.69",
+        file_name=name,
+        file_size=size,
+        volume="/home/ftp",
+        start_time=start,
+        end_time=start + duration,
+        bandwidth=bw,
+        operation=op,
+        streams=streams,
+        tcp_buffer=buffer,
+    ),
+    name=file_names,
+    size=st.integers(min_value=1, max_value=10**12),
+    start=st.floats(min_value=0, max_value=2e9, allow_nan=False),
+    duration=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    bw=st.floats(min_value=1e-3, max_value=1e12, allow_nan=False),
+    op=st.sampled_from([Operation.READ, Operation.WRITE]),
+    streams=st.integers(min_value=1, max_value=64),
+    buffer=st.integers(min_value=1, max_value=10**8),
+)
+
+
+@given(record=records)
+@settings(max_examples=200)
+def test_record_roundtrip_exact(record):
+    assert parse_record(format_record(record)) == record
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.from_regex(r"[A-Za-z][A-Za-z0-9.]{0,15}", fullmatch=True),
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=40,
+            ),
+        ),
+        max_size=10,
+        unique_by=lambda kv: kv[0],
+    )
+)
+@settings(max_examples=200)
+def test_fields_roundtrip(pairs):
+    line = format_fields(pairs)
+    assert parse_fields(line) == dict(pairs)
+
+
+@given(record=records)
+def test_formatted_line_is_single_line(record):
+    assert "\n" not in format_record(record)

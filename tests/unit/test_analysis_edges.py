@@ -1,0 +1,88 @@
+"""Edge cases in the analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_probe_vs_gridftp,
+    compute_class_errors,
+    render_class_errors,
+    render_relative_table,
+)
+from repro.analysis.nws_compare import NwsComparison
+from repro.analysis.relative_perf import compute_relative_table
+from repro.logs import TransferLog
+from repro.logs.stats import BandwidthSummary
+from repro.units import HOUR, MB
+from repro.workload.campaigns import CampaignOutput
+from tests.conftest import make_record
+
+
+def output_without_probes():
+    log = TransferLog()
+    for i in range(20):
+        log.append(make_record(start=1e6 + i * HOUR, size=500 * MB))
+    return CampaignOutput(
+        link="LBL-ANL", server_site="LBL", client_site="ANL",
+        log=log, outcomes=[], probes=None,
+    )
+
+
+class TestNwsCompareEdges:
+    def test_missing_probes_is_an_error(self):
+        with pytest.raises(ValueError, match="without NWS probes"):
+            compare_probe_vs_gridftp(output_without_probes())
+
+    def test_ratios_with_degenerate_probes(self):
+        comparison = NwsComparison(
+            link="X",
+            gridftp=BandwidthSummary(count=1, minimum=1.0, maximum=1.0,
+                                     mean=1.0, median=1.0, stddev=0.0),
+            probes=BandwidthSummary.empty(),
+        )
+        assert comparison.mean_ratio == float("inf")
+        assert comparison.variability_ratio == float("inf")
+
+
+class TestClassErrorsEdges:
+    def test_single_class_log_other_classes_nan(self):
+        """A log with only 1GB transfers: other classes report NaN, and
+        best/worst helpers skip them instead of crashing."""
+        log = TransferLog()
+        for i in range(30):
+            log.append(make_record(start=1e6 + i * HOUR, size=900 * MB))
+        errors = compute_class_errors("LBL-ANL", log.records())
+        assert all(
+            v != v for v in errors.classified["10MB"].values()
+        )  # all NaN
+        assert np.isnan(errors.best("10MB"))
+        assert errors.best("1GB") <= errors.worst("1GB")
+
+    def test_render_handles_nan_rows(self):
+        log = TransferLog()
+        for i in range(30):
+            log.append(make_record(start=1e6 + i * HOUR, size=900 * MB))
+        errors = compute_class_errors("LBL-ANL", log.records())
+        text = render_class_errors(errors, "10MB")
+        assert "-" in text  # NaN rendered as dash
+
+
+class TestRelativeTableEdges:
+    def test_unknown_link_uses_generic_title(self):
+        log = TransferLog()
+        for i in range(30):
+            log.append(make_record(start=1e6 + i * HOUR, size=900 * MB))
+        errors = compute_class_errors("MARS-ANL", log.records())
+        table = compute_relative_table("MARS-ANL", errors.result)
+        text = render_relative_table(table, "1GB")
+        assert "Relative performance" in text
+        assert "Figure" not in text.splitlines()[0]
+
+    def test_empty_class_reports_zero_compared(self):
+        log = TransferLog()
+        for i in range(30):
+            log.append(make_record(start=1e6 + i * HOUR, size=900 * MB))
+        errors = compute_class_errors("LBL-ANL", log.records())
+        table = compute_relative_table("LBL-ANL", errors.result)
+        assert table.per_class["10MB"].compared == 0
+        assert np.isnan(table.per_class["10MB"].best_pct("C-AVG"))

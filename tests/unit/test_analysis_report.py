@@ -1,0 +1,34 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis import render_table
+
+
+def test_alignment_and_rule():
+    out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = out.splitlines()
+    assert lines[0].endswith("value")
+    assert set(lines[1]) <= {"-", " "}
+    assert lines[2].endswith("1")
+
+
+def test_title():
+    out = render_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_float_formatting_and_nan():
+    out = render_table(["v"], [[1.2345], [float("nan")]])
+    assert "1.2" in out
+    assert "-" in out.splitlines()[-1]
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_empty_headers_rejected():
+    with pytest.raises(ValueError):
+        render_table([], [])

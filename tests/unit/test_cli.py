@@ -1,0 +1,99 @@
+"""CLI parsing and fast subcommands.
+
+Report commands that need a full campaign are exercised in integration
+tests; here we check parsing, validation, and the campaign writer.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_report_kinds_restricted(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["report", "nope"])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.month == "aug" and args.seed == 1
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCampaignCommand:
+    def test_writes_ulm_logs(self, tmp_path):
+        rc = main(["campaign", "--month", "aug", "--seed", "1",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["aug-ISI-ANL.ulm", "aug-LBL-ANL.ulm"]
+        # Files round-trip through the log loader.
+        from repro.logs import TransferLog
+
+        log = TransferLog.load(tmp_path / "aug-LBL-ANL.ulm")
+        assert len(log) > 300
+
+    def test_unknown_month_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--month", "july", "--out-dir", str(tmp_path)])
+
+
+class TestReportValidation:
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "summary", "--link", "MARS-ANL"])
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "errors", "--link", "LBL-ANL", "--class", "2GB"])
+
+
+class TestExportCommand:
+    def test_writes_csvs(self, tmp_path, capsys):
+        rc = main(["export", "--seed", "1", "--out-dir", str(tmp_path / "figs")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        names = {p.name for p in (tmp_path / "figs").iterdir()}
+        assert "fig07_census.csv" in names
+        assert "fig08_11_LBL-ANL.csv" in names
+        assert "fig14_21_ISI-ANL.csv" in names
+        assert out.count("wrote ") == len(names)
+
+
+class TestEvaluateCommand:
+    @pytest.fixture
+    def log_path(self, tmp_path, short_campaign_output):
+        path = tmp_path / "log.ulm"
+        short_campaign_output.log.save(path)
+        return path
+
+    def test_evaluate_prints_table(self, log_path, capsys):
+        rc = main(["evaluate", str(log_path), "--predictors", "AVG,C-AVG15,SIZE"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "C-AVG15" in out and "SIZE" in out and "overall" in out
+
+    def test_unknown_predictor_rejected(self, log_path):
+        with pytest.raises(SystemExit, match="unknown predictor"):
+            main(["evaluate", str(log_path), "--predictors", "MAGIC"])
+
+    def test_too_short_log_rejected(self, tmp_path, record_factory):
+        from repro.logs import TransferLog
+
+        log = TransferLog()
+        for i in range(5):
+            log.append(record_factory(start=1000.0 * (i + 1)))
+        path = tmp_path / "short.ulm"
+        log.save(path)
+        with pytest.raises(SystemExit, match="training prefix"):
+            main(["evaluate", str(path)])
+
+    def test_custom_training_prefix(self, log_path, capsys):
+        rc = main(["evaluate", str(log_path), "--training", "5",
+                   "--predictors", "AVG15"])
+        assert rc == 0
+        assert "AVG15" in capsys.readouterr().out

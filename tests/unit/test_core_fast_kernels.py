@@ -1,0 +1,108 @@
+"""Direct kernel tests for the vectorized evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core import History, fast_evaluate
+from repro.core.fast import (
+    _ar_model,
+    _last_value,
+    _running_mean,
+    _running_median,
+    _temporal_mean,
+    _windowed_mean,
+    _windowed_median,
+)
+from repro.units import HOUR, MB
+
+
+class TestKernels:
+    def test_running_mean(self):
+        out = _running_mean(np.array([2.0, 4.0, 6.0]))
+        assert np.isnan(out[0])
+        assert list(out[1:]) == [2.0, 3.0]
+
+    def test_last_value(self):
+        out = _last_value(np.array([7.0, 8.0, 9.0]))
+        assert np.isnan(out[0]) and list(out[1:]) == [7.0, 8.0]
+
+    def test_windowed_mean_partial_and_full(self):
+        out = _windowed_mean(np.array([1.0, 3.0, 5.0, 7.0]), window=2)
+        assert np.isnan(out[0])
+        assert out[1] == 1.0          # partial window
+        assert out[2] == 2.0          # mean(1,3)
+        assert out[3] == 4.0          # mean(3,5)
+
+    def test_windowed_median_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(30)
+        out = _windowed_median(values, window=5)
+        for i in range(1, 30):
+            expected = np.median(values[max(0, i - 5):i])
+            assert out[i] == pytest.approx(expected), i
+
+    def test_running_median_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(50)
+        out = _running_median(values)
+        for i in range(1, 50):
+            assert out[i] == pytest.approx(np.median(values[:i])), i
+
+    def test_temporal_mean_empty_window_is_nan(self):
+        times = np.array([0.0, 10 * HOUR])
+        anchors = times
+        out = _temporal_mean(np.array([5.0, 6.0]), times, anchors, seconds=HOUR)
+        assert np.isnan(out[1])  # previous obs is 10 h old, window is 1 h
+
+    def test_ar_recovers_recurrence(self):
+        values = [10.0]
+        for _ in range(30):
+            values.append(2 + 0.5 * values[-1])
+        arr = np.array(values)
+        times = np.arange(len(arr), dtype=float)
+        out = _ar_model(arr, times, times, None)
+        assert out[-1] == pytest.approx(2 + 0.5 * arr[-2], rel=1e-6)
+
+    def test_ar_constant_falls_back_to_mean(self):
+        arr = np.full(10, 4.0)
+        times = np.arange(10, dtype=float)
+        out = _ar_model(arr, times, times, None)
+        assert list(out[1:]) == [4.0] * 9
+
+    def test_single_element_series(self):
+        one = np.array([5.0])
+        for kernel in (_running_mean, _last_value, _running_median):
+            assert np.isnan(kernel(one)).all()
+        assert np.isnan(_windowed_mean(one, 5)).all()
+        assert np.isnan(_windowed_median(one, 5)).all()
+
+
+class TestFastEvaluateEdges:
+    def test_training_longer_than_history_gives_empty_traces(self):
+        h = History(
+            times=np.arange(5, dtype=float),
+            values=np.full(5, 1e6),
+            sizes=np.full(5, 100 * MB),
+        )
+        result = fast_evaluate(h, training=10)
+        for trace in result.traces.values():
+            assert len(trace) == 0 and trace.abstentions == 0
+
+    def test_custom_classification(self):
+        from repro.core import Classification
+
+        cls = Classification(edges=(100 * MB,), labels=("s", "l"))
+        h = History(
+            times=np.arange(20, dtype=float) * 3600.0,
+            values=np.tile([1e6, 9e6], 10),
+            sizes=np.tile([10 * MB, 900 * MB], 10).astype(np.int64),
+        )
+        result = fast_evaluate(h, training=2, classification=cls)
+        trace = result["C-AVG"]
+        # Each class is constant -> classified AVG is exact.
+        assert trace.pct_errors.max() == pytest.approx(0.0)
+
+    def test_validation(self):
+        h = History.empty()
+        with pytest.raises(ValueError):
+            fast_evaluate(h, training=0)

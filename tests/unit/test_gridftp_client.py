@@ -1,0 +1,77 @@
+"""GridFTP client: get/put/partial/third-party against testbed servers."""
+
+import pytest
+
+from repro.gridftp import FileNotFoundOnServer
+from repro.logs import Operation
+from repro.units import MB
+
+
+class TestGet:
+    def test_get_returns_outcome_and_logs_at_server(self, testbed):
+        client = testbed.clients["ANL"]
+        server = testbed.servers["LBL"]
+        outcome = client.get(server, testbed.data_path(100 * MB),
+                             streams=8, buffer=1 * MB)
+        assert outcome.duration > 0
+        record = server.monitor.log.records()[-1]
+        assert record.source_ip == testbed.sites["ANL"].address
+        assert record.streams == 8 and record.tcp_buffer == 1 * MB
+
+    def test_get_missing_file(self, testbed):
+        with pytest.raises(FileNotFoundOnServer):
+            testbed.clients["ANL"].get(testbed.servers["LBL"], "/home/ftp/ghost")
+
+
+class TestPartialGet:
+    def test_partial_get(self, testbed):
+        client = testbed.clients["ANL"]
+        server = testbed.servers["ISI"]
+        outcome = client.partial_get(server, testbed.data_path(1000 * MB),
+                                     offset=100 * MB, length=50 * MB)
+        assert outcome.request.size == 50 * MB
+
+
+class TestPut:
+    def test_put_stores_file(self, testbed):
+        client = testbed.clients["ANL"]
+        server = testbed.servers["LBL"]
+        client.put(server, "/home/ftp/uploads/result", 25 * MB)
+        assert server.volumes[0].has("/home/ftp/uploads/result")
+        assert server.monitor.log.records()[-1].operation is Operation.WRITE
+
+
+class TestThirdParty:
+    def test_third_party_moves_between_servers(self, testbed):
+        client = testbed.clients["ANL"]
+        src, dst = testbed.servers["LBL"], testbed.servers["ISI"]
+        path = testbed.data_path(10 * MB)
+        outcome = client.third_party_transfer(src, dst, path, dest_path="copied/10M")
+        assert outcome.request.size == 10 * MB
+        assert dst.volumes[0].has("copied/10M")
+        # Logged at the source as a read toward the destination site.
+        record = src.monitor.log.records()[-1]
+        assert record.operation is Operation.READ
+        assert record.source_ip == testbed.sites["ISI"].address
+
+    def test_third_party_logged_at_both_ends(self, testbed):
+        client = testbed.clients["ANL"]
+        src, dst = testbed.servers["LBL"], testbed.servers["ISI"]
+        client.third_party_transfer(src, dst, testbed.data_path(25 * MB))
+        read = src.monitor.log.records()[-1]
+        write = dst.monitor.log.records()[-1]
+        assert write.operation is Operation.WRITE
+        assert write.source_ip == testbed.sites["LBL"].address
+        assert write.file_size == read.file_size == 25 * MB
+        assert write.start_time == read.start_time
+        assert write.end_time == read.end_time
+
+    def test_third_party_missing_source_file(self, testbed):
+        from repro.gridftp import FileNotFoundOnServer
+
+        client = testbed.clients["ANL"]
+        with pytest.raises(FileNotFoundOnServer):
+            client.third_party_transfer(
+                testbed.servers["LBL"], testbed.servers["ISI"], "/home/ftp/ghost"
+            )
+        assert len(testbed.servers["ISI"].monitor.log) == 0

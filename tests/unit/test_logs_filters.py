@@ -1,0 +1,97 @@
+"""Record filters and composition."""
+
+import pytest
+
+from repro.logs import (
+    Operation,
+    by_operation,
+    by_size_class,
+    by_size_range,
+    by_source_ip,
+    by_time_window,
+    chain,
+    last_n,
+    since,
+)
+from repro.units import MB
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def records():
+    return [
+        make_record(start=100.0, size=10 * MB, source_ip="1.1.1.1"),
+        make_record(start=200.0, size=100 * MB, source_ip="2.2.2.2",
+                    operation=Operation.WRITE),
+        make_record(start=300.0, size=600 * MB, source_ip="1.1.1.1"),
+        make_record(start=400.0, size=900 * MB, source_ip="1.1.1.1"),
+    ]
+
+
+def test_by_operation(records):
+    assert len(by_operation(Operation.READ)(records)) == 3
+    assert len(by_operation(Operation.WRITE)(records)) == 1
+
+
+def test_by_source_ip(records):
+    assert len(by_source_ip("1.1.1.1")(records)) == 3
+    assert by_source_ip("9.9.9.9")(records) == []
+
+
+def test_by_size_range(records):
+    out = by_size_range(50 * MB, 750 * MB)(records)
+    assert [r.file_size for r in out] == [100 * MB, 600 * MB]
+
+
+def test_by_size_range_validation():
+    with pytest.raises(ValueError):
+        by_size_range(10, 10)
+
+
+def test_by_size_class(records, classification):
+    out = by_size_class(classification.classify, "500MB")(records)
+    assert [r.file_size for r in out] == [600 * MB]
+
+
+def test_by_time_window(records):
+    out = by_time_window(150.0, 350.0)(records)  # end times are start+10
+    assert [r.start_time for r in out] == [200.0, 300.0]
+
+
+def test_by_time_window_validation():
+    with pytest.raises(ValueError):
+        by_time_window(5.0, 5.0)
+
+
+def test_since(records):
+    # End times are start+10; the boundary record (ends exactly at 310) is kept.
+    assert len(since(310.0)(records)) == 2
+    assert len(since(310.5)(records)) == 1
+
+
+def test_last_n(records):
+    assert [r.start_time for r in last_n(2)(records)] == [300.0, 400.0]
+    assert len(last_n(10)(records)) == 4
+
+
+def test_last_n_validation():
+    with pytest.raises(ValueError):
+        last_n(0)
+
+
+def test_chain_order_matters(records, classification):
+    # Class filter then last-1: newest transfer *of that class*.
+    class_then_last = chain(
+        by_size_class(classification.classify, "10MB"), last_n(1)
+    )(records)
+    assert [r.file_size for r in class_then_last] == [10 * MB]
+
+    # Last-1 then class filter: newest transfer, kept only if in class.
+    last_then_class = chain(
+        last_n(1), by_size_class(classification.classify, "10MB")
+    )(records)
+    assert last_then_class == []
+
+
+def test_chain_empty_is_identity(records):
+    assert chain()(records) == list(records)

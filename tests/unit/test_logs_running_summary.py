@@ -1,0 +1,94 @@
+"""Incremental summaries and log listeners."""
+
+import numpy as np
+import pytest
+
+from repro.logs import RunningSummary, TransferLog, summarize
+from tests.conftest import make_record
+
+
+class TestRunningSummary:
+    def test_empty(self):
+        s = RunningSummary().summary()
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_single_value(self):
+        r = RunningSummary()
+        r.add(5.0)
+        s = r.summary()
+        assert s.count == 1
+        assert s.minimum == s.maximum == s.mean == s.median == 5.0
+        assert s.stddev == 0.0
+
+    def test_matches_batch_summarize(self):
+        """The core invariant: incremental == batch, to float precision."""
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(15, 1, size=500)
+        records = [
+            make_record(start=1000.0 * (i + 1), bandwidth=float(v))
+            for i, v in enumerate(values)
+        ]
+        batch = summarize(records)
+        running = RunningSummary()
+        for v in values:
+            running.add(float(v))
+        incremental = running.summary()
+        assert incremental.count == batch.count
+        assert incremental.minimum == batch.minimum
+        assert incremental.maximum == batch.maximum
+        assert incremental.mean == pytest.approx(batch.mean, rel=1e-12)
+        assert incremental.median == pytest.approx(batch.median, rel=1e-12)
+        assert incremental.stddev == pytest.approx(batch.stddev, rel=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 10, 11])
+    def test_median_parity_small_counts(self, n):
+        values = list(range(1, n + 1))
+        running = RunningSummary()
+        for v in values:
+            running.add(float(v))
+        assert running.summary().median == pytest.approx(float(np.median(values)))
+
+    def test_median_with_duplicates_and_order_independence(self):
+        values = [5.0, 1.0, 5.0, 9.0, 1.0, 5.0]
+        a, b = RunningSummary(), RunningSummary()
+        for v in values:
+            a.add(v)
+        for v in reversed(values):
+            b.add(v)
+        assert a.summary().median == b.summary().median == 5.0
+
+
+class TestLogListeners:
+    def test_listener_sees_every_append(self):
+        log = TransferLog()
+        seen = []
+        log.subscribe(seen.append)
+        records = [make_record(start=1000.0 * (i + 1)) for i in range(3)]
+        log.extend(records)
+        assert seen == records
+
+    def test_listener_fires_even_when_trim_drops(self):
+        from repro.logs import MaxCount
+
+        log = TransferLog(trim=MaxCount(1))
+        seen = []
+        log.subscribe(seen.append)
+        log.extend([make_record(start=1000.0 * (i + 1)) for i in range(4)])
+        assert len(seen) == 4 and len(log) == 1
+
+    def test_unsubscribe(self):
+        log = TransferLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.append(make_record(start=1000.0))
+        log.unsubscribe(seen.append)
+        log.append(make_record(start=2000.0))
+        assert len(seen) == 1
+
+    def test_multiple_listeners(self):
+        log = TransferLog()
+        a, b = [], []
+        log.subscribe(a.append)
+        log.subscribe(b.append)
+        log.append(make_record(start=1000.0))
+        assert len(a) == len(b) == 1

@@ -1,0 +1,109 @@
+"""The MDS-backed replica broker (directory inquiries, no log access)."""
+
+import pytest
+
+from repro.mds import Entry, MdsReplicaBroker
+from repro.mds.broker import _parse_kb
+from repro.storage import ReplicaCatalog
+from repro.units import GB, KB, MB
+
+
+class FakeDirectory:
+    def __init__(self, entries):
+        self._entries = entries
+
+    def search(self, now, flt=None, base=None):
+        return list(self._entries)
+
+
+def perf_entry(hostname, **attrs):
+    entry = Entry(f"cn=x,hostname={hostname},o=grid")
+    entry.add("objectclass", "GridFTPPerf")
+    entry.add("hostname", hostname)
+    entry.add("gridftpurl", f"gsiftp://{hostname}:2811")
+    for name, value in attrs.items():
+        entry.add(name, value)
+    return entry
+
+
+@pytest.fixture
+def world():
+    catalog = ReplicaCatalog()
+    catalog.register("lfn://d", "LBL", 1 * GB)
+    catalog.register("lfn://d", "ISI", 1 * GB)
+    hostnames = {"LBL": "dpsslx04.lbl.gov", "ISI": "jet.isi.edu"}
+    return catalog, hostnames
+
+
+class TestParseKb:
+    def test_figure6_format(self):
+        assert _parse_kb("6062K") == 6062 * KB
+        assert _parse_kb("6062") == 6062 * KB
+        assert _parse_kb(None) is None
+        assert _parse_kb("fast") is None
+
+
+class TestRanking:
+    def test_ranks_by_class_prediction(self, world):
+        catalog, hostnames = world
+        directory = FakeDirectory([
+            perf_entry("dpsslx04.lbl.gov", predictedrdbandwidth1gbrange="9000K"),
+            perf_entry("jet.isi.edu", predictedrdbandwidth1gbrange="7000K"),
+        ])
+        broker = MdsReplicaBroker(catalog, directory, hostnames)
+        ranked = broker.rank("lfn://d", now=0.0)
+        assert [r.site for r in ranked] == ["LBL", "ISI"]
+        assert ranked[0].predicted_bandwidth == pytest.approx(9_000_000)
+        assert ranked[0].source_attribute == "predictedrdbandwidth1gbrange"
+        assert ranked[0].gridftp_url == "gsiftp://dpsslx04.lbl.gov:2811"
+
+    def test_class_attribute_selected_by_file_size(self, world):
+        catalog, hostnames = world
+        catalog.register("lfn://small", "LBL", 10 * MB)
+        directory = FakeDirectory([
+            perf_entry("dpsslx04.lbl.gov",
+                       predictedrdbandwidth10mbrange="2000K",
+                       predictedrdbandwidth1gbrange="9000K"),
+        ])
+        broker = MdsReplicaBroker(catalog, directory, hostnames)
+        small = broker.rank("lfn://small", now=0.0)[0]
+        assert small.predicted_bandwidth == pytest.approx(2_000_000)
+        large = broker.rank("lfn://d", now=0.0)[0]
+        assert large.predicted_bandwidth == pytest.approx(9_000_000)
+
+    def test_fallback_attribute_chain(self, world):
+        catalog, hostnames = world
+        directory = FakeDirectory([
+            # No prediction attribute: falls back to class avg, then overall.
+            perf_entry("dpsslx04.lbl.gov", avgrdbandwidth1gbrange="8000K"),
+            perf_entry("jet.isi.edu", avgrdbandwidth="5000K"),
+        ])
+        broker = MdsReplicaBroker(catalog, directory, hostnames)
+        ranked = broker.rank("lfn://d", now=0.0)
+        assert ranked[0].source_attribute == "avgrdbandwidth1gbrange"
+        assert ranked[1].source_attribute == "avgrdbandwidth"
+
+    def test_missing_entry_ranked_last(self, world):
+        catalog, hostnames = world
+        directory = FakeDirectory([
+            perf_entry("jet.isi.edu", avgrdbandwidth="5000K"),
+        ])
+        broker = MdsReplicaBroker(catalog, directory, hostnames)
+        ranked = broker.rank("lfn://d", now=0.0)
+        assert [r.site for r in ranked] == ["ISI", "LBL"]
+        assert ranked[1].predicted_bandwidth is None
+
+    def test_select_and_estimated_time(self, world):
+        catalog, hostnames = world
+        directory = FakeDirectory([
+            perf_entry("dpsslx04.lbl.gov", avgrdbandwidth="10000K"),
+        ])
+        broker = MdsReplicaBroker(catalog, directory, hostnames)
+        best = broker.select("lfn://d", now=0.0)
+        assert best.estimated_time(1 * GB) == pytest.approx(100.0)
+
+    def test_unknown_logical_name(self, world):
+        catalog, hostnames = world
+        broker = MdsReplicaBroker(catalog, FakeDirectory([]), hostnames)
+        with pytest.raises(KeyError):
+            broker.rank("lfn://ghost", now=0.0)

@@ -1,0 +1,120 @@
+"""GRIS and GIIS: providers, caching, aggregation, soft-state expiry."""
+
+import pytest
+
+from repro.mds import GIIS, GRIS, Entry
+
+
+class CountingProvider:
+    """Provider that counts generation calls (for cache tests)."""
+
+    def __init__(self, dn="cn=x,o=grid", **attrs):
+        self.dn = dn
+        self.attrs = {k: [v] for k, v in attrs.items()} or {"a": ["1"]}
+        self.calls = 0
+
+    def entries(self, now):
+        self.calls += 1
+        return [Entry(self.dn, self.attrs)]
+
+
+class TestGRIS:
+    def test_search_returns_provider_entries(self):
+        gris = GRIS("gris-lbl")
+        gris.add_provider("gftp", CountingProvider())
+        assert len(gris.search(now=0.0)) == 1
+
+    def test_filter_applied(self):
+        gris = GRIS("g")
+        gris.add_provider("p", CountingProvider(objectclass="GridFTPPerf"))
+        assert gris.search(now=0.0, flt="(objectclass=GridFTPPerf)")
+        assert gris.search(now=0.0, flt="(objectclass=Other)") == []
+
+    def test_base_dn_suffix_match(self):
+        gris = GRIS("g")
+        gris.add_provider("p", CountingProvider(dn="cn=x,dc=lbl,dc=gov,o=grid"))
+        assert gris.search(now=0.0, base="o=grid")
+        assert gris.search(now=0.0, base="dc=anl,dc=gov,o=grid") == []
+
+    def test_cache_bounds_provider_calls(self):
+        provider = CountingProvider()
+        gris = GRIS("g", cache_ttl=30.0)
+        gris.add_provider("p", provider)
+        gris.search(now=0.0)
+        gris.search(now=10.0)
+        assert provider.calls == 1
+        gris.search(now=31.0)
+        assert provider.calls == 2
+
+    def test_invalidate_drops_cache(self):
+        provider = CountingProvider()
+        gris = GRIS("g", cache_ttl=1e9)
+        gris.add_provider("p", provider)
+        gris.search(now=0.0)
+        gris.invalidate()
+        gris.search(now=1.0)
+        assert provider.calls == 2
+
+    def test_duplicate_provider_key_rejected(self):
+        gris = GRIS("g")
+        gris.add_provider("p", CountingProvider())
+        with pytest.raises(ValueError):
+            gris.add_provider("p", CountingProvider())
+
+    def test_remove_provider(self):
+        gris = GRIS("g")
+        gris.add_provider("p", CountingProvider())
+        gris.remove_provider("p")
+        assert gris.search(now=0.0) == []
+        assert gris.providers() == []
+
+
+class TestGIIS:
+    def make_gris(self, name, dn):
+        gris = GRIS(name)
+        gris.add_provider("p", CountingProvider(dn=dn, objectclass="GridFTPPerf"))
+        return gris
+
+    def test_aggregates_registered_grises(self):
+        giis = GIIS("giis")
+        giis.register(self.make_gris("a", "cn=a,o=grid"), now=0.0)
+        giis.register(self.make_gris("b", "cn=b,o=grid"), now=0.0)
+        dns = {e.dn for e in giis.search(now=1.0)}
+        assert dns == {"cn=a,o=grid", "cn=b,o=grid"}
+
+    def test_expired_gris_drops_out(self):
+        giis = GIIS("giis", default_ttl=100.0)
+        giis.register(self.make_gris("a", "cn=a,o=grid"), now=0.0)
+        assert giis.search(now=50.0)
+        assert giis.search(now=150.0) == []
+        assert giis.registered(150.0) == []
+
+    def test_renewal_keeps_gris_live(self):
+        giis = GIIS("giis", default_ttl=100.0)
+        giis.register(self.make_gris("a", "cn=a,o=grid"), now=0.0)
+        giis.renew("a", now=90.0)
+        assert giis.search(now=150.0)
+
+    def test_filter_pushed_through(self):
+        giis = GIIS("giis")
+        giis.register(self.make_gris("a", "cn=a,o=grid"), now=0.0)
+        assert giis.search(now=1.0, flt="(objectclass=GridFTPPerf)")
+        assert giis.search(now=1.0, flt="(objectclass=Nope)") == []
+
+    def test_duplicate_dns_merged(self):
+        giis = GIIS("giis")
+        giis.register(self.make_gris("a", "cn=same,o=grid"), now=0.0)
+        giis.register(self.make_gris("b", "cn=same,o=grid"), now=0.0)
+        assert len(giis.search(now=1.0)) == 1
+
+    def test_hierarchical_giis(self):
+        child = GIIS("child")
+        child.register(self.make_gris("a", "cn=a,o=grid"), now=0.0)
+        parent = GIIS("parent")
+        parent.register(child, now=0.0)
+        assert [e.dn for e in parent.search(now=1.0)] == ["cn=a,o=grid"]
+
+    def test_self_registration_rejected(self):
+        giis = GIIS("giis")
+        with pytest.raises(ValueError):
+            giis.register(giis, now=0.0)

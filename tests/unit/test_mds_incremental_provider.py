@@ -1,0 +1,90 @@
+"""The incremental information provider: parity with the batch provider."""
+
+import pytest
+
+from repro.logs import Operation, TransferLog
+from repro.mds import (
+    GridFTPInfoProvider,
+    IncrementalGridFTPInfoProvider,
+    validate_entry,
+)
+from repro.net import Site
+from repro.units import MB
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def site():
+    return Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+                hostname="dpsslx04.lbl.gov")
+
+
+def mixed_log():
+    log = TransferLog()
+    for i in range(15):
+        log.append(make_record(start=1000.0 * (i + 1), size=10 * MB,
+                               bandwidth=2e6 + i * 1e5))
+    for i in range(15, 30):
+        log.append(make_record(start=1000.0 * (i + 1), size=900 * MB,
+                               bandwidth=7e6 + i * 1e5))
+    log.append(make_record(start=50_000.0, size=25 * MB, bandwidth=3e6,
+                           operation=Operation.WRITE))
+    return log
+
+
+class TestParity:
+    def test_matches_batch_provider_with_total_average(self, site):
+        """Same log, same attributes, same values — the parity invariant."""
+        log = mixed_log()
+        batch = GridFTPInfoProvider(log=log, site=site, url="u")
+        incremental = IncrementalGridFTPInfoProvider(log=log, site=site, url="u")
+        batch_entry = batch.entries(now=60_000.0)[0]
+        inc_entry = incremental.entries(now=60_000.0)[0]
+        assert inc_entry.dn == batch_entry.dn
+        assert set(inc_entry.attribute_names()) == set(batch_entry.attribute_names())
+        for name in batch_entry.attribute_names():
+            assert inc_entry.get(name) == batch_entry.get(name), name
+
+    def test_entry_validates(self, site):
+        provider = IncrementalGridFTPInfoProvider(log=mixed_log(), site=site, url="u")
+        validate_entry(provider.entries(now=60_000.0)[0])
+
+
+class TestIncrementalBehaviour:
+    def test_live_updates_as_records_append(self, site):
+        log = TransferLog()
+        provider = IncrementalGridFTPInfoProvider(log=log, site=site, url="u")
+        assert provider.entries(now=0.0) == []
+        log.append(make_record(start=1000.0, bandwidth=4e6))
+        entry = provider.entries(now=2000.0)[0]
+        assert entry.first("numtransfers") == "1"
+        assert entry.first("avgrdbandwidth") == "4000K"
+        log.append(make_record(start=3000.0, bandwidth=6e6))
+        entry = provider.entries(now=4000.0)[0]
+        assert entry.first("numtransfers") == "2"
+        assert entry.first("avgrdbandwidth") == "5000K"
+
+    def test_preexisting_records_folded_at_construction(self, site):
+        log = mixed_log()
+        provider = IncrementalGridFTPInfoProvider(log=log, site=site, url="u")
+        assert provider.entries(now=60_000.0)[0].first("numtransfers") == "31"
+
+    def test_close_detaches(self, site):
+        log = TransferLog()
+        provider = IncrementalGridFTPInfoProvider(log=log, site=site, url="u")
+        provider.close()
+        provider.close()  # idempotent
+        log.append(make_record(start=1000.0))
+        assert provider.entries(now=2000.0) == []
+
+    def test_recent_bounded(self, site):
+        log = mixed_log()
+        provider = IncrementalGridFTPInfoProvider(log=log, site=site, url="u",
+                                                  recent=5)
+        entry = provider.entries(now=60_000.0)[0]
+        assert len(entry.get("recentrdbandwidth")) == 5
+
+    def test_validation(self, site):
+        with pytest.raises(ValueError):
+            IncrementalGridFTPInfoProvider(log=TransferLog(), site=site, url="u",
+                                           recent=-1)

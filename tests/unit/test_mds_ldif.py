@@ -1,0 +1,87 @@
+"""LDIF entries and serialization."""
+
+import pytest
+
+from repro.mds import Entry, LdifError, format_entries, parse_ldif
+
+
+class TestEntry:
+    def test_attributes_case_folded(self):
+        e = Entry("cn=x,o=grid")
+        e.add("HostName", "h1")
+        assert e.get("hostname") == ["h1"]
+        assert e.first("HOSTNAME") == "h1"
+        assert e.has("hostName")
+
+    def test_multivalued(self):
+        e = Entry("cn=x")
+        e.add("recent", "1")
+        e.add("recent", "2")
+        assert e.get("recent") == ["1", "2"]
+
+    def test_set_replaces(self):
+        e = Entry("cn=x")
+        e.add("a", "1")
+        e.add("a", "2")
+        e.set("a", "3")
+        assert e.get("a") == ["3"]
+
+    def test_first_of_missing_is_none(self):
+        assert Entry("cn=x").first("nope") is None
+
+    def test_values_stringified(self):
+        e = Entry("cn=x")
+        e.add("n", 42)
+        assert e.get("n") == ["42"]
+
+    def test_empty_dn_rejected(self):
+        with pytest.raises(LdifError):
+            Entry("  ")
+
+    def test_equality(self):
+        a = Entry("cn=x", {"a": ["1"]})
+        b = Entry("cn=x", {"a": ["1"]})
+        assert a == b
+        assert a != Entry("cn=x", {"a": ["2"]})
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        e = Entry("cn=140.221.65.69,o=grid", {
+            "objectclass": ["GridFTPPerf"],
+            "avgrdbandwidth": ["6062K"],
+            "recentrdbandwidth": ["100K", "200K"],
+        })
+        parsed = parse_ldif(format_entries([e]))
+        assert parsed == [e]
+
+    def test_multiple_entries_blank_line_separated(self):
+        entries = [Entry(f"cn={i},o=grid", {"a": [str(i)]}) for i in range(3)]
+        text = format_entries(entries)
+        assert text.count("\n\n") == 2
+        assert parse_ldif(text) == entries
+
+    def test_unsafe_value_base64(self):
+        e = Entry("cn=x", {"note": [" leading space"]})
+        text = format_entries([e])
+        assert "note:: " in text
+        assert parse_ldif(text) == [e]
+
+    def test_comments_and_continuations(self):
+        text = "# a comment\ndn: cn=x\nlonga: hello\n  world\n"
+        entries = parse_ldif(text)
+        assert entries[0].get("longa") == ["hello world"]
+
+    def test_empty_text(self):
+        assert parse_ldif("") == []
+        assert format_entries([]) == ""
+
+    @pytest.mark.parametrize("bad", [
+        "attr: value\n",               # entry must start with dn
+        "dn: cn=x\nno-colon-line\n",   # missing colon
+        "dn: cn=x\ndn: cn=y\n",        # duplicate dn in one entry
+        "dn: cn=x\nv:: !!!notb64\n",   # bad base64
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(LdifError):
+            parse_ldif(bad)

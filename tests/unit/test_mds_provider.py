@@ -1,0 +1,107 @@
+"""The GridFTP information provider (Figure 6)."""
+
+import pytest
+
+from repro.logs import Operation, TransferLog
+from repro.mds import GridFTPInfoProvider, validate_entry
+from repro.net import Site
+from repro.units import MB
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def site():
+    return Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+                hostname="dpsslx04.lbl.gov")
+
+
+def make_provider(site, records):
+    log = TransferLog(host=site.hostname)
+    log.extend(records)
+    return GridFTPInfoProvider(
+        log=log, site=site, url="gsiftp://dpsslx04.lbl.gov:61000"
+    )
+
+
+def mixed_records():
+    out = []
+    for i in range(10):
+        out.append(make_record(start=1000.0 * (i + 1), size=10 * MB,
+                               bandwidth=2e6 + i * 1e5))
+    for i in range(10, 20):
+        out.append(make_record(start=1000.0 * (i + 1), size=900 * MB,
+                               bandwidth=7e6 + i * 1e5))
+    out.append(make_record(start=50_000.0, size=25 * MB, bandwidth=3e6,
+                           operation=Operation.WRITE))
+    return out
+
+
+class TestEntryGeneration:
+    def test_entry_validates_against_schema(self, site):
+        provider = make_provider(site, mixed_records())
+        entry = provider.entries(now=60_000.0)[0]
+        validate_entry(entry)
+
+    def test_dn_mirrors_figure6(self, site):
+        provider = make_provider(site, mixed_records())
+        entry = provider.entries(now=60_000.0)[0]
+        assert entry.dn == (
+            "cn=131.243.2.91,hostname=dpsslx04.lbl.gov,dc=lbl,dc=gov,o=grid"
+        )
+
+    def test_identity_attributes(self, site):
+        entry = make_provider(site, mixed_records()).entries(now=60_000.0)[0]
+        assert entry.first("gridftpurl") == "gsiftp://dpsslx04.lbl.gov:61000"
+        assert entry.first("hostname") == "dpsslx04.lbl.gov"
+        assert entry.first("numtransfers") == "21"
+
+    def test_bandwidths_in_k_format(self, site):
+        entry = make_provider(site, mixed_records()).entries(now=60_000.0)[0]
+        assert entry.first("minrdbandwidth") == "2000K"
+        assert entry.first("maxrdbandwidth").endswith("K")
+
+    def test_read_write_separated(self, site):
+        entry = make_provider(site, mixed_records()).entries(now=60_000.0)[0]
+        assert entry.first("avgwrbandwidth") == "3000K"
+
+    def test_per_class_attributes_present_only_for_observed_classes(self, site):
+        entry = make_provider(site, mixed_records()).entries(now=60_000.0)[0]
+        assert entry.has("avgrdbandwidth10mbrange")
+        assert entry.has("avgrdbandwidth1gbrange")
+        assert not entry.has("avgrdbandwidth100mbrange")
+
+    def test_predictions_per_class(self, site):
+        entry = make_provider(site, mixed_records()).entries(now=60_000.0)[0]
+        assert entry.has("predictedrdbandwidth10mbrange")
+        assert entry.has("predictedrdbandwidth1gbrange")
+        # Prediction for the small class reflects small-class history only.
+        predicted = float(entry.first("predictedrdbandwidth10mbrange")[:-1])
+        assert 2000 <= predicted <= 3000
+
+    def test_recent_measurements_multivalued(self, site):
+        provider = GridFTPInfoProvider(
+            log=make_provider(site, mixed_records()).log,
+            site=site, url="u", recent=5,
+        )
+        entry = provider.entries(now=60_000.0)[0]
+        assert len(entry.get("recentrdbandwidth")) == 5
+
+    def test_empty_log_produces_no_entry(self, site):
+        provider = GridFTPInfoProvider(log=TransferLog(), site=site, url="u")
+        assert provider.entries(now=0.0) == []
+
+
+class TestReport:
+    def test_timing_breakdown(self, site):
+        provider = make_provider(site, mixed_records())
+        entry, report = provider.report(now=60_000.0)
+        assert entry is not None
+        assert report.n_records == 21
+        assert report.total_seconds == pytest.approx(
+            report.filter_seconds + report.classify_seconds + report.predict_seconds
+        )
+        assert report.total_seconds < 1.0
+
+    def test_validation(self, site):
+        with pytest.raises(ValueError):
+            GridFTPInfoProvider(log=TransferLog(), site=site, url="u", recent=-1)

@@ -1,0 +1,87 @@
+"""LDAP filter parsing and matching."""
+
+import pytest
+
+from repro.mds import Entry, FilterError, parse_filter
+
+
+@pytest.fixture
+def entry():
+    return Entry("cn=1.2.3.4,o=grid", {
+        "objectclass": ["GridFTPPerf"],
+        "hostname": ["dpsslx04.lbl.gov"],
+        "avgrdbandwidth": ["6062K"],
+        "numtransfers": ["42"],
+    })
+
+
+class TestEquality:
+    def test_simple_match(self, entry):
+        assert parse_filter("(objectclass=GridFTPPerf)").matches(entry)
+        assert not parse_filter("(objectclass=Other)").matches(entry)
+
+    def test_case_insensitive_value(self, entry):
+        assert parse_filter("(objectclass=gridftpperf)").matches(entry)
+
+    def test_missing_attribute_no_match(self, entry):
+        assert not parse_filter("(ghost=1)").matches(entry)
+
+    def test_presence(self, entry):
+        assert parse_filter("(hostname=*)").matches(entry)
+        assert not parse_filter("(ghost=*)").matches(entry)
+
+    def test_substring(self, entry):
+        assert parse_filter("(hostname=*.lbl.gov)").matches(entry)
+        assert parse_filter("(hostname=dpss*)").matches(entry)
+        assert not parse_filter("(hostname=*.anl.gov)").matches(entry)
+
+
+class TestComparison:
+    def test_numeric_ge_le(self, entry):
+        assert parse_filter("(numtransfers>=42)").matches(entry)
+        assert parse_filter("(numtransfers<=42)").matches(entry)
+        assert not parse_filter("(numtransfers>=43)").matches(entry)
+
+    def test_bandwidth_suffix_numeric(self, entry):
+        assert parse_filter("(avgrdbandwidth>=5000)").matches(entry)
+        assert parse_filter("(avgrdbandwidth<=7000K)").matches(entry)
+        assert not parse_filter("(avgrdbandwidth>=10000)").matches(entry)
+
+    def test_lexicographic_fallback(self, entry):
+        assert parse_filter("(hostname>=d)").matches(entry)
+        assert not parse_filter("(hostname<=a)").matches(entry)
+
+
+class TestBoolean:
+    def test_and(self, entry):
+        assert parse_filter(
+            "(&(objectclass=GridFTPPerf)(avgrdbandwidth>=5000))"
+        ).matches(entry)
+        assert not parse_filter(
+            "(&(objectclass=GridFTPPerf)(avgrdbandwidth>=9000))"
+        ).matches(entry)
+
+    def test_or(self, entry):
+        assert parse_filter(
+            "(|(hostname=*.anl.gov)(hostname=*.lbl.gov))"
+        ).matches(entry)
+
+    def test_not(self, entry):
+        assert parse_filter("(!(numtransfers=0))").matches(entry)
+        assert not parse_filter("(!(objectclass=GridFTPPerf))").matches(entry)
+
+    def test_nested(self, entry):
+        f = parse_filter(
+            "(&(objectclass=GridFTPPerf)(|(numtransfers>=100)(avgrdbandwidth>=6000)))"
+        )
+        assert f.matches(entry)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "(", "()", "(a)", "(=v)", "(a=)", "(&)", "(a=b)junk",
+        "(a=b", "(!(a=b)(c=d))junk",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(FilterError):
+            parse_filter(bad)

@@ -1,0 +1,73 @@
+"""Soft-state registration."""
+
+import pytest
+
+from repro.mds import SoftStateRegistry
+
+
+def test_register_and_live():
+    reg = SoftStateRegistry()
+    reg.register("gris-lbl", payload="p", ttl=60.0, now=0.0)
+    assert [r.key for r in reg.live(30.0)] == ["gris-lbl"]
+
+
+def test_expiry_without_renewal():
+    reg = SoftStateRegistry()
+    reg.register("g", payload=None, ttl=60.0, now=0.0)
+    assert reg.live(59.9)
+    assert reg.live(60.0) == []          # lease ended exactly at ttl
+    assert reg.get("g", 61.0) is None    # pruned
+
+
+def test_renewal_extends_lease():
+    reg = SoftStateRegistry()
+    reg.register("g", payload=None, ttl=60.0, now=0.0)
+    reg.renew("g", now=50.0)
+    assert reg.live(100.0)
+    assert not reg.live(111.0)
+
+
+def test_renew_with_new_ttl():
+    reg = SoftStateRegistry()
+    reg.register("g", payload=None, ttl=60.0, now=0.0)
+    reg.renew("g", now=10.0, ttl=600.0)
+    assert reg.live(500.0)
+
+
+def test_renew_unknown_raises():
+    with pytest.raises(KeyError):
+        SoftStateRegistry().renew("ghost", now=0.0)
+
+
+def test_reregistration_replaces():
+    reg = SoftStateRegistry()
+    reg.register("g", payload="old", ttl=60.0, now=0.0)
+    reg.register("g", payload="new", ttl=60.0, now=30.0)
+    live = reg.live(80.0)
+    assert len(live) == 1 and live[0].payload == "new"
+
+
+def test_deregister():
+    reg = SoftStateRegistry()
+    reg.register("g", payload=None, ttl=60.0, now=0.0)
+    reg.deregister("g")
+    assert reg.live(1.0) == []
+    reg.deregister("g")  # idempotent
+
+
+def test_validation():
+    reg = SoftStateRegistry()
+    with pytest.raises(ValueError):
+        reg.register("", payload=None, ttl=60.0, now=0.0)
+    with pytest.raises(ValueError):
+        reg.register("g", payload=None, ttl=0.0, now=0.0)
+    reg.register("g", payload=None, ttl=10.0, now=0.0)
+    with pytest.raises(ValueError):
+        reg.renew("g", now=1.0, ttl=-5.0)
+
+
+def test_expires_at_property():
+    reg = SoftStateRegistry()
+    r = reg.register("g", payload=None, ttl=60.0, now=100.0)
+    assert r.expires_at == 160.0
+    assert r.is_live(159.9) and not r.is_live(160.0)

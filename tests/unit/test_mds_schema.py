@@ -1,0 +1,102 @@
+"""Schema validation for GridFTP performance entries."""
+
+import pytest
+
+from repro.mds import Entry, GRIDFTP_PERF, SchemaError, validate_entry
+from repro.mds.schema import Attribute, ObjectClass
+
+
+def minimal_entry():
+    return Entry("cn=1.2.3.4,o=grid", {
+        "objectclass": ["GridFTPPerf"],
+        "cn": ["1.2.3.4"],
+        "hostname": ["h.example.org"],
+        "gridftpurl": ["gsiftp://h.example.org:2811"],
+        "numtransfers": ["42"],
+        "lastupdate": ["998988165.0"],
+    })
+
+
+class TestAttribute:
+    def test_bandwidth_accepts_k_suffix(self):
+        Attribute("x", syntax="bandwidth").check("6062K")
+        Attribute("x", syntax="bandwidth").check("6062")
+
+    def test_bandwidth_rejects_garbage_and_negative(self):
+        attr = Attribute("x", syntax="bandwidth")
+        with pytest.raises(SchemaError):
+            attr.check("fast")
+        with pytest.raises(SchemaError):
+            attr.check("-5K")
+
+    def test_integer_rejects_float(self):
+        attr = Attribute("n", syntax="integer")
+        attr.check("10")
+        with pytest.raises(SchemaError):
+            attr.check("10.5")
+
+    def test_unknown_syntax_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("x", syntax="blob")
+
+
+class TestValidateEntry:
+    def test_minimal_valid(self):
+        validate_entry(minimal_entry())
+
+    def test_full_figure6_entry(self):
+        e = minimal_entry()
+        e.add("minrdbandwidth", "1462K")
+        e.add("maxrdbandwidth", "12800K")
+        e.add("avgrdbandwidth", "6062K")
+        e.add("avgrdbandwidth10mbrange", "5714K")
+        e.add("predictedrdbandwidth1gbrange", "8000K")
+        e.add("recentrdbandwidth", "100K")
+        e.add("recentrdbandwidth", "200K")
+        validate_entry(e)
+
+    def test_missing_required(self):
+        e = minimal_entry()
+        e._attrs.pop("hostname")  # simulate provider bug
+        with pytest.raises(SchemaError, match="hostname"):
+            validate_entry(e)
+
+    def test_unknown_attribute_rejected(self):
+        e = minimal_entry()
+        e.add("madeup", "1")
+        with pytest.raises(SchemaError, match="madeup"):
+            validate_entry(e)
+
+    def test_single_valued_enforced(self):
+        e = minimal_entry()
+        e.add("avgrdbandwidth", "1K")
+        e.add("avgrdbandwidth", "2K")
+        with pytest.raises(SchemaError, match="single-valued"):
+            validate_entry(e)
+
+    def test_syntax_enforced(self):
+        e = minimal_entry()
+        e.set("numtransfers", "many")
+        with pytest.raises(SchemaError):
+            validate_entry(e)
+
+
+class TestObjectClass:
+    def test_attribute_lookup(self):
+        assert GRIDFTP_PERF.attribute("AVGRDBANDWIDTH").syntax == "bandwidth"
+        with pytest.raises(KeyError):
+            GRIDFTP_PERF.attribute("nope")
+
+    def test_per_class_attributes_exist(self):
+        names = GRIDFTP_PERF.known_names()
+        for label in ("10mb", "100mb", "500mb", "1gb"):
+            assert f"avgrdbandwidth{label}range" in names
+            assert f"predictedrdbandwidth{label}range" in names
+
+    def test_custom_objectclass(self):
+        oc = ObjectClass(
+            name="Mini",
+            required=(Attribute("objectclass"), Attribute("cn")),
+        )
+        e = Entry("cn=x", {"objectclass": ["Mini"], "cn": ["x"]})
+        validate_entry(e, oc)

@@ -1,0 +1,71 @@
+"""Classified predictor wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import History
+from repro.core.predictors import ClassifiedPredictor, TotalAverage
+from repro.core.predictors.base import PredictorError
+from repro.units import MB
+
+
+@pytest.fixture
+def mixed_history():
+    # Small files slow (1 MB/s), large files fast (8 MB/s).
+    return History(
+        times=np.arange(6, dtype=float),
+        values=np.array([1e6, 8e6, 1e6, 8e6, 1e6, 8e6]),
+        sizes=np.array([10 * MB, 900 * MB] * 3),
+    )
+
+
+def test_filters_history_to_target_class(mixed_history, classification):
+    p = ClassifiedPredictor(TotalAverage(), classification)
+    small = p.predict(mixed_history, target_size=20 * MB, now=10.0)
+    large = p.predict(mixed_history, target_size=1000 * MB, now=10.0)
+    assert small == pytest.approx(1e6)
+    assert large == pytest.approx(8e6)
+
+
+def test_unclassified_would_blur(mixed_history):
+    blurred = TotalAverage().predict(mixed_history, target_size=20 * MB, now=10.0)
+    assert blurred == pytest.approx(4.5e6)  # the mixing classification avoids
+
+
+def test_requires_target_size(mixed_history, classification):
+    p = ClassifiedPredictor(TotalAverage(), classification)
+    with pytest.raises(PredictorError):
+        p.predict(mixed_history, now=10.0)
+
+
+def test_abstains_when_class_empty(mixed_history, classification):
+    p = ClassifiedPredictor(TotalAverage(), classification)
+    assert p.predict(mixed_history, target_size=100 * MB, now=10.0) is None
+
+
+def test_fallback_uses_full_history(mixed_history, classification):
+    p = ClassifiedPredictor(TotalAverage(), classification, fallback=True)
+    assert p.predict(mixed_history, target_size=100 * MB, now=10.0) == pytest.approx(4.5e6)
+
+
+def test_name_prefix(classification):
+    assert ClassifiedPredictor(TotalAverage(), classification).name == "C-AVG"
+
+
+def test_double_wrapping_rejected(classification):
+    inner = ClassifiedPredictor(TotalAverage(), classification)
+    with pytest.raises(PredictorError):
+        ClassifiedPredictor(inner, classification)
+
+
+def test_custom_classification():
+    from repro.core import Classification
+
+    cls = Classification(edges=(100 * MB,), labels=("s", "l"))
+    h = History(
+        times=np.arange(2, dtype=float),
+        values=np.array([1e6, 9e6]),
+        sizes=np.array([50 * MB, 200 * MB]),
+    )
+    p = ClassifiedPredictor(TotalAverage(), cls)
+    assert p.predict(h, target_size=60 * MB, now=5.0) == pytest.approx(1e6)

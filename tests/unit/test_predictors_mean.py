@@ -1,0 +1,69 @@
+"""Mean-based predictors (AVG family)."""
+
+import numpy as np
+import pytest
+
+from repro.core import History
+from repro.core.predictors import TemporalAverage, TotalAverage, WindowedAverage
+from repro.core.predictors.base import PredictorError
+from repro.units import HOUR
+
+
+def hist(values, spacing=HOUR, sizes=None):
+    n = len(values)
+    return History(
+        times=np.arange(n) * spacing,
+        values=np.asarray(values, dtype=float),
+        sizes=np.asarray(sizes if sizes is not None else [100] * n),
+    )
+
+
+class TestTotalAverage:
+    def test_mean_of_everything(self):
+        assert TotalAverage().predict(hist([1, 2, 3, 4])) == pytest.approx(2.5)
+
+    def test_empty_abstains(self):
+        assert TotalAverage().predict(History.empty(), now=0.0) is None
+
+    def test_name(self):
+        assert TotalAverage().name == "AVG"
+
+
+class TestWindowedAverage:
+    def test_window_of_5(self):
+        p = WindowedAverage(5)
+        assert p.predict(hist([100, 100, 1, 2, 3, 4, 5])) == pytest.approx(3.0)
+        assert p.name == "AVG5"
+
+    def test_short_history_uses_what_exists(self):
+        assert WindowedAverage(25).predict(hist([2, 4])) == pytest.approx(3.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(PredictorError):
+            WindowedAverage(0)
+
+
+class TestTemporalAverage:
+    def test_window_anchored_at_now(self):
+        h = hist([10, 20, 30], spacing=HOUR)  # times 0h, 1h, 2h
+        p = TemporalAverage(hours=1.5)
+        # now = 2.2h -> window [0.7h, 2.2h] -> values at 1h and 2h.
+        assert p.predict(h, now=2.2 * HOUR) == pytest.approx(25.0)
+
+    def test_now_defaults_to_last_observation(self):
+        h = hist([10, 20, 30], spacing=HOUR)
+        # Anchor 2h: window [2h - 1h, 2h] includes only the last value
+        # (1h-old observation is exactly at the boundary -> included).
+        assert TemporalAverage(hours=1).predict(h) == pytest.approx(25.0)
+
+    def test_empty_window_abstains(self):
+        h = hist([10, 20], spacing=HOUR)
+        assert TemporalAverage(hours=0.5).predict(h, now=10 * HOUR) is None
+
+    def test_name(self):
+        assert TemporalAverage(hours=15).name == "AVG15hr"
+        assert TemporalAverage(hours=2.5).name == "AVG2.5hr"
+
+    def test_invalid_hours(self):
+        with pytest.raises(PredictorError):
+            TemporalAverage(hours=0)

@@ -1,0 +1,48 @@
+"""Median-based predictors and last value."""
+
+import pytest
+
+from repro.core import History
+from repro.core.predictors import LastValue, TotalMedian, WindowedMedian
+from repro.core.predictors.base import PredictorError
+from tests.unit.test_predictors_mean import hist
+
+
+class TestTotalMedian:
+    def test_odd_count(self):
+        assert TotalMedian().predict(hist([1, 100, 3])) == pytest.approx(3.0)
+
+    def test_even_count_averages_middle(self):
+        """The paper's even-t convention: mean of the two middle values."""
+        assert TotalMedian().predict(hist([1, 2, 3, 100])) == pytest.approx(2.5)
+
+    def test_rejects_asymmetric_outliers(self):
+        """Medians shrug off the burst-induced low outliers (Section 4.1)."""
+        values = [10.0] * 9 + [0.5]
+        assert TotalMedian().predict(hist(values)) == pytest.approx(10.0)
+
+    def test_empty_abstains(self):
+        assert TotalMedian().predict(History.empty(), now=0.0) is None
+
+
+class TestWindowedMedian:
+    def test_window(self):
+        p = WindowedMedian(3)
+        assert p.predict(hist([100, 100, 1, 2, 300])) == pytest.approx(2.0)
+        assert p.name == "MED3"
+
+    def test_invalid_window(self):
+        with pytest.raises(PredictorError):
+            WindowedMedian(-1)
+
+
+class TestLastValue:
+    def test_returns_latest(self):
+        assert LastValue().predict(hist([5, 6, 7])) == pytest.approx(7.0)
+
+    def test_empty_abstains(self):
+        assert LastValue().predict(History.empty(), now=0.0) is None
+
+    def test_chases_outliers(self):
+        """LV's weakness: it repeats whatever just happened."""
+        assert LastValue().predict(hist([10, 10, 10, 0.5])) == pytest.approx(0.5)

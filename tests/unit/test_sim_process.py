@@ -1,0 +1,109 @@
+"""Generator-based processes."""
+
+import pytest
+
+from repro.sim import Delay, Engine, Process, SimulationError
+
+
+def test_delay_rejects_negative():
+    with pytest.raises(SimulationError):
+        Delay(-1.0)
+
+
+def test_process_runs_with_delays():
+    eng = Engine()
+    ticks = []
+
+    def proc():
+        for _ in range(3):
+            ticks.append(eng.now)
+            yield Delay(10.0)
+
+    Process(eng, proc())
+    eng.run()
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_process_completes_and_is_dead():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.0)
+
+    p = Process(eng, proc())
+    assert p.alive
+    eng.run()
+    assert not p.alive
+
+
+def test_process_starts_at_current_time_not_immediately():
+    """Construction schedules the first step; nothing runs until the engine does."""
+    eng = Engine()
+    ran = []
+
+    def proc():
+        ran.append(eng.now)
+        yield Delay(1.0)
+
+    Process(eng, proc())
+    assert ran == []
+    eng.run()
+    assert ran == [0.0]
+
+
+def test_interrupt_stops_process():
+    eng = Engine()
+    ticks = []
+
+    def proc():
+        while True:
+            ticks.append(eng.now)
+            yield Delay(5.0)
+
+    p = Process(eng, proc())
+    eng.run(until=12.0)
+    p.interrupt()
+    eng.run(until=100.0)
+    assert ticks == [0.0, 5.0, 10.0]
+    assert not p.alive
+
+
+def test_interrupt_is_idempotent():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.0)
+
+    p = Process(eng, proc())
+    p.interrupt()
+    p.interrupt()
+    assert not p.alive
+
+
+def test_yielding_non_delay_is_an_error():
+    eng = Engine()
+
+    def proc():
+        yield 42
+
+    p = Process(eng, proc())
+    with pytest.raises(SimulationError):
+        eng.run()
+    assert not p.alive
+
+
+def test_two_processes_interleave():
+    eng = Engine()
+    order = []
+
+    def make(tag, period):
+        def proc():
+            for _ in range(2):
+                order.append((tag, eng.now))
+                yield Delay(period)
+        return proc
+
+    Process(eng, make("a", 3.0)())
+    Process(eng, make("b", 5.0)())
+    eng.run()
+    assert order == [("a", 0.0), ("b", 0.0), ("a", 3.0), ("b", 5.0)]

@@ -1,0 +1,51 @@
+"""Open (Poisson) workload."""
+
+import pytest
+
+from repro.units import HOUR
+from repro.workload import AUG_2001, OpenWorkload, OpenWorkloadConfig, build_testbed
+
+
+def run_workload(duration=12 * HOUR, mean_interarrival=0.25 * HOUR):
+    bed = build_testbed(seed=4, start_time=AUG_2001)
+    seen = []
+    cfg = OpenWorkloadConfig(
+        mean_interarrival=mean_interarrival,
+        duration=duration,
+        logical_names=("lfn://a", "lfn://b"),
+    )
+    wl = OpenWorkload(bed, cfg, handler=lambda name, now: seen.append((name, now)))
+    wl.start()
+    bed.engine.run(until=AUG_2001 + duration + HOUR)
+    wl.stop()
+    return wl, seen
+
+
+def test_requests_fire_with_expected_rate():
+    wl, seen = run_workload()
+    # 12h / 15min = 48 expected arrivals; Poisson spread.
+    assert 25 <= len(seen) <= 75
+
+
+def test_handler_receives_names_from_config():
+    _, seen = run_workload()
+    assert {name for name, _ in seen} <= {"lfn://a", "lfn://b"}
+
+
+def test_requests_recorded():
+    # wl.requests stores (time, name); the handler receives (name, time).
+    wl, seen = run_workload()
+    assert wl.requests == [(now, name) for name, now in seen]
+
+
+def test_stops_after_duration():
+    wl, seen = run_workload(duration=2 * HOUR)
+    assert all(now <= AUG_2001 + 2 * HOUR for _, now in seen)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OpenWorkloadConfig(mean_interarrival=0, duration=1,
+                           logical_names=("x",))
+    with pytest.raises(ValueError):
+        OpenWorkloadConfig(duration=1, logical_names=())
