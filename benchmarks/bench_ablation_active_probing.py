@@ -18,7 +18,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import History, paper_classification
-from repro.core.predictors import classified_predictors
+from repro.core.predictors import resolve
 from repro.units import MB
 from repro.workload import (
     AUG_2001,
@@ -77,7 +77,7 @@ def test_active_probing_vs_passive(benchmark):
         out = {}
         for mode, active in (("passive", False), ("active", True)):
             records, organic = run_world(active)
-            predictor = classified_predictors()["C-AVG5"]
+            predictor = resolve("C-AVG5")
             mape, n = score_organic(records, organic, predictor)
             out[mode] = (mape, n, len(records))
         return out

@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import Classification, evaluate
-from repro.core.predictors import classified_predictors
+from repro.core.predictors import CLASSIFIED_PREDICTOR_NAMES, resolve_battery
 from repro.units import MB
 
 PARTITIONS = {
@@ -34,7 +34,7 @@ PARTITIONS = {
 
 
 def battery_mape(records, classification):
-    battery = classified_predictors(classification)
+    battery = resolve_battery(CLASSIFIED_PREDICTOR_NAMES, classification=classification)
     result = evaluate(records, battery)
     values = [v for v in result.mape_table().values() if v == v]
     return float(np.mean(values))

@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import evaluate
-from repro.core.predictors import DynamicSelector, paper_predictors
+from repro.core.predictors import DynamicSelector, resolve
 
 MEMBERS = ("AVG", "AVG5", "AVG15", "MED15", "LV")
 
@@ -20,9 +20,8 @@ MEMBERS = ("AVG", "AVG5", "AVG15", "MED15", "LV")
 @pytest.mark.benchmark(group="ablation-dynamic")
 def test_dynamic_selection_vs_fixed(benchmark, august):
     records = august["LBL-ANL"].log.records()
-    base = paper_predictors()
-    battery = {name: base[name] for name in MEMBERS}
-    battery["DYN"] = DynamicSelector([paper_predictors()[n] for n in MEMBERS])
+    battery = {name: resolve(name) for name in MEMBERS}
+    battery["DYN"] = DynamicSelector([resolve(n) for n in MEMBERS])
 
     result = benchmark.pedantic(
         lambda: evaluate(records, battery), rounds=1, iterations=1

@@ -9,16 +9,14 @@ campaign log.
 
 import pytest
 
-from repro.core import evaluate, fast_evaluate
-from repro.core.predictors import classified_predictors, paper_predictors
+from repro.core import evaluate
 
 
 @pytest.mark.benchmark(group="ablation-fast-evaluate")
 def test_generic_evaluator(benchmark, august):
     records = august["LBL-ANL"].log.records()
-    battery = {**paper_predictors(), **classified_predictors()}
     result = benchmark.pedantic(
-        lambda: evaluate(records, battery), rounds=3, iterations=1
+        lambda: evaluate(records, engine="generic"), rounds=3, iterations=1
     )
     assert len(result.names()) == 30
 
@@ -26,5 +24,5 @@ def test_generic_evaluator(benchmark, august):
 @pytest.mark.benchmark(group="ablation-fast-evaluate")
 def test_vectorized_evaluator(benchmark, august):
     records = august["LBL-ANL"].log.records()
-    result = benchmark(lambda: fast_evaluate(records))
+    result = benchmark(lambda: evaluate(records, engine="fast"))
     assert len(result.names()) == 30

@@ -17,11 +17,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import evaluate, paper_classification
-from repro.core.predictors import (
-    ClassifiedPredictor,
-    HybridPredictor,
-    classified_predictors,
-)
+from repro.core.predictors import ClassifiedPredictor, HybridPredictor, resolve
 
 
 @pytest.mark.benchmark(group="ablation-hybrid")
@@ -34,8 +30,8 @@ def test_hybrid_vs_log_only(benchmark, august_nws):
     )
     hybrid.name = "C-HYBRID"
     battery = {
-        "C-AVG15": classified_predictors()["C-AVG15"],
-        "C-LV": classified_predictors()["C-LV"],
+        "C-AVG15": resolve("C-AVG15"),
+        "C-LV": resolve("C-LV"),
         "C-HYBRID": hybrid,
     }
     result = benchmark.pedantic(

@@ -14,7 +14,7 @@ starts to cost accuracy.
 import pytest
 
 from repro.analysis import render_table
-from repro.core.predictors import paper_predictors
+from repro.core.predictors import resolve
 from repro.logs import KeepAll, MaxCount, RunningWindow, TransferLog
 from repro.units import DAY
 
@@ -31,7 +31,7 @@ POLICIES = [
 def replay_with_policy(records, policy):
     """Walk the log; before each transfer, predict from the *retained*
     history under the policy, then append the record."""
-    predictor = paper_predictors()["AVG15"]
+    predictor = resolve("AVG15")
     log = TransferLog(trim=policy)
     errors = []
     from repro.core import History

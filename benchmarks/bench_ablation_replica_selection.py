@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import ReplicaBroker, RiskAdjustedRanking
-from repro.core.predictors import classified_predictors
+from repro.core.predictors import resolve
 from repro.storage import ReplicaCatalog
 from repro.units import HOUR, MB
 from repro.workload import AUG_2001, build_testbed
@@ -55,7 +55,7 @@ def run_policy(policy, seed=21):
     broker = ReplicaBroker(
         catalog,
         {site: server.monitor.log for site, server in servers.items()},
-        classified_predictors(fallback=True)["C-AVG15"],
+        resolve("C-AVG15", fallback=True),
     )
     risk_broker = RiskAdjustedRanking(broker, risk_aversion=0.5)
     rng = np.random.default_rng(seed)

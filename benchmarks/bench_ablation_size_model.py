@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import evaluate, paper_classification
-from repro.core.predictors import SizeScaledPredictor, classified_predictors
+from repro.core.predictors import SizeScaledPredictor, resolve
 
 
 @pytest.mark.benchmark(group="ablation-size-model")
@@ -20,8 +20,8 @@ def test_size_model_vs_classification(benchmark, august):
     records = august["LBL-ANL"].log.records()
     battery = {
         "SIZE (continuous)": SizeScaledPredictor(),
-        "C-AVG15 (binned)": classified_predictors()["C-AVG15"],
-        "C-AVG (binned)": classified_predictors()["C-AVG"],
+        "C-AVG15 (binned)": resolve("C-AVG15"),
+        "C-AVG (binned)": resolve("C-AVG"),
     }
     result = benchmark.pedantic(
         lambda: evaluate(records, battery), rounds=1, iterations=1

@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import evaluate
-from repro.core.predictors import classified_predictors
+from repro.core.predictors import CLASSIFIED_PREDICTOR_NAMES
 
 PREFIXES = (1, 5, 15, 50, 100)
 
@@ -23,7 +23,7 @@ def test_training_prefix_sweep(benchmark, august):
     def sweep():
         out = {}
         for training in PREFIXES:
-            result = evaluate(records, classified_predictors(), training=training)
+            result = evaluate(records, CLASSIFIED_PREDICTOR_NAMES, training=training)
             values = [v for v in result.mape_table().values() if v == v]
             abstained = sum(t.abstentions for t in result.traces.values())
             out[training] = (float(np.mean(values)), abstained)

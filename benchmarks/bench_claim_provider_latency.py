@@ -12,7 +12,7 @@ vectorized path must beat the paper's bar by a wide margin.
 
 import pytest
 
-from repro.core.predictors import paper_predictors
+from repro.core.predictors import resolve
 from repro.logs import TransferLog
 from repro.mds import GridFTPInfoProvider, format_entries
 from repro.net import Site
@@ -46,7 +46,7 @@ def test_provider_latency_on_700_entries(benchmark, tmp_path):
                 hostname="dpsslx04.lbl.gov")
     provider = GridFTPInfoProvider(
         log=log, site=site, url="gsiftp://dpsslx04.lbl.gov:61000",
-        predictor=paper_predictors()["AVG15"],
+        predictor=resolve("AVG15"),
     )
     now = log.latest().end_time + 1.0
 

@@ -1,0 +1,68 @@
+"""Service claim: warm cached predictions beat cold full-log scans >=10x.
+
+The batch information provider re-reads and re-summarizes the whole
+transfer log on every cache-miss inquiry — the cost the paper measured
+at 1–2 s for ~700 entries.  The online service answers from warm
+per-link arrays through a version-keyed LRU, so a repeated inquiry costs
+a dictionary probe.  This benchmark quantifies both on the shipped
+``data/aug-LBL-ANL.ulm`` log:
+
+* **cold** — a fresh ``GridFTPInfoProvider`` scan of the full log
+  (filter + classify + summarize + predict), per inquiry;
+* **warm** — ``PredictionService.predict`` hitting the cache.
+
+The >=10x ratio is asserted (it is typically orders of magnitude).
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.predictors import resolve
+from repro.logs import TransferLog
+from repro.mds import GridFTPInfoProvider
+from repro.net import Site
+from repro.service import PredictionService
+
+DATA = Path(__file__).resolve().parent.parent / "data" / "aug-LBL-ANL.ulm"
+TARGET = 600_000_000
+
+
+def _cold_inquiry(log, now):
+    site = Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+                hostname="dpsslx04.lbl.gov")
+    provider = GridFTPInfoProvider(
+        log=log, site=site, url="gsiftp://dpsslx04.lbl.gov:61000",
+        predictor=resolve("AVG15"),
+    )
+    return provider.entries(now)
+
+
+@pytest.mark.benchmark(group="claim-service")
+def test_warm_service_beats_cold_provider_scan(benchmark):
+    log = TransferLog.load(DATA)
+    now = log.latest().end_time + 60.0
+
+    service = PredictionService()
+    link, n = service.ingest_ulm(DATA)
+    assert n == len(log)
+    service.predict(link, TARGET, now=now)  # populate the cache
+
+    # Cold baseline: average several full provider scans.
+    rounds = 5
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        entries = _cold_inquiry(log, now)
+    cold = (time.perf_counter() - t0) / rounds
+    assert entries
+
+    prediction = benchmark(lambda: service.predict(link, TARGET, now=now))
+    assert prediction.cached and prediction.value is not None
+
+    warm = benchmark.stats["mean"]
+    print()
+    print(f"cold provider scan: {cold * 1e3:.3f} ms; "
+          f"warm cached predict: {warm * 1e6:.2f} us; "
+          f"speedup {cold / warm:.0f}x")
+    assert cold / warm >= 10.0

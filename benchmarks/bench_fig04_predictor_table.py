@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core import History
-from repro.core.predictors import paper_predictors
+from repro.core.predictors import PAPER_PREDICTOR_NAMES as _NAMES, resolve
 from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
 
 ROWS = [
@@ -30,7 +30,7 @@ ROWS = [
 def test_fig04_battery(benchmark, august):
     records = august["LBL-ANL"].log.records()
     history = History.from_records(records)
-    battery = paper_predictors()
+    battery = {name: resolve(name) for name in _NAMES}
     now = float(history.times[-1]) + 60.0
 
     def predict_all():

@@ -8,7 +8,7 @@ is one full provider run (filter + classify + predict + render).
 
 import pytest
 
-from repro.core.predictors import paper_predictors
+from repro.core.predictors import resolve
 from repro.mds import GridFTPInfoProvider, format_entries, validate_entry
 from repro.workload import AUG_2001, build_testbed
 
@@ -22,7 +22,7 @@ def test_fig06_provider_entry(benchmark, august):
         log=output.log,
         site=site,
         url="gsiftp://dpsslx04.lbl.gov:61000",
-        predictor=paper_predictors()["AVG15"],
+        predictor=resolve("AVG15"),
     )
     now = output.log.latest().end_time + 60.0
 

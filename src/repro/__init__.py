@@ -44,6 +44,7 @@ from repro.core.predictors import (
     classified_predictors,
     make_predictor,
     paper_predictors,
+    resolve,
 )
 from repro.logs import TransferLog, TransferRecord, Operation
 from repro.workload import AUG_2001, DEC_2001, build_testbed, run_month
@@ -63,6 +64,7 @@ __all__ = [
     "classified_predictors",
     "make_predictor",
     "paper_predictors",
+    "resolve",
     "TransferLog",
     "TransferRecord",
     "Operation",

@@ -12,8 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.classification import Classification, paper_classification
+from repro.core.engine import evaluate
 from repro.core.evaluation import EvaluationResult
-from repro.core.fast import fast_evaluate
 from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
 from repro.logs.record import TransferRecord
 
@@ -51,11 +51,12 @@ def compute_class_errors(
 ) -> ClassErrors:
     """Run the 30-predictor evaluation and bucket errors by size class.
 
-    Uses the vectorized evaluator (:func:`repro.core.fast.fast_evaluate`),
-    which the test suite proves trace-identical to the generic walk.
+    Goes through the :func:`repro.core.engine.evaluate` facade, which
+    routes the full battery to the vectorized engine (proved
+    trace-identical to the generic walk by the parity tests).
     """
     cls = classification or paper_classification()
-    result = fast_evaluate(records, training=training, classification=cls)
+    result = evaluate(records, training=training, classification=cls)
 
     classified: Dict[str, Dict[str, float]] = {}
     unclassified: Dict[str, Dict[str, float]] = {}

@@ -1,23 +1,31 @@
-"""Command-line interface: run campaigns and print figure analogues.
+"""Command-line interface: campaigns, reports, evaluation, and serving.
 
 Examples::
 
     repro campaign --month aug --seed 1 --out-dir logs/
     repro report census --seed 1
     repro report errors --link LBL-ANL --class 1GB --seed 1
-    repro report classification --link ISI-ANL --seed 1
-    repro report relative --link LBL-ANL --class 100MB --seed 1
-    repro report nws --link LBL-ANL --seed 1
-    repro report summary --seed 1
-    repro evaluate logs/aug-LBL-ANL.ulm --predictors C-AVG15,C-MED,SIZE
+    repro report relative --link LBL-ANL --class 100MB --predictors C-AVG15,C-LV
+    repro evaluate logs/aug-LBL-ANL.ulm --predictors C-AVG15,C-MED,SIZE --json
+    repro serve --socket /tmp/repro.sock data/*.ulm --follow
+    repro query predict --socket /tmp/repro.sock --link aug-LBL-ANL --size 1GB
+    repro query rank --logs data/aug-LBL-ANL.ulm,data/aug-ISI-ANL.ulm --size 100MB
+
+Conventions: predictor sets are always ``--predictors`` (comma-separated
+specs), size classes are always ``--class``, machine-readable output is
+always ``--json``.  Exit codes: 0 success, 1 operational error (bad
+predictor name, missing link, server unreachable), 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis import (
     check_summary_claims,
@@ -34,9 +42,8 @@ from repro.analysis import (
     render_summary,
 )
 from repro.core.classification import PAPER_CLASS_LABELS, paper_classification
-from repro.core.evaluation import evaluate
-from repro.core.predictors.registry import classified_predictors, make_predictor
-from repro.core.predictors.size_model import SizeScaledPredictor
+from repro.core.engine import ENGINES, evaluate
+from repro.core.predictors.registry import CLASSIFIED_PREDICTOR_NAMES, resolve
 from repro.logs.logfile import TransferLog
 from repro.workload import AUG_2001, DEC_2001, run_month, run_month_with_nws
 from repro.workload.campaigns import CampaignOutput
@@ -44,6 +51,8 @@ from repro.workload.campaigns import CampaignOutput
 __all__ = ["main"]
 
 _MONTHS = {"aug": AUG_2001, "dec": DEC_2001}
+
+_SIZE_SUFFIXES = {"KB": 10**3, "MB": 10**6, "GB": 10**9}
 
 
 def _start_epoch(month: str) -> float:
@@ -59,6 +68,46 @@ def _run(month: str, seed: int, with_nws: bool = False) -> Dict[str, CampaignOut
     return runner(start_epoch=start, seed=seed)
 
 
+def _parse_size(text: str) -> int:
+    """Bytes from ``1000000``, ``100MB``, ``1GB``, ... (decimal units)."""
+    raw = text.strip().upper()
+    for suffix, scale in _SIZE_SUFFIXES.items():
+        if raw.endswith(suffix):
+            try:
+                return int(float(raw[: -len(suffix)]) * scale)
+            except ValueError:
+                break
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"bad size {text!r}; expected bytes or a KB/MB/GB suffix"
+        ) from None
+
+
+def _parse_specs(text: str) -> List[str]:
+    """Validated predictor specs from a comma-separated ``--predictors``."""
+    names = [n.strip() for n in text.split(",") if n.strip()]
+    if not names:
+        raise SystemExit("--predictors must name at least one predictor")
+    for name in names:
+        try:
+            resolve(name)
+        except KeyError:
+            raise SystemExit(
+                f"unknown predictor {name!r}; expected a Figure 4 name "
+                f"(optionally C- prefixed) or SIZE"
+            ) from None
+    return names
+
+
+def _emit(payload: dict, as_json: bool, text: str) -> None:
+    print(json.dumps(payload, indent=2) if as_json else text)
+
+
+# ----------------------------------------------------------------------
+# campaign / report / export
+# ----------------------------------------------------------------------
 def _cmd_campaign(args: argparse.Namespace) -> int:
     outputs = _run(args.month, args.seed)
     out_dir = Path(args.out_dir)
@@ -97,9 +146,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(render_classification_impact(compute_classification_impact(errors)))
             print()
         elif kind == "relative":
+            if args.predictors:
+                names = tuple(_parse_specs(args.predictors))
+                missing = [n for n in names if n not in errors.result.traces]
+                if missing:
+                    raise SystemExit(
+                        f"predictors not in the evaluated battery: {missing}"
+                    )
+            else:
+                names = tuple(CLASSIFIED_PREDICTOR_NAMES)
             table = compute_relative_table(
-                link, errors.result,
-                predictor_names=tuple(classified_predictors()),
+                link, errors.result, predictor_names=names,
             )
             for label in _labels(args.size_class):
                 print(render_relative_table(table, label))
@@ -109,55 +166,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
         else:  # pragma: no cover - argparse restricts choices
             raise SystemExit(f"unknown report kind {kind!r}")
-    return 0
-
-
-def _resolve_predictor(name: str):
-    """Registry names plus the SIZE extension; raises SystemExit on typos."""
-    if name == "SIZE":
-        return SizeScaledPredictor()
-    try:
-        return make_predictor(name)
-    except KeyError:
-        raise SystemExit(
-            f"unknown predictor {name!r}; expected a Figure 4 name "
-            f"(optionally C- prefixed) or SIZE"
-        ) from None
-
-
-def _cmd_evaluate(args: argparse.Namespace) -> int:
-    """Walk predictors over an external ULM log file."""
-    from repro.analysis.report import render_table
-
-    log = TransferLog.load(args.log_file)
-    if len(log) <= args.training:
-        raise SystemExit(
-            f"{args.log_file}: {len(log)} records, need more than "
-            f"the training prefix ({args.training})"
-        )
-    names = [n.strip() for n in args.predictors.split(",") if n.strip()]
-    battery = {name: _resolve_predictor(name) for name in names}
-    result = evaluate(log.records(), battery, training=args.training)
-
-    cls = paper_classification()
-    rows = []
-    for name in names:
-        trace = result[name]
-        row = [name]
-        for label in cls.labels:
-            row.append(trace.mean_abs_pct_error(trace.class_mask(cls, label)))
-        row.append(trace.mean_abs_pct_error())
-        row.append(trace.abstentions)
-        rows.append(row)
-    print(render_table(
-        ["predictor", *cls.labels, "overall", "abstained"],
-        rows,
-        title=(
-            f"{args.log_file}: {len(log)} records, "
-            f"{len(log) - args.training} predictions per predictor "
-            f"(MAPE %)"
-        ),
-    ))
     return 0
 
 
@@ -195,6 +203,209 @@ def _labels(size_class: Optional[str]) -> tuple:
     return (size_class,)
 
 
+# ----------------------------------------------------------------------
+# evaluate
+# ----------------------------------------------------------------------
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    """Walk predictors over an external ULM log file via the facade."""
+    from repro.analysis.report import render_table
+
+    log = TransferLog.load(args.log_file)
+    if len(log) <= args.training:
+        raise SystemExit(
+            f"{args.log_file}: {len(log)} records, need more than "
+            f"the training prefix ({args.training})"
+        )
+    names = _parse_specs(args.predictors)
+    result = evaluate(
+        log.records(), names, training=args.training, engine=args.engine
+    )
+
+    cls = paper_classification()
+    labels = _labels(args.size_class)
+    rows = []
+    report = []
+    for name in names:
+        trace = result[name]
+        per_class = {
+            label: trace.mean_abs_pct_error(trace.class_mask(cls, label))
+            for label in labels
+        }
+        overall = trace.mean_abs_pct_error()
+        rows.append([name, *per_class.values(), overall, trace.abstentions])
+        report.append({
+            "name": name,
+            "per_class_mape": per_class,
+            "overall_mape": overall,
+            "abstentions": trace.abstentions,
+        })
+
+    _emit(
+        {
+            "log": str(args.log_file),
+            "records": len(log),
+            "training": args.training,
+            "predictions_per_predictor": len(log) - args.training,
+            "predictors": report,
+        },
+        args.json,
+        render_table(
+            ["predictor", *labels, "overall", "abstained"],
+            rows,
+            title=(
+                f"{args.log_file}: {len(log)} records, "
+                f"{len(log) - args.training} predictions per predictor "
+                f"(MAPE %)"
+            ),
+        ),
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve / query
+# ----------------------------------------------------------------------
+def _build_service(log_paths: List[str], spec: str, cache_size: int,
+                   link: Optional[str] = None):
+    from repro.service import PredictionService
+
+    service = PredictionService(default_spec=spec, cache_size=cache_size)
+    if link is not None and len(log_paths) > 1:
+        raise SystemExit("--link only applies to a single log file")
+    for path in log_paths:
+        if not Path(path).exists():
+            raise SystemExit(f"no such log file: {path}")
+        name, count = service.ingest_ulm(path, link=link)
+        print(f"{name}: ingested {count} records from {path}", file=sys.stderr)
+    return service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import LogFollower, ServiceServer
+
+    try:
+        resolve(args.spec)
+    except KeyError:
+        raise SystemExit(f"unknown predictor {args.spec!r}") from None
+    service = _build_service(args.logs, args.spec, args.cache_size, args.link)
+
+    followers = []
+    if args.follow:
+        followers = [
+            LogFollower(path, service.observe, link=args.link)
+            for path in args.logs
+        ]
+        for follower in followers:
+            # The logs were just bulk-ingested; only future appends
+            # should flow through the follower.
+            follower.seek_to_end()
+
+    if args.oneshot:
+        print(json.dumps(service.status(), indent=2))
+        return 0
+
+    if not args.socket:
+        raise SystemExit("serve needs --socket (or --oneshot)")
+    server = ServiceServer(service, args.socket)
+    print(f"serving {len(service.links())} links on {args.socket}", file=sys.stderr)
+    if args.follow:
+        import threading
+
+        def _poll_loop() -> None:
+            while True:
+                for follower in followers:
+                    follower.poll()
+                time.sleep(args.interval)
+
+        threading.Thread(target=_poll_loop, name="repro-tail", daemon=True).start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    req: Dict[str, object] = {"op": args.op}
+    if args.op == "predict":
+        if not args.link or args.size is None:
+            raise SystemExit("query predict needs --link and --size")
+        req.update({"link": args.link, "size": _parse_size(args.size)})
+    elif args.op == "rank":
+        if not args.candidates or args.size is None:
+            raise SystemExit("query rank needs --candidates and --size")
+        req.update({
+            "candidates": [c.strip() for c in args.candidates.split(",") if c.strip()],
+            "size": _parse_size(args.size),
+        })
+    if args.spec:
+        req["spec"] = args.spec
+    if args.now is not None:
+        req["now"] = args.now
+
+    if args.socket:
+        from repro.service.server import request
+
+        try:
+            response = request(args.socket, req)
+        except (OSError, ConnectionError) as exc:
+            raise SystemExit(f"cannot reach server at {args.socket}: {exc}") from None
+    elif args.logs:
+        from repro.service.server import handle_request
+
+        service = _build_service(
+            [p.strip() for p in args.logs.split(",") if p.strip()],
+            args.spec or "C-AVG15", cache_size=2048,
+        )
+        response = handle_request(service, req)
+    else:
+        raise SystemExit("query needs --socket (live server) or --logs (in-process)")
+
+    if not response.get("ok"):
+        raise SystemExit(f"query failed: {response.get('error', 'unknown error')}")
+
+    _emit(response, args.json, _render_query(args.op, response))
+    return 0
+
+
+def _render_query(op: str, response: Dict) -> str:
+    if op == "ping":
+        return "pong"
+    if op == "predict":
+        value = response["value"]
+        rendered = f"{value / 1e6:.3f} MB/s" if value is not None else "no prediction"
+        return (
+            f"{response['link']} [{response['spec']}] "
+            f"size={response['size']}: {rendered} "
+            f"({'cached' if response['cached'] else 'computed'}, "
+            f"history={response['history_length']})"
+        )
+    if op == "rank":
+        lines = []
+        for i, item in enumerate(response["ranking"], start=1):
+            bw = item["predicted_bandwidth"]
+            rendered = f"{bw / 1e6:.3f} MB/s" if bw is not None else "no prediction"
+            lines.append(
+                f"{i}. {item['site']}: {rendered} "
+                f"(history={item['history_length']})"
+            )
+        return "\n".join(lines)
+    if op == "metrics":
+        lines = []
+        for name, data in sorted(response["metrics"].items()):
+            if data["type"] in ("counter", "gauge"):
+                lines.append(f"{name} {data['value']:g}")
+            else:
+                for key in ("count", "mean", "p50", "p90", "p99", "max"):
+                    if key in data:
+                        lines.append(f"{name}_{key} {data[key]:g}")
+        return "\n".join(lines)
+    return json.dumps(response, indent=2)
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--link", default=None, help="LBL-ANL or ISI-ANL")
     report.add_argument("--class", dest="size_class", default=None,
                         help="10MB, 100MB, 500MB, or 1GB")
+    report.add_argument(
+        "--predictors", default=None,
+        help="comma-separated predictor specs for 'relative' "
+             "(default: every C- variant)",
+    )
     report.set_defaults(func=_cmd_report)
 
     evaluate_cmd = sub.add_parser(
@@ -226,9 +442,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_cmd.add_argument("log_file", help="path to a ULM transfer log")
     evaluate_cmd.add_argument(
         "--predictors", default="C-AVG15,C-MED,C-LV,SIZE",
-        help="comma-separated predictor names (Figure 4 names, C- variants, SIZE)",
+        help="comma-separated predictor specs (Figure 4 names, C- variants, SIZE)",
     )
     evaluate_cmd.add_argument("--training", type=int, default=15)
+    evaluate_cmd.add_argument("--class", dest="size_class", default=None,
+                              help="restrict the per-class columns to one class")
+    evaluate_cmd.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="evaluation engine (auto picks the vectorized path when possible)",
+    )
+    evaluate_cmd.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON instead of a table")
     evaluate_cmd.set_defaults(func=_cmd_evaluate)
 
     export_cmd = sub.add_parser(
@@ -241,12 +465,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach NWS sensors so the Figures 1-2 probe series export too",
     )
     export_cmd.set_defaults(func=_cmd_export)
+
+    serve = sub.add_parser(
+        "serve", help="run the online prediction service over ULM logs"
+    )
+    serve.add_argument("logs", nargs="+", help="ULM log files to ingest (link = stem)")
+    serve.add_argument("--socket", default=None,
+                       help="unix socket path to answer queries on")
+    serve.add_argument("--link", default=None,
+                       help="override the link name (single log only)")
+    serve.add_argument("--spec", default="C-AVG15",
+                       help="default predictor spec for unqualified queries")
+    serve.add_argument("--cache-size", type=int, default=2048,
+                       help="prediction LRU capacity")
+    serve.add_argument("--follow", action="store_true",
+                       help="keep tailing the logs for appended records")
+    serve.add_argument("--interval", type=float, default=1.0,
+                       help="tail poll interval in seconds")
+    serve.add_argument("--oneshot", action="store_true",
+                       help="ingest, print service status JSON, and exit")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser("query", help="query a prediction service")
+    query.add_argument(
+        "op", choices=["ping", "predict", "rank", "status", "metrics", "trace"],
+    )
+    query.add_argument("--socket", default=None, help="socket of a running server")
+    query.add_argument("--logs", default=None,
+                       help="comma-separated ULM logs for an in-process answer")
+    query.add_argument("--link", default=None, help="link to predict for")
+    query.add_argument("--size", default=None,
+                       help="transfer size (bytes, or with KB/MB/GB suffix)")
+    query.add_argument("--candidates", default=None,
+                       help="comma-separated candidate links for rank")
+    query.add_argument("--spec", default=None, help="predictor spec")
+    query.add_argument("--now", type=float, default=None,
+                       help="anchor time (epoch seconds; default: wall clock)")
+    query.add_argument("--json", action="store_true",
+                       help="emit the raw JSON response")
+    query.set_defaults(func=_cmd_query)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@ Layout:
   classified wrappers, and the extensions (dynamic selection, NWS hybrid).
 * :mod:`repro.core.evaluation` — walk-forward evaluation with a training
   prefix and percentage-error accounting (Section 6.2).
+* :mod:`repro.core.engine` — the :func:`evaluate` facade that routes a
+  request to the generic walk or the vectorized kernels of
+  :mod:`repro.core.fast`.
 * :mod:`repro.core.relative` — best/worst relative-performance tallies
   (Figures 14–21).
 * :mod:`repro.core.selection` — the replica-selection broker that the
@@ -23,9 +26,9 @@ from repro.core.history import History, Observation
 from repro.core.evaluation import (
     EvaluationResult,
     PredictionTrace,
-    evaluate,
     percentage_error,
 )
+from repro.core.engine import ENGINES, evaluate, select_engine
 from repro.core.relative import RelativePerformance, relative_performance
 from repro.core.selection import RankedReplica, ReplicaBroker
 from repro.core.accuracy import (
@@ -42,7 +45,9 @@ __all__ = [
     "Observation",
     "EvaluationResult",
     "PredictionTrace",
+    "ENGINES",
     "evaluate",
+    "select_engine",
     "percentage_error",
     "RelativePerformance",
     "relative_performance",

@@ -1,0 +1,153 @@
+"""One evaluation facade over the generic and vectorized engines.
+
+The repo grew two walk-forward evaluators: the generic
+:func:`repro.core.evaluation.evaluate` (any predictor, one Python call
+per record) and the vectorized :func:`repro.core.fast.fast_evaluate`
+(the fixed 30-predictor battery, NumPy kernels, typically >10x faster —
+trace-identical by the parity tests).  Callers used to pick one by hand.
+
+:func:`evaluate` here is the single entry point: it accepts predictor
+*specs* (strings understood by :func:`repro.core.predictors.resolve`) or
+a prebuilt name -> predictor mapping, and picks the engine:
+
+* ``engine="auto"`` (default) — the vectorized path when every requested
+  predictor is spec-addressed and has a kernel (i.e. is one of the 30
+  battery names with default parameters and no fallback); the generic
+  walk otherwise.  A prebuilt mapping always takes the generic path:
+  arbitrary predictor instances cannot be proven kernel-equivalent.
+* ``engine="fast"`` — force the vectorized path; raises ``ValueError``
+  when any requested predictor has no kernel.
+* ``engine="generic"`` — force the per-record walk.
+
+The CLI, the analysis layer, and the benchmarks all call this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.classification import Classification
+from repro.core.evaluation import DEFAULT_TRAINING, EvaluationResult
+from repro.core.evaluation import evaluate as generic_evaluate
+from repro.core.fast import fast_evaluate
+from repro.core.history import History
+from repro.core.predictors.base import Predictor
+from repro.core.predictors.registry import (
+    ALL_PREDICTOR_NAMES,
+    KERNEL_SPECS,
+    resolve_battery,
+)
+from repro.logs.record import TransferRecord
+
+__all__ = ["ENGINES", "evaluate", "select_engine"]
+
+ENGINES = ("auto", "generic", "fast")
+
+PredictorRequest = Union[None, str, Sequence[str], Mapping[str, Predictor]]
+
+
+def _as_specs(predictors: PredictorRequest) -> Optional[Sequence[str]]:
+    """Normalize the request to a spec list, or ``None`` for a mapping."""
+    if predictors is None:
+        return list(ALL_PREDICTOR_NAMES)
+    if isinstance(predictors, str):
+        return [s.strip() for s in predictors.split(",") if s.strip()]
+    if isinstance(predictors, Mapping):
+        return None
+    return [str(s).strip() for s in predictors]
+
+
+def select_engine(
+    predictors: PredictorRequest = None,
+    engine: str = "auto",
+    fallback: bool = False,
+) -> str:
+    """The engine :func:`evaluate` would run for this request.
+
+    Returns ``"fast"`` or ``"generic"``; raises ``ValueError`` for an
+    unknown engine or an explicit ``"fast"`` request that cannot be
+    vectorized.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    specs = _as_specs(predictors)
+    vectorizable = (
+        specs is not None
+        and not fallback
+        and bool(specs)
+        and all(spec in KERNEL_SPECS for spec in specs)
+    )
+    if engine == "fast":
+        if specs is None:
+            raise ValueError(
+                "engine='fast' requires predictor specs (strings); a prebuilt "
+                "mapping cannot be proven kernel-equivalent"
+            )
+        if not vectorizable:
+            missing = [s for s in specs if s not in KERNEL_SPECS] or ["<empty>"]
+            raise ValueError(
+                f"engine='fast' has no kernel for {missing}; "
+                f"use engine='auto' or 'generic'"
+            )
+        return "fast"
+    if engine == "generic":
+        return "generic"
+    return "fast" if vectorizable else "generic"
+
+
+def evaluate(
+    data: Union[Sequence[TransferRecord], History],
+    predictors: PredictorRequest = None,
+    training: int = DEFAULT_TRAINING,
+    engine: str = "auto",
+    classification: Optional[Classification] = None,
+    fallback: bool = False,
+) -> EvaluationResult:
+    """Walk predictors forward over a log, picking the best engine.
+
+    Parameters
+    ----------
+    data:
+        Transfer records or a bare :class:`History` (same semantics as
+        the generic evaluator).
+    predictors:
+        What to evaluate — one of:
+
+        * ``None``: the full 30-predictor Figure 4 battery;
+        * a comma-joined spec string (``"C-AVG15,AVG,SIZE"``);
+        * a sequence of spec strings;
+        * a prebuilt name -> :class:`Predictor` mapping (generic engine).
+    training:
+        Leading records assumed present before the first prediction.
+    engine:
+        ``"auto"`` / ``"generic"`` / ``"fast"`` (see module docstring).
+    classification:
+        Size classes for ``C-`` specs (both engines honor it).
+    fallback:
+        Build ``C-`` specs with class-miss fallback (generic engine only;
+        forcing ``engine="fast"`` with fallback raises).
+    """
+    chosen = select_engine(predictors, engine=engine, fallback=fallback)
+    specs = _as_specs(predictors)
+
+    if chosen == "fast":
+        assert specs is not None
+        classified = any(spec.startswith("C-") for spec in specs)
+        full = fast_evaluate(
+            data,
+            training=training,
+            classification=classification,
+            classified=classified,
+        )
+        traces = {spec: full[spec] for spec in dict.fromkeys(specs)}
+        return EvaluationResult(
+            traces=traces, training=full.training, n_records=full.n_records
+        )
+
+    if specs is None:
+        battery = dict(predictors)  # type: ignore[arg-type]
+    else:
+        battery = resolve_battery(
+            specs, classification=classification, fallback=fallback
+        )
+    return generic_evaluate(data, battery, training=training)

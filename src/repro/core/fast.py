@@ -152,10 +152,19 @@ def _ar_model(
         lo = np.minimum(lo, idx)
     counts = idx - lo  # observations in the window
 
+    # Prefix sums run in extended precision: differencing two large
+    # prefix totals to recover a small window sum cancels catastrophically
+    # in float64 when value magnitudes are mixed (the generic path's
+    # two-pass centered formula does not), and the parity property test
+    # reaches such histories.  80-bit longdouble buys ~11 extra mantissa
+    # bits, keeping the engines within each other's tolerance; platforms
+    # where longdouble is float64 just keep the old behavior.
+    wide = np.asarray(values, dtype=np.longdouble)
+
     # Value prefix sums for the mean fallback and the min floor.
-    vsum = np.concatenate([[0.0], np.cumsum(values)])
+    vsum = np.concatenate([[0.0], np.cumsum(wide)])
     with np.errstate(invalid="ignore"):
-        window_mean = (vsum[idx] - vsum[lo]) / counts
+        window_mean = ((vsum[idx] - vsum[lo]) / counts).astype(np.float64)
 
     # Running window minimum: O(n * w) worst case is fine at log scale,
     # but a vectorized suffix approach keeps it O(n log n): use a loop —
@@ -165,8 +174,8 @@ def _ar_model(
         window_min[k] = values[j:i].min() if i > j else np.nan
 
     # Lag-pair prefix sums: pair p = (x=v[p], y=v[p+1]) for p in [0, n-1).
-    x = values[:-1]
-    y = values[1:]
+    x = wide[:-1]
+    y = wide[1:]
     p1 = np.concatenate([[0.0], np.cumsum(np.ones_like(x))])
     px = np.concatenate([[0.0], np.cumsum(x)])
     py = np.concatenate([[0.0], np.cumsum(y)])

@@ -28,10 +28,15 @@ from repro.core.predictors.hybrid import HybridPredictor
 from repro.core.predictors.size_model import SizeScaledPredictor
 from repro.core.predictors.extrapolation import SiteFactorModel
 from repro.core.predictors.registry import (
+    ALL_PREDICTOR_NAMES,
+    CLASSIFIED_PREDICTOR_NAMES,
+    KERNEL_SPECS,
     PAPER_PREDICTOR_NAMES,
     paper_predictors,
     classified_predictors,
     make_predictor,
+    resolve,
+    resolve_battery,
 )
 
 __all__ = [
@@ -50,7 +55,12 @@ __all__ = [
     "SizeScaledPredictor",
     "SiteFactorModel",
     "PAPER_PREDICTOR_NAMES",
+    "CLASSIFIED_PREDICTOR_NAMES",
+    "ALL_PREDICTOR_NAMES",
+    "KERNEL_SPECS",
     "paper_predictors",
     "classified_predictors",
     "make_predictor",
+    "resolve",
+    "resolve_battery",
 ]

@@ -1,4 +1,4 @@
-"""The named predictor battery of Figure 4.
+"""The named predictor battery of Figure 4, behind one spec-string API.
 
 The paper evaluates exactly fifteen context-insensitive predictors::
 
@@ -15,14 +15,26 @@ The paper evaluates exactly fifteen context-insensitive predictors::
     Last 10 days                        AR10d
 
 plus the same fifteen with file-size classification (Section 4.3), for 30
-in total.  :func:`paper_predictors` builds the former,
-:func:`classified_predictors` the latter, and :func:`make_predictor`
-resolves a single predictor by name (``"AVG5"`` or ``"C-AVG5"``).
+in total.
+
+:func:`resolve` is the single entry point every layer (CLI, MDS provider,
+prediction service, benchmarks) uses to turn a spec string into a
+predictor.  A spec is a Figure 4 name (window parameters are free:
+``"AVG7"``, ``"MED9"``, ``"AVG3hr"``, ``"AR2d"`` all work), optionally
+``C-`` prefixed for the classified variant, or the ``SIZE`` extension
+(the continuous size-scaling model).  :func:`resolve_battery` maps a
+sequence of specs to a name -> predictor dict; :func:`paper_predictors`
+and :func:`classified_predictors` build the paper's two 15-predictor
+batteries on top of it.
+
+:func:`make_predictor` is a deprecated alias of :func:`resolve` kept for
+backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import warnings
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.classification import Classification, paper_classification
 from repro.core.predictors.arima import ArModel
@@ -34,6 +46,11 @@ from repro.core.predictors.median import TotalMedian, WindowedMedian
 
 __all__ = [
     "PAPER_PREDICTOR_NAMES",
+    "CLASSIFIED_PREDICTOR_NAMES",
+    "ALL_PREDICTOR_NAMES",
+    "KERNEL_SPECS",
+    "resolve",
+    "resolve_battery",
     "paper_predictors",
     "classified_predictors",
     "make_predictor",
@@ -58,6 +75,19 @@ PAPER_PREDICTOR_NAMES: Tuple[str, ...] = (
     "AR10d",
 )
 
+#: The 15 classified variants, in the same order.
+CLASSIFIED_PREDICTOR_NAMES: Tuple[str, ...] = tuple(
+    f"C-{name}" for name in PAPER_PREDICTOR_NAMES
+)
+
+#: All 30 paper predictors (Figure 4's full battery).
+ALL_PREDICTOR_NAMES: Tuple[str, ...] = PAPER_PREDICTOR_NAMES + CLASSIFIED_PREDICTOR_NAMES
+
+#: Specs with a vectorized kernel in :mod:`repro.core.fast`.  The fast
+#: evaluator computes exactly the 30-predictor battery, so these — and
+#: only these — are eligible for the vectorized engine.
+KERNEL_SPECS: frozenset = frozenset(ALL_PREDICTOR_NAMES)
+
 
 def _build(name: str) -> Predictor:
     if name == "AVG":
@@ -76,12 +106,66 @@ def _build(name: str) -> Predictor:
         return ArModel()
     if name.startswith("AR") and name.endswith("d"):
         return ArModel(window_days=float(name[2:-1]))
-    raise KeyError(f"unknown predictor name {name!r}")
+    if name == "SIZE":
+        # Imported here to avoid a cycle (size_model imports base only,
+        # but keeping the registry's top-level imports to Figure 4 keeps
+        # the module graph flat).
+        from repro.core.predictors.size_model import SizeScaledPredictor
+
+        return SizeScaledPredictor()
+    raise KeyError(f"unknown predictor spec {name!r}")
+
+
+def resolve(
+    spec: str,
+    classification: Optional[Classification] = None,
+    fallback: bool = False,
+) -> Predictor:
+    """Resolve one predictor spec string to a fresh predictor instance.
+
+    Parameters
+    ----------
+    spec:
+        A Figure 4 name (``"AVG15"``, ``"MED"``, ``"AR5d"``...; window
+        parameters are free, so ``"AVG7"`` works), the ``SIZE``
+        extension, or any of these with a ``C-`` prefix for the
+        classified variant.
+    classification:
+        Size classes used by ``C-`` specs (default: the paper's).
+    fallback:
+        ``C-`` specs only: fall back to the unclassified prediction when
+        the target's class has no history (what a deployed provider does)
+        instead of abstaining.
+
+    Raises
+    ------
+    KeyError
+        If the spec names no known predictor.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise KeyError(f"predictor spec must be a non-empty string, got {spec!r}")
+    spec = spec.strip()
+    if spec.startswith("C-"):
+        cls = classification or paper_classification()
+        return ClassifiedPredictor(_build(spec[2:]), cls, fallback=fallback)
+    return _build(spec)
+
+
+def resolve_battery(
+    specs: Iterable[str],
+    classification: Optional[Classification] = None,
+    fallback: bool = False,
+) -> Dict[str, Predictor]:
+    """Resolve many specs at once: spec -> predictor, in given order."""
+    return {
+        spec.strip(): resolve(spec, classification=classification, fallback=fallback)
+        for spec in specs
+    }
 
 
 def paper_predictors() -> Dict[str, Predictor]:
     """The 15 context-insensitive predictors, in figure order."""
-    return {name: _build(name) for name in PAPER_PREDICTOR_NAMES}
+    return resolve_battery(PAPER_PREDICTOR_NAMES)
 
 
 def classified_predictors(
@@ -89,12 +173,9 @@ def classified_predictors(
     fallback: bool = False,
 ) -> Dict[str, Predictor]:
     """The 15 classified variants, named ``C-<base>``."""
-    cls = classification or paper_classification()
-    out: Dict[str, Predictor] = {}
-    for name in PAPER_PREDICTOR_NAMES:
-        wrapped = ClassifiedPredictor(_build(name), cls, fallback=fallback)
-        out[wrapped.name] = wrapped
-    return out
+    return resolve_battery(
+        CLASSIFIED_PREDICTOR_NAMES, classification=classification, fallback=fallback
+    )
 
 
 def make_predictor(
@@ -102,8 +183,10 @@ def make_predictor(
     classification: Optional[Classification] = None,
     fallback: bool = False,
 ) -> Predictor:
-    """Resolve one predictor by name; ``C-`` prefix selects the classified form."""
-    if name.startswith("C-"):
-        cls = classification or paper_classification()
-        return ClassifiedPredictor(_build(name[2:]), cls, fallback=fallback)
-    return _build(name)
+    """Deprecated alias of :func:`resolve`."""
+    warnings.warn(
+        "make_predictor() is deprecated; use repro.core.predictors.resolve()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve(name, classification=classification, fallback=fallback)

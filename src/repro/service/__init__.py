@@ -1,0 +1,53 @@
+"""repro.service — the online prediction service (serving layer).
+
+Everything before this package evaluates logs offline; this package
+serves predictions *live*, the deployment posture of Sections 5–6:
+
+* :mod:`repro.service.state` — per-link versioned observation arrays;
+* :mod:`repro.service.service` — :class:`PredictionService`: incremental
+  ingest, version-keyed LRU-cached ``predict``/``rank_replicas``;
+* :mod:`repro.service.tail` — follow a growing ULM log file;
+* :mod:`repro.service.server` — Unix-socket JSON-lines front end
+  (``repro serve`` / ``repro query``);
+* :mod:`repro.service.provider` — a ``GridFTPPerf`` MDS provider
+  rendered from warm state;
+* :mod:`repro.service.metrics` — counters/gauges/histograms + trace log.
+"""
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceEvent,
+    TraceLog,
+)
+from repro.service.provider import ServicePerfProvider
+from repro.service.server import ServiceServer, handle_request, request
+from repro.service.service import (
+    DEFAULT_SPEC,
+    Prediction,
+    PredictionCache,
+    PredictionService,
+)
+from repro.service.state import LinkState
+from repro.service.tail import LogFollower
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceLog",
+    "ServicePerfProvider",
+    "ServiceServer",
+    "handle_request",
+    "request",
+    "DEFAULT_SPEC",
+    "Prediction",
+    "PredictionCache",
+    "PredictionService",
+    "LinkState",
+    "LogFollower",
+]

@@ -1,0 +1,202 @@
+"""A JSON-lines query front end for the prediction service.
+
+The paper's GRIS answers LDAP inquiries; this module is the equivalent
+local transport for the reproduction: a Unix-domain socket speaking one
+JSON object per line.  ``repro serve`` runs it; ``repro query`` is the
+client.  Each request names an ``op``:
+
+========== ======================================== =====================
+op          request fields                           response payload
+========== ======================================== =====================
+``ping``    —                                        ``{"pong": true}``
+``predict`` ``link``, ``size``, [``spec``, ``now``]  the Prediction fields
+``rank``    ``candidates``, ``size``, [``spec``]     ordered replica list
+``status``  —                                        service status dict
+``metrics`` —                                        registry snapshot
+``trace``   [``kind``]                               recent trace events
+========== ======================================== =====================
+
+Every response carries ``"ok": true`` or ``"ok": false`` plus
+``"error"``.  The dispatch lives in :func:`handle_request`, a pure
+``dict -> dict`` function, so the CLI can answer one-shot queries
+in-process without a socket — and tests can exercise every op without
+binding one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.service.service import PredictionService
+
+__all__ = ["handle_request", "ServiceServer", "request"]
+
+
+def _predict_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
+    prediction = service.predict(
+        str(req["link"]),
+        int(req["size"]),
+        spec=req.get("spec"),
+        now=req.get("now"),
+    )
+    return {
+        "link": prediction.link,
+        "spec": prediction.spec,
+        "size": prediction.target_size,
+        "value": prediction.value,
+        "cached": prediction.cached,
+        "version": prediction.version,
+        "history_length": prediction.history_length,
+        "latency_seconds": prediction.latency_seconds,
+    }
+
+
+def _rank_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
+    ranked = service.rank_replicas(
+        [str(c) for c in req["candidates"]],
+        int(req["size"]),
+        spec=req.get("spec"),
+        now=req.get("now"),
+    )
+    return {
+        "ranking": [
+            {
+                "site": r.site,
+                "predicted_bandwidth": r.predicted_bandwidth,
+                "history_length": r.history_length,
+            }
+            for r in ranked
+        ]
+    }
+
+
+def handle_request(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
+    """Answer one request dict; never raises (errors come back in-band)."""
+    try:
+        op = req.get("op")
+        if op == "ping":
+            payload: Dict[str, Any] = {"pong": True}
+        elif op == "predict":
+            payload = _predict_payload(service, req)
+        elif op == "rank":
+            payload = _rank_payload(service, req)
+        elif op == "status":
+            payload = service.status()
+        elif op == "metrics":
+            payload = {"metrics": service.metrics.snapshot()}
+        elif op == "trace":
+            events = service.trace.events(kind=req.get("kind"))
+            payload = {"events": [e.as_dict() for e in events]}
+        else:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        return {"ok": True, **payload}
+    except (KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                req = json.loads(line)
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            else:
+                response = handle_request(service, req)
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+
+class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceServer:
+    """Serve a :class:`PredictionService` on a Unix-domain socket.
+
+    Connections are handled on daemon threads — the service's per-link
+    locks and snapshot semantics make concurrent queries safe.  Use as a
+    context manager or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(self, service: PredictionService, socket_path: Union[str, Path]):
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise OSError("unix domain sockets are not available on this platform")
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._server: Optional[_ThreadingUnixServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ServiceServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self.socket_path.unlink(missing_ok=True)
+        self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
+        self._server.service = self.service  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-serve[{self.socket_path.name}]",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.socket_path.unlink(missing_ok=True)
+        self._server = None
+        self._thread = None
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (the CLI path)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self.socket_path.unlink(missing_ok=True)
+        self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
+        self._server.service = self.service  # type: ignore[attr-defined]
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+            self.socket_path.unlink(missing_ok=True)
+            self._server = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def request(socket_path: Union[str, Path], req: Dict[str, Any], timeout: float = 10.0) -> Dict[str, Any]:
+    """Send one request to a running server and return its response."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.sendall(json.dumps(req).encode("utf-8") + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    if not buf:
+        raise ConnectionError(f"no response from {socket_path}")
+    return json.loads(buf.decode("utf-8"))

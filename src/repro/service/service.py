@@ -1,0 +1,409 @@
+"""The long-lived online prediction service.
+
+The paper's end state is not offline log replay but a live information
+service: a GRIS answering replica-selection inquiries from fresh GridFTP
+logs in 1–2 seconds (Sections 5–6).  :class:`PredictionService` is that
+serving path:
+
+* **Ingest** — ULM records arrive incrementally (:meth:`observe`,
+  :meth:`ingest_records`, :meth:`ingest_ulm`, :meth:`attach_log`, or the
+  tail-follower in :mod:`repro.service.tail`) and fold into per-link
+  :class:`~repro.service.state.LinkState` arrays.  No query ever re-reads
+  a log file.
+* **Serve** — :meth:`predict` answers ``(link, size, predictor spec)``
+  queries from warm state through an LRU cache; :meth:`rank_replicas`
+  ranks candidate source links for a transfer, the broker use case of
+  Section 1.
+* **Caching** — entries are keyed on ``(link, spec, context, version)``.
+  The version component makes invalidation *precise*: the moment a
+  link's history grows its version moves and every stale entry becomes
+  unreachable (and ages out of the LRU); other links' entries are
+  untouched.  The context component captures exactly what else the
+  predictor's answer depends on — the target's size class for ``C-``
+  specs, the exact size for ``SIZE``, the anchor time for temporal
+  windows — so a hit is always bit-identical to a recompute.
+* **Concurrency** — a lock per link serializes mutation; predictions run
+  on immutable snapshots outside any lock, so queries on different links
+  (or even the same link) proceed in parallel with ingest.
+* **Observability** — every ingest and query updates the
+  :class:`~repro.service.metrics.MetricsRegistry` (counters, gauges,
+  predict-latency histogram) and the structured :class:`TraceLog`.
+
+Predictions are numerically identical to the batch evaluator: a query at
+history version *v* returns exactly what ``evaluate()`` computes at the
+same log prefix (the parity test walks every prefix of the shipped
+campaign logs).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.classification import Classification, paper_classification
+from repro.core.history import History
+from repro.core.predictors.arima import ArModel
+from repro.core.predictors.base import Predictor
+from repro.core.predictors.classified import ClassifiedPredictor
+from repro.core.predictors.mean import TemporalAverage
+from repro.core.predictors.registry import resolve
+from repro.core.predictors.size_model import SizeScaledPredictor
+from repro.core.selection import RankedReplica
+from repro.logs.record import TransferRecord
+from repro.logs.ulm import parse_lines
+from repro.service.metrics import MetricsRegistry, TraceLog
+from repro.service.state import LinkState
+
+__all__ = ["Prediction", "PredictionCache", "PredictionService", "DEFAULT_SPEC"]
+
+#: The service default: the paper's overall strongest small-window
+#: classified predictor (Figure 4 / Section 6 discussion).
+DEFAULT_SPEC = "C-AVG15"
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One answered query."""
+
+    link: str
+    spec: str
+    target_size: int
+    value: Optional[float]      # bytes/s; None = the predictor abstained
+    cached: bool                # served from the LRU cache
+    version: int                # link history version answered against
+    history_length: int
+    latency_seconds: float
+
+
+class PredictionCache:
+    """A thread-safe LRU mapping cache keys to predicted values.
+
+    ``None`` (abstention) is a first-class cached value — recomputing an
+    abstention costs the same class filter and window scan as a number.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Tuple, Optional[float]]" = OrderedDict()
+
+    def get(self, key: Tuple):
+        """The cached value, or the module sentinel on a miss."""
+        with self._lock:
+            if key not in self._data:
+                return _MISSING
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key: Tuple, value: Optional[float]) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class PredictionService:
+    """Warm per-link state + cached predictions + metrics.
+
+    Parameters
+    ----------
+    default_spec:
+        Predictor spec used when a query names none.
+    cache_size:
+        LRU capacity (entries, across all links and specs).
+    classification:
+        Size classes for ``C-`` specs and :meth:`links`' class views.
+    clock:
+        Time source for default query anchors and trace timestamps
+        (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        default_spec: str = DEFAULT_SPEC,
+        cache_size: int = 2048,
+        classification: Optional[Classification] = None,
+        clock: Callable[[], float] = time.time,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_capacity: int = 256,
+    ):
+        resolve(default_spec)  # fail fast on a bad default
+        self.default_spec = default_spec
+        self.classification = classification or paper_classification()
+        self.clock = clock
+        self.metrics = metrics or MetricsRegistry()
+        self.trace = TraceLog(trace_capacity, clock=clock)
+
+        self._links: Dict[str, LinkState] = {}
+        self._links_lock = threading.Lock()
+        self._cache = PredictionCache(cache_size)
+        self._predictors: Dict[str, Predictor] = {}
+        self._predictors_lock = threading.Lock()
+        self._listeners: List[Callable[[str, TransferRecord], None]] = []
+
+        m = self.metrics
+        self._m_ingested = m.counter(
+            "service_ingested_records", "records folded into link state")
+        self._m_predicts = m.counter(
+            "service_predict_requests", "predict() calls answered")
+        self._m_hits = m.counter("service_cache_hits", "predictions served from LRU")
+        self._m_misses = m.counter("service_cache_misses", "predictions computed")
+        self._m_links = m.gauge("service_links", "links with state")
+        self._m_cache_size = m.gauge("service_cache_entries", "live LRU entries")
+        self._m_latency = m.histogram(
+            "service_predict_seconds", "predict() wall-clock latency")
+
+    # ------------------------------------------------------------------
+    # link state
+    # ------------------------------------------------------------------
+    def _state(self, link: str, create: bool = False) -> Optional[LinkState]:
+        with self._links_lock:
+            state = self._links.get(link)
+            if state is None and create:
+                state = LinkState(link)
+                self._links[link] = state
+                self._m_links.set(len(self._links))
+            return state
+
+    def links(self) -> List[str]:
+        with self._links_lock:
+            return sorted(self._links)
+
+    def version(self, link: str) -> int:
+        """Current history version of a link (0 = never observed)."""
+        state = self._state(link)
+        return state.version if state is not None else 0
+
+    def history(self, link: str) -> History:
+        """Immutable snapshot of a link's observations."""
+        state = self._state(link)
+        return state.history() if state is not None else History.empty()
+
+    def link_state(self, link: str) -> Optional[LinkState]:
+        """The raw per-link state (providers use :meth:`LinkState.snapshot`)."""
+        return self._state(link)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[str, TransferRecord], None]) -> None:
+        """Call ``listener(link, record)`` after every observed record."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[str, TransferRecord], None]) -> None:
+        self._listeners.remove(listener)
+
+    def observe(self, link: str, record: TransferRecord) -> int:
+        """Fold one completed transfer into a link; returns the new version."""
+        state = self._state(link, create=True)
+        version = state.append(record)
+        self._m_ingested.inc()
+        self.trace.emit("observe", link=link, version=version,
+                        size=record.file_size, bandwidth=record.bandwidth)
+        for listener in list(self._listeners):
+            listener(link, record)
+        return version
+
+    def ingest_records(self, link: str, records: Iterable[TransferRecord]) -> int:
+        """Observe many records; returns how many were folded."""
+        count = 0
+        for record in records:
+            self.observe(link, record)
+            count += 1
+        return count
+
+    def ingest_ulm(self, path: Union[str, Path], link: Optional[str] = None) -> Tuple[str, int]:
+        """Load a ULM log file into a link (default link: the file stem).
+
+        Returns ``(link, records ingested)``.
+        """
+        path = Path(path)
+        name = link or path.stem
+        text = path.read_text()
+        count = self.ingest_records(name, parse_lines(text.splitlines()))
+        self.trace.emit("ingest_ulm", link=name, path=str(path), records=count)
+        return name, count
+
+    def attach_log(self, link: str, log) -> Callable[[], None]:
+        """Fold a live :class:`~repro.logs.logfile.TransferLog` and follow it.
+
+        Existing records are ingested immediately; future appends arrive
+        through the log's subscribe hook.  Returns a detach callable.
+        """
+        self.ingest_records(link, log.records())
+
+        def _on_append(record: TransferRecord) -> None:
+            self.observe(link, record)
+
+        log.subscribe(_on_append)
+
+        def detach() -> None:
+            log.unsubscribe(_on_append)
+
+        return detach
+
+    # ------------------------------------------------------------------
+    # predictors and cache keys
+    # ------------------------------------------------------------------
+    def _resolve(self, spec: str) -> Predictor:
+        """Resolve and memoize a spec (registry predictors are stateless)."""
+        with self._predictors_lock:
+            predictor = self._predictors.get(spec)
+            if predictor is None:
+                predictor = resolve(spec, classification=self.classification)
+                self._predictors[spec] = predictor
+            return predictor
+
+    def _context(self, predictor: Predictor, size: int, now: float) -> Tuple:
+        """The non-(link, spec, version) inputs the answer depends on.
+
+        * ``C-`` specs depend on the target's size *class* only;
+        * ``SIZE`` (possibly under ``C-``) depends on the exact size;
+        * temporal windows (``AVG{n}hr``, ``AR{n}d``) anchor at ``now``.
+
+        Everything else is insensitive to both, so distinct queries can
+        share one cache entry.
+        """
+        base = predictor.base if isinstance(predictor, ClassifiedPredictor) else predictor
+        label = (
+            self.classification.classify(size)
+            if isinstance(predictor, ClassifiedPredictor)
+            else None
+        )
+        size_part = size if isinstance(base, SizeScaledPredictor) else None
+        uses_now = isinstance(base, TemporalAverage) or (
+            isinstance(base, ArModel) and base.window_days is not None
+        )
+        return (label, size_part, now if uses_now else None)
+
+    # ------------------------------------------------------------------
+    # serve
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        link: str,
+        size: int,
+        spec: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> Prediction:
+        """Answer one query from warm state.
+
+        ``now`` defaults to the service clock — a live query is anchored
+        at inquiry time, exactly where a replica decision happens.  An
+        unknown link answers ``value=None`` over empty history rather
+        than raising: brokers routinely ask about links with no data yet.
+        """
+        t0 = time.perf_counter()
+        spec = spec or self.default_spec
+        predictor = self._resolve(spec)
+        anchor = self.clock() if now is None else now
+
+        state = self._state(link)
+        if state is None:
+            value, cached, version, length = None, False, 0, 0
+        else:
+            with state.lock:
+                version = state.version
+                history = state.history()
+            length = len(history)
+            key = (link, spec, self._context(predictor, size, anchor), version)
+            hit = self._cache.get(key)
+            if hit is not _MISSING:
+                value, cached = hit, True
+                self._m_hits.inc()
+            else:
+                value = predictor.predict(history, target_size=size, now=anchor)
+                cached = False
+                self._m_misses.inc()
+                self._cache.put(key, value)
+                self._m_cache_size.set(len(self._cache))
+
+        latency = time.perf_counter() - t0
+        self._m_predicts.inc()
+        self._m_latency.observe(latency)
+        self.trace.emit("predict", link=link, spec=spec, size=size,
+                        cached=cached, value=value, version=version)
+        return Prediction(
+            link=link, spec=spec, target_size=size, value=value, cached=cached,
+            version=version, history_length=length, latency_seconds=latency,
+        )
+
+    def rank_replicas(
+        self,
+        candidates: Sequence[str],
+        size: int,
+        spec: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> List[RankedReplica]:
+        """Rank candidate source links for a ``size``-byte transfer.
+
+        Candidates with a prediction sort by descending bandwidth;
+        candidates with none (unknown link, abstaining predictor) rank
+        last but are reported so a caller may explore them.
+        """
+        predictions = [
+            (link, self.predict(link, size, spec=spec, now=now))
+            for link in dict.fromkeys(candidates)
+        ]
+        ranked = [
+            RankedReplica(
+                site=link,
+                predicted_bandwidth=p.value,
+                history_length=p.history_length,
+            )
+            for link, p in predictions
+        ]
+        ranked.sort(
+            key=lambda r: (
+                r.predicted_bandwidth is None,
+                -(r.predicted_bandwidth or 0.0),
+            )
+        )
+        return ranked
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        hits = self._m_hits.value
+        misses = self._m_misses.value
+        total = hits + misses
+        return {
+            "entries": float(len(self._cache)),
+            "capacity": float(self._cache.capacity),
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / total if total else 0.0,
+        }
+
+    def status(self) -> Dict[str, object]:
+        """One JSON-ready structure describing the whole service."""
+        with self._links_lock:
+            links = {
+                name: {"records": len(state), "version": state.version}
+                for name, state in sorted(self._links.items())
+            }
+        return {
+            "default_spec": self.default_spec,
+            "links": links,
+            "cache": self.cache_stats(),
+            "ingested": self._m_ingested.value,
+            "predicts": self._m_predicts.value,
+        }

@@ -1,0 +1,130 @@
+"""Per-link incremental history state.
+
+A :class:`LinkState` is the live, growable counterpart of the immutable
+:class:`~repro.core.history.History`: capacity-doubling parallel arrays
+of (end time, bandwidth, size, operation) plus a **version** counter that
+increments on every append.  The version is what makes precise cache
+invalidation possible — a cached prediction is keyed on the version it
+was computed against, so it dies the moment the link's history grows and
+survives any amount of growth on *other* links.
+
+Snapshot semantics under concurrency: ``history()`` returns a zero-copy
+:class:`History` view of the first ``n`` slots.  In-order appends write
+only at index ``n`` (outside every existing view) and buffer growth or
+out-of-order insertion allocates fresh arrays, so a snapshot taken at
+version ``v`` stays internally consistent forever — readers never see a
+half-written record.  Mutation is serialized by the per-link lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.history import History
+from repro.logs.record import Operation, TransferRecord
+
+__all__ = ["LinkState"]
+
+_INITIAL_CAPACITY = 64
+
+#: Operation codes in the ``ops`` array.
+OP_READ, OP_WRITE = 0, 1
+
+
+class LinkState:
+    """Growable, versioned observation arrays for one (source, dest) link."""
+
+    def __init__(self, link: str):
+        if not link:
+            raise ValueError("link name must be non-empty")
+        self.link = link
+        self.lock = threading.RLock()
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._values = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._sizes = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._ops = np.empty(_INITIAL_CAPACITY, dtype=np.int8)
+        self._n = 0
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _grow(self, capacity: int) -> None:
+        """Reallocate (never resize in place: snapshots alias the buffers)."""
+        for attr in ("_times", "_values", "_sizes", "_ops"):
+            old = getattr(self, attr)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, attr, new)
+
+    def append(self, record: TransferRecord) -> int:
+        """Fold one completed transfer; returns the new version.
+
+        Records usually arrive in end-time order (O(1) amortized); the
+        rare out-of-order record — two transfers can overlap — is
+        inserted at its sorted position via a copy, which leaves
+        previously taken snapshots untouched.
+        """
+        with self.lock:
+            n = self._n
+            if n == len(self._times):
+                self._grow(max(2 * n, _INITIAL_CAPACITY))
+            op = OP_READ if record.operation is Operation.READ else OP_WRITE
+            if n and record.end_time < self._times[n - 1]:
+                pos = int(np.searchsorted(self._times[:n], record.end_time,
+                                          side="right"))
+                for attr, value in (
+                    ("_times", record.end_time),
+                    ("_values", record.bandwidth),
+                    ("_sizes", record.file_size),
+                    ("_ops", op),
+                ):
+                    old = getattr(self, attr)
+                    new = np.empty(len(old), dtype=old.dtype)
+                    new[:pos] = old[:pos]
+                    new[pos] = value
+                    new[pos + 1 : n + 1] = old[pos:n]
+                    setattr(self, attr, new)
+            else:
+                self._times[n] = record.end_time
+                self._values[n] = record.bandwidth
+                self._sizes[n] = record.file_size
+                self._ops[n] = op
+            self._n = n + 1
+            self._version += 1
+            return self._version
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        with self.lock:
+            return self._version
+
+    def __len__(self) -> int:
+        with self.lock:
+            return self._n
+
+    def history(self) -> History:
+        """Zero-copy :class:`History` view of the current observations."""
+        with self.lock:
+            n = self._n
+            return History(self._times[:n], self._values[:n], self._sizes[:n])
+
+    def snapshot(self):
+        """``(times, values, sizes, ops, version)`` views, for providers."""
+        with self.lock:
+            n = self._n
+            return (
+                self._times[:n],
+                self._values[:n],
+                self._sizes[:n],
+                self._ops[:n],
+                self._version,
+            )
+
+    def __repr__(self) -> str:
+        return f"<LinkState {self.link} n={len(self)} v={self.version}>"

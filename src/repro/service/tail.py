@@ -1,0 +1,116 @@
+"""Tail-follow a growing ULM log file into the prediction service.
+
+The paper's deployment has the GridFTP server appending one ULM line per
+completed transfer while the information provider reads the log on
+inquiry.  :class:`LogFollower` replaces re-reading with incremental
+consumption: each :meth:`poll` reads only the bytes appended since the
+last call, parses the complete new lines, and feeds them to a sink
+(typically ``service.observe``).
+
+Robustness rules:
+
+* a partial final line (the server mid-write) is buffered, not parsed,
+  and completed on a later poll;
+* a malformed line is counted and skipped — one corrupt entry must not
+  wedge the service;
+* truncation (log rotation) is detected by the file shrinking, and the
+  follower restarts from offset zero;
+* a missing file is not an error — the follower waits for it to appear.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.logs.record import TransferRecord
+from repro.logs.ulm import ULMError, parse_record
+
+__all__ = ["LogFollower"]
+
+
+class LogFollower:
+    """Incrementally deliver new ULM records from ``path`` to ``sink``.
+
+    ``sink(link, record)`` is called once per newly appended record —
+    pass ``service.observe`` directly.  ``link`` defaults to the file
+    stem, matching ``PredictionService.ingest_ulm``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sink: Callable[[str, TransferRecord], None],
+        link: Optional[str] = None,
+    ):
+        self.path = Path(path)
+        self.sink = sink
+        self.link = link or self.path.stem
+        self.offset = 0          # bytes consumed so far
+        self._partial = ""       # trailing incomplete line
+        self.records = 0         # records delivered over the lifetime
+        self.errors = 0          # malformed lines skipped
+        self.truncations = 0     # rotations detected
+
+    def seek_to_end(self) -> None:
+        """Adopt the file's current size without delivering records.
+
+        Use when the existing contents were already bulk-loaded (e.g.
+        ``service.ingest_ulm``) and only *future* appends should flow
+        through the follower — polling from offset zero would deliver
+        every historical record a second time.
+        """
+        try:
+            self.offset = self.path.stat().st_size
+        except FileNotFoundError:
+            self.offset = 0
+        self._partial = ""
+
+    def poll(self) -> int:
+        """Consume everything appended since the last poll.
+
+        Returns the number of records delivered this call.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+        if size < self.offset:
+            # The file shrank: rotated or rewritten. Start over.
+            self.offset = 0
+            self._partial = ""
+            self.truncations += 1
+        if size == self.offset:
+            return 0
+
+        with self.path.open("r") as fh:
+            fh.seek(self.offset)
+            chunk = fh.read()
+            self.offset = fh.tell()
+
+        text = self._partial + chunk
+        lines = text.split("\n")
+        # Without a trailing newline the last element is a line still
+        # being written — hold it back for the next poll.
+        self._partial = lines.pop()
+
+        delivered = 0
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                record = parse_record(stripped)
+            except ULMError:
+                self.errors += 1
+                continue
+            self.sink(self.link, record)
+            delivered += 1
+        self.records += delivered
+        return delivered
+
+    def __repr__(self) -> str:
+        return (
+            f"<LogFollower {self.path} link={self.link} offset={self.offset} "
+            f"records={self.records} errors={self.errors}>"
+        )

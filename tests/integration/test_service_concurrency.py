@@ -1,0 +1,121 @@
+"""Thread-safety: concurrent ingest and query must never corrupt state.
+
+The service's contract under concurrency:
+
+* a query snapshot is internally consistent (sorted times, matching
+  lengths) no matter how much ingest races it;
+* every answered prediction corresponds to a real history version;
+* after the dust settles, counts, versions, and cached answers are
+  exactly what a serial execution would produce.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import PredictionService
+from repro.units import MB
+from tests.conftest import make_record
+
+N_RECORDS = 300
+N_QUERY_THREADS = 4
+
+
+def test_concurrent_ingest_and_query():
+    service = PredictionService()
+    records = [
+        make_record(start=1000.0 + 50 * i, size=(10 + (i % 4) * 30) * MB)
+        for i in range(N_RECORDS)
+    ]
+    errors = []
+    stop = threading.Event()
+
+    def ingest():
+        try:
+            for record in records:
+                service.observe("LBL-ANL", record)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def query():
+        try:
+            while not stop.is_set():
+                prediction = service.predict("LBL-ANL", 100 * MB)
+                assert 0 <= prediction.history_length <= N_RECORDS
+                assert prediction.version >= 0
+                history = service.history("LBL-ANL")
+                assert len(history.times) == len(history.values) == len(history.sizes)
+                assert (np.diff(history.times) >= 0).all()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=ingest)]
+    threads += [threading.Thread(target=query) for _ in range(N_QUERY_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert service.version("LBL-ANL") == N_RECORDS
+    assert len(service.history("LBL-ANL")) == N_RECORDS
+    # The settled answer equals a serial rebuild's answer.
+    serial = PredictionService()
+    serial.ingest_records("LBL-ANL", records)
+    now = 10_000_000.0
+    assert (
+        service.predict("LBL-ANL", 100 * MB, now=now).value
+        == serial.predict("LBL-ANL", 100 * MB, now=now).value
+    )
+
+
+def test_concurrent_queries_share_the_cache():
+    service = PredictionService(clock=lambda: 10_000_000.0)
+    service.ingest_records(
+        "LBL-ANL", [make_record(start=1000.0 + 100 * i) for i in range(50)]
+    )
+    values = []
+    lock = threading.Lock()
+
+    def query():
+        for _ in range(200):
+            value = service.predict("LBL-ANL", 100 * MB).value
+            with lock:
+                values.append(value)
+
+    threads = [threading.Thread(target=query) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(set(values)) == 1  # one history version -> one answer
+    stats = service.cache_stats()
+    assert stats["hits"] + stats["misses"] == 1600
+    # All but the racing first computations were cache hits.
+    assert stats["hits"] >= 1600 - 8
+
+
+def test_concurrent_multi_link_ingest():
+    service = PredictionService()
+    links = [f"SITE{k}-ANL" for k in range(6)]
+
+    def ingest(link):
+        for i in range(100):
+            service.observe(link, make_record(start=1000.0 + 10 * i))
+
+    threads = [threading.Thread(target=ingest, args=(link,)) for link in links]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert service.links() == sorted(links)
+    for link in links:
+        assert service.version(link) == 100
+    snap = service.metrics.snapshot()
+    assert snap["service_ingested_records"]["value"] == 600
+    assert snap["service_links"]["value"] == len(links)

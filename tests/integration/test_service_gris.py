@@ -1,0 +1,86 @@
+"""The warm-service MDS provider: parity with the batch provider + GRIS wiring."""
+
+import pytest
+
+from repro.logs import TransferLog
+from repro.mds import GRIS, GridFTPInfoProvider
+from repro.mds.provider import IncrementalGridFTPInfoProvider
+from repro.net import Site
+from repro.service import PredictionService, ServicePerfProvider
+from tests.conftest import make_record
+
+SITE = Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+            hostname="dpsslx04.lbl.gov")
+URL = "gsiftp://dpsslx04.lbl.gov:61000"
+
+
+@pytest.fixture
+def log():
+    log = TransferLog()
+    sizes = [10_000_000, 120_000_000, 600_000_000, 1_500_000_000] * 10
+    for i, size in enumerate(sizes):
+        log.append(make_record(start=1000.0 + 500 * i, size=size,
+                               duration=5.0 + i % 7))
+    return log
+
+
+@pytest.fixture
+def warm(log):
+    service = PredictionService()
+    service.ingest_records("LBL-ANL", log.records())
+    return service
+
+
+def test_entry_matches_batch_provider_exactly(log, warm):
+    """Same attributes, same values, for a read-only log."""
+    now = log.latest().end_time + 60.0
+    batch = GridFTPInfoProvider(log=log, site=SITE, url=URL)
+    served = ServicePerfProvider(warm, "LBL-ANL", SITE, URL)
+
+    [expected] = batch.entries(now)
+    [got] = served.entries(now)
+    assert got.dn == expected.dn
+    assert dict(got.items()) == dict(expected.items())
+
+
+def test_entry_matches_incremental_provider(log, warm):
+    now = log.latest().end_time + 60.0
+    incremental = IncrementalGridFTPInfoProvider(log=log, site=SITE, url=URL)
+    [expected] = incremental.entries(now)
+    [got] = ServicePerfProvider(warm, "LBL-ANL", SITE, URL).entries(now)
+    assert dict(got.items()) == dict(expected.items())
+
+
+def test_predictions_flow_through_the_service_cache(log, warm):
+    now = log.latest().end_time + 60.0
+    provider = ServicePerfProvider(warm, "LBL-ANL", SITE, URL)
+    provider.entries(now)
+    misses_after_first = warm.cache_stats()["misses"]
+    provider.entries(now)
+    stats = warm.cache_stats()
+    # The second render recomputes nothing: all class predictions hit.
+    assert stats["misses"] == misses_after_first
+    assert stats["hits"] > 0
+
+
+def test_unknown_or_empty_link_publishes_nothing(warm):
+    provider = ServicePerfProvider(warm, "NOWHERE", SITE, URL)
+    assert provider.entries(1000.0) == []
+
+
+def test_gris_serves_warm_entries_and_sees_growth(log, warm):
+    now = log.latest().end_time + 60.0
+    gris = GRIS("lbl-gris", cache_ttl=30.0)
+    gris.add_provider("gridftp", ServicePerfProvider(warm, "LBL-ANL", SITE, URL))
+
+    [entry] = gris.search(now, "(objectclass=GridFTPPerf)")
+    assert entry.first("numtransfers") == "40"
+
+    # New transfer lands; within the TTL the GRIS serves the cached copy,
+    # after invalidation the provider re-renders from the grown state.
+    warm.observe("LBL-ANL", make_record(start=now + 10.0, size=600_000_000))
+    [cached] = gris.search(now + 1.0, "(objectclass=GridFTPPerf)")
+    assert cached.first("numtransfers") == "40"
+    gris.invalidate()
+    [fresh] = gris.search(now + 2.0, "(objectclass=GridFTPPerf)")
+    assert fresh.first("numtransfers") == "41"

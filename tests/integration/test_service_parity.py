@@ -1,0 +1,122 @@
+"""Service predictions are identical to the batch evaluator, prefix by prefix.
+
+The walk: ingest a shipped campaign log record by record; *before*
+observing record i, ask the service what it predicts for record i's size
+at record i's start time.  That sequence of answers must equal the batch
+``evaluate()`` trace — value for value, abstention for abstention — at
+every log prefix.  (Caching cannot mask staleness: each observe bumps
+the link version, so every walk query recomputes against exactly
+``history.prefix(i)``.)
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import evaluate
+from repro.core.evaluation import DEFAULT_TRAINING
+from repro.logs import TransferLog
+from repro.service import PredictionService
+
+DATA_DIR = Path(__file__).resolve().parent.parent.parent / "data"
+
+QUICK_SPECS = ("C-AVG15", "AVG", "LV", "C-MED5", "AR5d")
+
+
+def walk_service(records, spec, training=DEFAULT_TRAINING):
+    """The service's answer sequence for one spec over one log."""
+    service = PredictionService()
+    answers = {}
+    for i, record in enumerate(records):
+        if i >= training:
+            prediction = service.predict(
+                "walk", record.file_size, spec=spec, now=record.start_time
+            )
+            assert prediction.version == i  # answering at prefix i exactly
+            answers[i] = prediction.value
+        service.observe("walk", record)
+    return answers
+
+
+def batch_answers(records, specs, training=DEFAULT_TRAINING):
+    """index -> value (None for abstentions) per spec, from the facade."""
+    result = evaluate(records, list(specs), training=training)
+    out = {}
+    for spec in specs:
+        trace = result[spec]
+        answers = {i: None for i in range(training, len(records))}
+        answers.update(dict(zip(trace.indices.tolist(), trace.predicted.tolist())))
+        out[spec] = answers
+    return out
+
+
+@pytest.mark.parametrize("log_name", ["aug-LBL-ANL.ulm", "aug-ISI-ANL.ulm"])
+def test_service_matches_batch_on_shipped_logs(log_name):
+    records = TransferLog.load(DATA_DIR / log_name).records()
+    batch = batch_answers(records, QUICK_SPECS)
+    for spec in QUICK_SPECS:
+        served = walk_service(records, spec)
+        assert served.keys() == batch[spec].keys()
+        for i, expected in batch[spec].items():
+            got = served[i]
+            if expected is None:
+                assert got is None, f"{spec}@{i}: served {got}, batch abstained"
+            else:
+                assert got == pytest.approx(expected, rel=1e-12), f"{spec}@{i}"
+
+
+@pytest.mark.exhaustive
+@pytest.mark.parametrize("log_name", ["aug-LBL-ANL.ulm", "aug-ISI-ANL.ulm",
+                                      "dec-LBL-ANL.ulm", "dec-ISI-ANL.ulm"])
+def test_service_matches_batch_full_battery(log_name):
+    from repro.core.predictors import ALL_PREDICTOR_NAMES
+
+    path = DATA_DIR / log_name
+    if not path.exists():
+        pytest.skip(f"{log_name} not shipped")
+    records = TransferLog.load(path).records()
+    batch = batch_answers(records, ALL_PREDICTOR_NAMES)
+    for spec in ALL_PREDICTOR_NAMES:
+        served = walk_service(records, spec)
+        for i, expected in batch[spec].items():
+            got = served[i]
+            if expected is None:
+                assert got is None, f"{spec}@{i}"
+            else:
+                assert got == pytest.approx(expected, rel=1e-12), f"{spec}@{i}"
+
+
+def test_warm_predict_is_10x_faster_than_cold_provider_scan():
+    """The acceptance bar: cached service predict >=10x a full-log scan."""
+    import time
+
+    from repro.core.predictors import resolve
+    from repro.mds import GridFTPInfoProvider
+    from repro.net import Site
+
+    log = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm")
+    now = log.latest().end_time + 60.0
+    site = Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+                hostname="dpsslx04.lbl.gov")
+    provider = GridFTPInfoProvider(
+        log=log, site=site, url="gsiftp://dpsslx04.lbl.gov:61000",
+        predictor=resolve("AVG15"),
+    )
+
+    service = PredictionService()
+    link, _ = service.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm")
+    service.predict(link, 600_000_000, now=now)  # warm the cache
+
+    rounds = 3
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        assert provider.entries(now)
+    cold = (time.perf_counter() - t0) / rounds
+
+    best_warm = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        prediction = service.predict(link, 600_000_000, now=now)
+        best_warm = min(best_warm, time.perf_counter() - t0)
+        assert prediction.cached
+    assert cold / best_warm >= 10.0, f"cold {cold:.6f}s vs warm {best_warm:.6f}s"

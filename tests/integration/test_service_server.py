@@ -1,0 +1,101 @@
+"""The Unix-socket JSON-lines server, end to end."""
+
+import socket
+
+import pytest
+
+from repro.service import PredictionService, ServiceServer, handle_request
+from repro.service.server import request
+from repro.units import MB
+from tests.conftest import make_record
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="unix domain sockets unavailable"
+)
+
+
+@pytest.fixture
+def service():
+    service = PredictionService(clock=lambda: 10_000_000.0)
+    service.ingest_records(
+        "LBL-ANL", [make_record(start=1000.0 + 100 * i) for i in range(30)]
+    )
+    return service
+
+
+@pytest.fixture
+def server(service, tmp_path):
+    with ServiceServer(service, tmp_path / "repro.sock") as server:
+        yield server
+
+
+def test_ping_roundtrip(server):
+    assert request(server.socket_path, {"op": "ping"}) == {"ok": True, "pong": True}
+
+
+def test_predict_over_socket_matches_direct_call(server, service):
+    response = request(
+        server.socket_path,
+        {"op": "predict", "link": "LBL-ANL", "size": 100 * MB, "now": 5000.0},
+    )
+    assert response["ok"]
+    direct = service.predict("LBL-ANL", 100 * MB, now=5000.0)
+    assert response["value"] == direct.value
+    assert response["version"] == direct.version
+
+
+def test_rank_over_socket(server):
+    response = request(
+        server.socket_path,
+        {"op": "rank", "candidates": ["LBL-ANL", "NOWHERE"], "size": 100 * MB},
+    )
+    assert [r["site"] for r in response["ranking"]] == ["LBL-ANL", "NOWHERE"]
+
+
+def test_status_metrics_trace_over_socket(server):
+    status = request(server.socket_path, {"op": "status"})
+    assert status["links"]["LBL-ANL"]["records"] == 30
+    metrics = request(server.socket_path, {"op": "metrics"})
+    assert metrics["metrics"]["service_ingested_records"]["value"] == 30
+    trace = request(server.socket_path, {"op": "trace", "kind": "observe"})
+    assert all(e["kind"] == "observe" for e in trace["events"])
+
+
+def test_concurrent_clients(server):
+    import threading
+
+    results = []
+    lock = threading.Lock()
+
+    def client():
+        response = request(
+            server.socket_path, {"op": "predict", "link": "LBL-ANL",
+                                 "size": 100 * MB, "now": 5000.0}
+        )
+        with lock:
+            results.append(response["value"])
+
+    threads = [threading.Thread(target=client) for _ in range(10)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(results)) == 1
+
+
+def test_errors_come_back_in_band(server, service):
+    assert request(server.socket_path, {"op": "warp"}) == {
+        "ok": False, "error": "unknown op 'warp'",
+    }
+    response = request(server.socket_path, {"op": "predict", "link": "LBL-ANL"})
+    assert not response["ok"] and "size" in response["error"]
+    # handle_request is the same dispatch the socket uses.
+    assert handle_request(service, {"op": "warp"})["ok"] is False
+
+
+def test_stop_removes_the_socket(service, tmp_path):
+    path = tmp_path / "gone.sock"
+    server = ServiceServer(service, path).start()
+    assert path.exists()
+    server.stop()
+    assert not path.exists()

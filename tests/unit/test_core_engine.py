@@ -1,0 +1,102 @@
+"""The evaluate() facade: engine selection and cross-engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate
+from repro.core.engine import ENGINES, select_engine
+from repro.core.predictors import ALL_PREDICTOR_NAMES, resolve_battery
+
+
+# ----------------------------------------------------------------------
+# select_engine
+# ----------------------------------------------------------------------
+def test_default_battery_is_vectorized():
+    assert select_engine() == "fast"
+    assert select_engine(None, engine="auto") == "fast"
+
+
+def test_kernel_specs_go_fast_others_generic():
+    assert select_engine(["C-AVG15", "AVG", "AR5d"]) == "fast"
+    assert select_engine(["C-AVG15", "SIZE"]) == "generic"
+    assert select_engine(["AVG7"]) == "generic"  # non-battery window
+
+
+def test_comma_string_request():
+    assert select_engine("C-AVG15, C-MED") == "fast"
+    assert select_engine("C-AVG15, SIZE") == "generic"
+
+
+def test_mapping_always_generic():
+    assert select_engine(resolve_battery(["AVG"])) == "generic"
+
+
+def test_fallback_forces_generic():
+    assert select_engine(["C-AVG15"], fallback=True) == "generic"
+
+
+def test_forced_engines():
+    assert select_engine(["SIZE"], engine="generic") == "generic"
+    assert select_engine(["C-AVG15"], engine="fast") == "fast"
+
+
+def test_forced_fast_without_kernel_raises():
+    with pytest.raises(ValueError, match="no kernel"):
+        select_engine(["SIZE"], engine="fast")
+    with pytest.raises(ValueError, match="mapping"):
+        select_engine(resolve_battery(["AVG"]), engine="fast")
+    with pytest.raises(ValueError, match="no kernel"):
+        select_engine([], engine="fast")
+
+
+def test_unknown_engine_raises():
+    with pytest.raises(ValueError, match="unknown engine"):
+        select_engine(["AVG"], engine="turbo")
+    assert ENGINES == ("auto", "generic", "fast")
+
+
+# ----------------------------------------------------------------------
+# evaluate
+# ----------------------------------------------------------------------
+def test_facade_engines_agree(sample_records):
+    specs = ["AVG", "C-AVG15", "LV", "C-MED5"]
+    fast = evaluate(sample_records, specs, training=5, engine="fast")
+    generic = evaluate(sample_records, specs, training=5, engine="generic")
+    assert set(fast.traces) == set(generic.traces) == set(specs)
+    for name in specs:
+        np.testing.assert_allclose(
+            fast[name].predicted, generic[name].predicted, rtol=1e-7
+        )
+        assert fast[name].abstentions == generic[name].abstentions
+
+
+def test_facade_subsets_the_fast_battery(sample_records):
+    result = evaluate(sample_records, ["C-AVG15"], training=5)
+    assert list(result.traces) == ["C-AVG15"]
+
+
+def test_facade_default_is_full_battery(sample_records):
+    result = evaluate(sample_records, training=5)
+    assert set(result.traces) == set(ALL_PREDICTOR_NAMES)
+
+
+def test_facade_accepts_comma_string(sample_records):
+    result = evaluate(sample_records, "AVG, LV", training=5)
+    assert list(result.traces) == ["AVG", "LV"]
+
+
+def test_facade_accepts_prebuilt_mapping(sample_records):
+    battery = resolve_battery(["AVG", "C-LV"])
+    result = evaluate(sample_records, battery, training=5)
+    assert set(result.traces) == {"AVG", "C-LV"}
+
+
+def test_facade_mixed_specs_fall_back_to_generic(sample_records):
+    result = evaluate(sample_records, ["C-AVG15", "SIZE"], training=5)
+    assert set(result.traces) == {"C-AVG15", "SIZE"}
+    assert result["SIZE"].predicted.size > 0
+
+
+def test_facade_unknown_spec_raises(sample_records):
+    with pytest.raises(KeyError):
+        evaluate(sample_records, ["NOPE"], training=5)

@@ -1,0 +1,122 @@
+"""The serve/query CLI pair, --json output, and exit-code conventions."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.logs import TransferLog
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    log = TransferLog()
+    for i in range(30):
+        log.append(make_record(start=1000.0 + 200 * i, size=100_000_000))
+    path = tmp_path / "LBL-ANL.ulm"
+    log.save(path)
+    return path
+
+
+class TestServeOneshot:
+    def test_prints_status_json(self, log_path, capsys):
+        rc = main(["serve", str(log_path), "--oneshot"])
+        assert rc == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["links"]["LBL-ANL"] == {"records": 30, "version": 30}
+        assert status["default_spec"] == "C-AVG15"
+
+    def test_link_override(self, log_path, capsys):
+        rc = main(["serve", str(log_path), "--oneshot", "--link", "lbl"])
+        assert rc == 0
+        assert "lbl" in json.loads(capsys.readouterr().out)["links"]
+
+    def test_missing_log_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such log file"):
+            main(["serve", str(tmp_path / "nope.ulm"), "--oneshot"])
+
+    def test_unknown_spec_rejected(self, log_path):
+        with pytest.raises(SystemExit, match="unknown predictor"):
+            main(["serve", str(log_path), "--oneshot", "--spec", "MAGIC"])
+
+    def test_socketless_serve_rejected(self, log_path):
+        with pytest.raises(SystemExit, match="--socket"):
+            main(["serve", str(log_path)])
+
+
+class TestQueryInProcess:
+    def test_predict_human_and_json(self, log_path, capsys):
+        rc = main(["query", "predict", "--logs", str(log_path),
+                   "--link", "LBL-ANL", "--size", "100MB"])
+        assert rc == 0
+        assert "MB/s" in capsys.readouterr().out
+
+        rc = main(["query", "predict", "--logs", str(log_path),
+                   "--link", "LBL-ANL", "--size", "100MB", "--json"])
+        assert rc == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is True
+        assert response["value"] > 0
+        assert response["history_length"] == 30
+
+    def test_rank_orders_candidates(self, log_path, capsys):
+        rc = main(["query", "rank", "--logs", str(log_path),
+                   "--size", "100MB",
+                   "--candidates", "LBL-ANL,NOWHERE", "--json"])
+        assert rc == 0
+        ranking = json.loads(capsys.readouterr().out)["ranking"]
+        assert [r["site"] for r in ranking] == ["LBL-ANL", "NOWHERE"]
+
+    def test_status_and_metrics(self, log_path, capsys):
+        assert main(["query", "status", "--logs", str(log_path), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["ingested"] == 30
+
+        assert main(["query", "metrics", "--logs", str(log_path), "--json"]) == 0
+        metrics = json.loads(capsys.readouterr().out)["metrics"]
+        assert metrics["service_ingested_records"]["value"] == 30
+
+    def test_size_suffixes(self, log_path, capsys):
+        for size in ("100000000", "100MB", "0.1GB"):
+            rc = main(["query", "predict", "--logs", str(log_path),
+                       "--link", "LBL-ANL", "--size", size, "--json"])
+            assert rc == 0
+            assert json.loads(capsys.readouterr().out)["size"] == 100_000_000
+
+    def test_bad_size_rejected(self, log_path):
+        with pytest.raises(SystemExit, match="bad size"):
+            main(["query", "predict", "--logs", str(log_path),
+                  "--link", "LBL-ANL", "--size", "ten"])
+
+    def test_predict_requires_link_and_size(self, log_path):
+        with pytest.raises(SystemExit, match="needs --link and --size"):
+            main(["query", "predict", "--logs", str(log_path)])
+
+    def test_query_requires_a_target(self):
+        with pytest.raises(SystemExit, match="--socket .* or --logs"):
+            main(["query", "status"])
+
+    def test_unreachable_socket_is_operational_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach server"):
+            main(["query", "ping", "--socket", str(tmp_path / "none.sock")])
+
+
+class TestEvaluateJson:
+    def test_json_output_and_engine_flag(self, log_path, capsys):
+        rc = main(["evaluate", str(log_path), "--predictors", "AVG,C-AVG15",
+                   "--engine", "fast", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 30
+        names = [p["name"] for p in payload["predictors"]]
+        assert names == ["AVG", "C-AVG15"]
+        for p in payload["predictors"]:
+            assert "overall_mape" in p and "per_class_mape" in p
+
+    def test_class_restricts_columns(self, log_path, capsys):
+        rc = main(["evaluate", str(log_path), "--predictors", "AVG",
+                   "--class", "100MB", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload["predictors"][0]["per_class_mape"]) == ["100MB"]

@@ -1,0 +1,110 @@
+"""LogFollower: incremental tailing, partial lines, rotation, bad lines."""
+
+from repro.logs.ulm import format_record
+from repro.service import LogFollower, PredictionService
+from tests.conftest import make_record
+
+
+def collect(path, **kwargs):
+    seen = []
+    follower = LogFollower(path, lambda link, r: seen.append((link, r)), **kwargs)
+    return follower, seen
+
+
+def test_poll_delivers_only_new_records(tmp_path):
+    path = tmp_path / "LBL-ANL.ulm"
+    r1 = make_record(start=1000.0)
+    r2 = make_record(start=2000.0)
+    path.write_text(format_record(r1) + "\n")
+
+    follower, seen = collect(path)
+    assert follower.poll() == 1
+    with path.open("a") as fh:
+        fh.write(format_record(r2) + "\n")
+    assert follower.poll() == 1
+    assert follower.poll() == 0
+    assert [r.start_time for _, r in seen] == [1000.0, 2000.0]
+    assert seen[0][0] == "LBL-ANL"  # link defaults to the file stem
+
+
+def test_partial_line_is_held_until_complete(tmp_path):
+    path = tmp_path / "log.ulm"
+    line = format_record(make_record(start=1000.0))
+    path.write_text(line[:40])  # server mid-write
+
+    follower, seen = collect(path)
+    assert follower.poll() == 0
+    with path.open("a") as fh:
+        fh.write(line[40:] + "\n")
+    assert follower.poll() == 1
+    assert seen[0][1].start_time == 1000.0
+
+
+def test_malformed_lines_are_counted_and_skipped(tmp_path):
+    path = tmp_path / "log.ulm"
+    good = format_record(make_record(start=1000.0))
+    path.write_text("THIS IS NOT ULM\n" + good + "\n# a comment\n\n")
+
+    follower, seen = collect(path)
+    assert follower.poll() == 1
+    assert follower.errors == 1
+    assert len(seen) == 1
+
+
+def test_truncation_restarts_from_zero(tmp_path):
+    path = tmp_path / "log.ulm"
+    r1 = make_record(start=1000.0)
+    r2 = make_record(start=2000.0)
+    path.write_text(format_record(r1) + "\n" + format_record(r1) + "\n")
+
+    follower, seen = collect(path)
+    assert follower.poll() == 2
+    path.write_text(format_record(r2) + "\n")  # rotation: shorter file
+    assert follower.poll() == 1
+    assert follower.truncations == 1
+    assert seen[-1][1].start_time == 2000.0
+
+
+def test_missing_file_waits(tmp_path):
+    path = tmp_path / "absent.ulm"
+    follower, seen = collect(path)
+    assert follower.poll() == 0
+    path.write_text(format_record(make_record(start=1000.0)) + "\n")
+    assert follower.poll() == 1
+
+
+def test_seek_to_end_skips_existing_content(tmp_path):
+    # `serve --follow` bulk-ingests first; the follower must not
+    # deliver the historical records a second time.
+    path = tmp_path / "LBL-ANL.ulm"
+    r1 = make_record(start=1000.0)
+    r2 = make_record(start=2000.0)
+    path.write_text(format_record(r1) + "\n")
+
+    follower, seen = collect(path)
+    follower.seek_to_end()
+    assert follower.poll() == 0          # nothing new yet
+    with path.open("a") as fh:
+        fh.write(format_record(r2) + "\n")
+    assert follower.poll() == 1
+    assert [r.start_time for _, r in seen] == [2000.0]
+
+
+def test_seek_to_end_on_missing_file(tmp_path):
+    path = tmp_path / "absent.ulm"
+    follower, seen = collect(path)
+    follower.seek_to_end()
+    path.write_text(format_record(make_record(start=1000.0)) + "\n")
+    assert follower.poll() == 1
+
+
+def test_follower_feeds_the_service_observe(tmp_path):
+    path = tmp_path / "LBL-ANL.ulm"
+    records = [make_record(start=1000.0 + 100 * i) for i in range(5)]
+    path.write_text("".join(format_record(r) + "\n" for r in records))
+
+    service = PredictionService()
+    follower = LogFollower(path, service.observe)
+    assert follower.poll() == 5
+    assert service.version("LBL-ANL") == 5
+    assert len(service.history("LBL-ANL")) == 5
