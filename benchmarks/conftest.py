@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import compute_class_errors
+from repro.analysis import compute_class_errors_dataset
+from repro.data import Dataset
 from repro.workload import AUG_2001, DEC_2001, run_month
 from repro.workload.campaigns import run_month_with_nws
 
@@ -37,8 +38,11 @@ def august_nws():
 
 @pytest.fixture(scope="session")
 def august_errors(august):
-    """Per-link 30-predictor walk-forward error tables."""
-    return {
-        link: compute_class_errors(link, output.log.records())
-        for link, output in august.items()
-    }
+    """Per-link 30-predictor walk-forward error tables.
+
+    Goes through the columnar dataset path: campaign logs convert to
+    frames once and every link evaluates in one
+    :func:`~repro.analysis.compute_class_errors_dataset` call.
+    """
+    dataset = Dataset.from_logs({link: output.log for link, output in august.items()})
+    return compute_class_errors_dataset(dataset)

@@ -22,7 +22,12 @@ the paper's figures plot:
 from repro.analysis.report import render_table
 from repro.analysis.nws_compare import NwsComparison, compare_probe_vs_gridftp, render_nws_comparison
 from repro.analysis.census import Census, compute_census, render_census
-from repro.analysis.errors import ClassErrors, compute_class_errors, render_class_errors
+from repro.analysis.errors import (
+    ClassErrors,
+    compute_class_errors,
+    compute_class_errors_dataset,
+    render_class_errors,
+)
 from repro.analysis.classification_impact import (
     ClassificationImpact,
     compute_classification_impact,
@@ -47,6 +52,7 @@ __all__ = [
     "render_census",
     "ClassErrors",
     "compute_class_errors",
+    "compute_class_errors_dataset",
     "render_class_errors",
     "ClassificationImpact",
     "compute_classification_impact",

@@ -9,17 +9,21 @@ the 10 MB / 100 MB / 500 MB / 1 GB classes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.classification import Classification, paper_classification
-from repro.core.engine import evaluate
-from repro.core.evaluation import EvaluationResult
+from repro.core.engine import evaluate, evaluate_dataset
+from repro.core.evaluation import EvaluationData, EvaluationResult
 from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
-from repro.logs.record import TransferRecord
 
 from repro.analysis.report import render_table
 
-__all__ = ["ClassErrors", "compute_class_errors", "render_class_errors"]
+__all__ = [
+    "ClassErrors",
+    "compute_class_errors",
+    "compute_class_errors_dataset",
+    "render_class_errors",
+]
 
 
 @dataclass(frozen=True)
@@ -43,21 +47,7 @@ class ClassErrors:
         return min(finite) if finite else float("nan")
 
 
-def compute_class_errors(
-    link: str,
-    records: Sequence[TransferRecord],
-    classification: Optional[Classification] = None,
-    training: int = 15,
-) -> ClassErrors:
-    """Run the 30-predictor evaluation and bucket errors by size class.
-
-    Goes through the :func:`repro.core.engine.evaluate` facade, which
-    routes the full battery to the vectorized engine (proved
-    trace-identical to the generic walk by the parity tests).
-    """
-    cls = classification or paper_classification()
-    result = evaluate(records, training=training, classification=cls)
-
+def _bucket(link: str, result: EvaluationResult, cls: Classification) -> ClassErrors:
     classified: Dict[str, Dict[str, float]] = {}
     unclassified: Dict[str, Dict[str, float]] = {}
     for label in cls.labels:
@@ -67,6 +57,44 @@ def compute_class_errors(
     return ClassErrors(
         link=link, classified=classified, unclassified=unclassified, result=result
     )
+
+
+def compute_class_errors(
+    link: str,
+    records: EvaluationData,
+    classification: Optional[Classification] = None,
+    training: int = 15,
+) -> ClassErrors:
+    """Run the 30-predictor evaluation and bucket errors by size class.
+
+    ``records`` is anything the evaluators accept — a record sequence or
+    a columnar :class:`~repro.data.frame.TransferFrame`.  Goes through the
+    :func:`repro.core.engine.evaluate` facade, which routes the full
+    battery to the vectorized engine (proved trace-identical to the
+    generic walk by the parity tests).
+    """
+    cls = classification or paper_classification()
+    result = evaluate(records, training=training, classification=cls)
+    return _bucket(link, result, cls)
+
+
+def compute_class_errors_dataset(
+    dataset: Mapping[str, EvaluationData],
+    classification: Optional[Classification] = None,
+    training: int = 15,
+    max_workers: Optional[int] = None,
+) -> Dict[str, ClassErrors]:
+    """Class-error tables for every link of a dataset, evaluated in parallel.
+
+    One :func:`repro.core.engine.evaluate_dataset` call walks all links on
+    a thread pool; each link's table is identical to a standalone
+    :func:`compute_class_errors` run.
+    """
+    cls = classification or paper_classification()
+    results = evaluate_dataset(
+        dataset, training=training, classification=cls, max_workers=max_workers
+    )
+    return {link: _bucket(link, result, cls) for link, result in results.items()}
 
 
 def render_class_errors(errors: ClassErrors, label: str) -> str:

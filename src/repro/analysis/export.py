@@ -149,7 +149,7 @@ def export_all(
     classified_names = tuple(f"C-{n}" for n in PAPER_PREDICTOR_NAMES)
     for link, output in first_month.items():
         written.append(export_bandwidth_series(output, out))
-        errors = compute_class_errors(link, output.log.records())
+        errors = compute_class_errors(link, output.log.to_frame())
         written.append(export_class_errors(errors, out))
         written.append(export_classification_impact(errors, out))
         table = compute_relative_table(

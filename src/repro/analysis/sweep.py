@@ -72,7 +72,7 @@ def sweep_claims(
     for seed in seeds:
         outputs = run_month(start_epoch=start_epoch, seed=seed, days=days)
         for link, output in outputs.items():
-            errors = compute_class_errors(link, output.log.records())
+            errors = compute_class_errors(link, output.log.to_frame())
             claims[(seed, link)] = check_summary_claims(errors)
     return SweepResult(claims=claims)
 

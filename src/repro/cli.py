@@ -42,9 +42,8 @@ from repro.analysis import (
     render_summary,
 )
 from repro.core.classification import PAPER_CLASS_LABELS, paper_classification
-from repro.core.engine import ENGINES, evaluate
+from repro.core.engine import ENGINES, evaluate_dataset
 from repro.core.predictors.registry import CLASSIFIED_PREDICTOR_NAMES, resolve
-from repro.logs.logfile import TransferLog
 from repro.workload import AUG_2001, DEC_2001, run_month, run_month_with_nws
 from repro.workload.campaigns import CampaignOutput
 
@@ -137,7 +136,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
 
     for link, output in _select(outputs, args.link).items():
-        errors = compute_class_errors(link, output.log.records())
+        errors = compute_class_errors(link, output.log.to_frame())
         if kind == "errors":
             for label in _labels(args.size_class):
                 print(render_class_errors(errors, label))
@@ -207,58 +206,79 @@ def _labels(size_class: Optional[str]) -> tuple:
 # evaluate
 # ----------------------------------------------------------------------
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    """Walk predictors over an external ULM log file via the facade."""
-    from repro.analysis.report import render_table
+    """Walk predictors over one or more external ULM log files.
 
-    log = TransferLog.load(args.log_file)
-    if len(log) <= args.training:
-        raise SystemExit(
-            f"{args.log_file}: {len(log)} records, need more than "
-            f"the training prefix ({args.training})"
-        )
+    Files load through the columnar ingest (with binary sidecar caching
+    unless ``--no-cache``) into a :class:`~repro.data.dataset.Dataset` —
+    one link per file, keyed by stem — and all links evaluate in one
+    :func:`~repro.core.engine.evaluate_dataset` call.  A single file
+    keeps the original output and JSON shape exactly.
+    """
+    from repro.analysis.report import render_table
+    from repro.data import Dataset
+
+    paths = [Path(p) for p in args.log_files]
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(f"no such log file: {path}")
     names = _parse_specs(args.predictors)
-    result = evaluate(
-        log.records(), names, training=args.training, engine=args.engine
+    link_paths: Dict[str, str] = {}
+    for path in paths:
+        link_paths.setdefault(path.stem, str(path))
+    dataset = Dataset.from_ulm(paths, cache=not args.no_cache)
+    for link, frame in dataset.items():
+        if len(frame) <= args.training:
+            raise SystemExit(
+                f"{link_paths[link]}: {len(frame)} records, need more than "
+                f"the training prefix ({args.training})"
+            )
+    results = evaluate_dataset(
+        dataset, names, training=args.training, engine=args.engine
     )
 
     cls = paper_classification()
     labels = _labels(args.size_class)
-    rows = []
-    report = []
-    for name in names:
-        trace = result[name]
-        per_class = {
-            label: trace.mean_abs_pct_error(trace.class_mask(cls, label))
-            for label in labels
-        }
-        overall = trace.mean_abs_pct_error()
-        rows.append([name, *per_class.values(), overall, trace.abstentions])
-        report.append({
-            "name": name,
-            "per_class_mape": per_class,
-            "overall_mape": overall,
-            "abstentions": trace.abstentions,
-        })
-
-    _emit(
-        {
-            "log": str(args.log_file),
-            "records": len(log),
+    payloads = []
+    tables = []
+    for link, result in results.items():
+        n = len(dataset[link])
+        rows = []
+        report = []
+        for name in names:
+            trace = result[name]
+            per_class = {
+                label: trace.mean_abs_pct_error(trace.class_mask(cls, label))
+                for label in labels
+            }
+            overall = trace.mean_abs_pct_error()
+            rows.append([name, *per_class.values(), overall, trace.abstentions])
+            report.append({
+                "name": name,
+                "per_class_mape": per_class,
+                "overall_mape": overall,
+                "abstentions": trace.abstentions,
+            })
+        payloads.append({
+            "log": link_paths[link],
+            "records": n,
             "training": args.training,
-            "predictions_per_predictor": len(log) - args.training,
+            "predictions_per_predictor": n - args.training,
             "predictors": report,
-        },
-        args.json,
-        render_table(
+        })
+        tables.append(render_table(
             ["predictor", *labels, "overall", "abstained"],
             rows,
             title=(
-                f"{args.log_file}: {len(log)} records, "
-                f"{len(log) - args.training} predictions per predictor "
+                f"{link_paths[link]}: {n} records, "
+                f"{n - args.training} predictions per predictor "
                 f"(MAPE %)"
             ),
-        ),
-    )
+        ))
+
+    if len(payloads) == 1:
+        _emit(payloads[0], args.json, tables[0])
+    else:
+        _emit({"logs": payloads}, args.json, "\n\n".join(tables))
     return 0
 
 
@@ -437,9 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=_cmd_report)
 
     evaluate_cmd = sub.add_parser(
-        "evaluate", help="walk predictors over an external ULM log file"
+        "evaluate", help="walk predictors over external ULM log files"
     )
-    evaluate_cmd.add_argument("log_file", help="path to a ULM transfer log")
+    evaluate_cmd.add_argument(
+        "log_files", nargs="+", metavar="log_file",
+        help="ULM transfer logs (one evaluated link per file, keyed by stem)",
+    )
+    evaluate_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="skip reading/writing the .npz sidecar next to each log",
+    )
     evaluate_cmd.add_argument(
         "--predictors", default="C-AVG15,C-MED,C-LV,SIZE",
         help="comma-separated predictor specs (Figure 4 names, C- variants, SIZE)",

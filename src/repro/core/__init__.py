@@ -28,7 +28,7 @@ from repro.core.evaluation import (
     PredictionTrace,
     percentage_error,
 )
-from repro.core.engine import ENGINES, evaluate, select_engine
+from repro.core.engine import ENGINES, evaluate, evaluate_dataset, select_engine
 from repro.core.relative import RelativePerformance, relative_performance
 from repro.core.selection import RankedReplica, ReplicaBroker
 from repro.core.accuracy import (
@@ -47,6 +47,7 @@ __all__ = [
     "PredictionTrace",
     "ENGINES",
     "evaluate",
+    "evaluate_dataset",
     "select_engine",
     "percentage_error",
     "RelativePerformance",

@@ -24,22 +24,22 @@ The CLI, the analysis layer, and the benchmarks all call this facade.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.classification import Classification
-from repro.core.evaluation import DEFAULT_TRAINING, EvaluationResult
+from repro.core.evaluation import DEFAULT_TRAINING, EvaluationData, EvaluationResult
 from repro.core.evaluation import evaluate as generic_evaluate
 from repro.core.fast import fast_evaluate
-from repro.core.history import History
 from repro.core.predictors.base import Predictor
 from repro.core.predictors.registry import (
     ALL_PREDICTOR_NAMES,
     KERNEL_SPECS,
     resolve_battery,
 )
-from repro.logs.record import TransferRecord
 
-__all__ = ["ENGINES", "evaluate", "select_engine"]
+__all__ = ["ENGINES", "evaluate", "evaluate_dataset", "select_engine"]
 
 ENGINES = ("auto", "generic", "fast")
 
@@ -96,7 +96,7 @@ def select_engine(
 
 
 def evaluate(
-    data: Union[Sequence[TransferRecord], History],
+    data: EvaluationData,
     predictors: PredictorRequest = None,
     training: int = DEFAULT_TRAINING,
     engine: str = "auto",
@@ -108,8 +108,9 @@ def evaluate(
     Parameters
     ----------
     data:
-        Transfer records or a bare :class:`History` (same semantics as
-        the generic evaluator).
+        Transfer records, a :class:`~repro.data.frame.TransferFrame`, or
+        a bare :class:`History` (same semantics as the generic
+        evaluator).
     predictors:
         What to evaluate — one of:
 
@@ -151,3 +152,49 @@ def evaluate(
             specs, classification=classification, fallback=fallback
         )
     return generic_evaluate(data, battery, training=training)
+
+
+def evaluate_dataset(
+    dataset: Mapping[str, EvaluationData],
+    predictors: PredictorRequest = None,
+    training: int = DEFAULT_TRAINING,
+    engine: str = "auto",
+    classification: Optional[Classification] = None,
+    fallback: bool = False,
+    max_workers: Optional[int] = None,
+) -> Dict[str, EvaluationResult]:
+    """Walk the predictor battery over every link of a dataset in parallel.
+
+    Accepts any link -> data mapping — most usefully a
+    :class:`repro.data.dataset.Dataset` of columnar frames — and runs
+    :func:`evaluate` per link on a thread pool (the vectorized kernels
+    spend their time in NumPy, which releases the GIL).  Results keep the
+    dataset's link order; per-link results are identical to serial
+    :func:`evaluate` calls, as each walk touches only its own arrays.
+
+    ``max_workers`` defaults to one thread per link, capped by the CPU
+    count; pass ``1`` to force a serial walk.
+    """
+    links = list(dataset)
+    if not links:
+        return {}
+    # Validate the request (and the engine choice) once, up front, so a
+    # bad spec raises immediately rather than from inside a pool thread.
+    select_engine(predictors, engine=engine, fallback=fallback)
+
+    def _one(link: str) -> EvaluationResult:
+        return evaluate(
+            dataset[link],
+            predictors,
+            training=training,
+            engine=engine,
+            classification=classification,
+            fallback=fallback,
+        )
+
+    workers = max_workers or min(len(links), os.cpu_count() or 1)
+    if workers <= 1 or len(links) == 1:
+        return {link: _one(link) for link in links}
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(_one, links))
+    return dict(zip(links, results))

@@ -28,16 +28,42 @@ import numpy as np
 from repro.core.classification import Classification
 from repro.core.history import History
 from repro.core.predictors.base import Predictor
+from repro.data.frame import TransferFrame
 from repro.logs.record import TransferRecord
 
 __all__ = [
     "percentage_error",
+    "resolve_history",
+    "EvaluationData",
     "PredictionTrace",
     "EvaluationResult",
     "evaluate",
 ]
 
 DEFAULT_TRAINING = 15
+
+#: What the evaluators accept as "a log": records, a columnar frame, or
+#: a bare observation history.
+EvaluationData = Union[Sequence[TransferRecord], TransferFrame, History]
+
+
+def resolve_history(data: EvaluationData):
+    """``(history, anchors)`` for any supported log representation.
+
+    Records and frames anchor each prediction at the transfer's *start*
+    time — the moment a replica decision would be made; a bare history
+    anchors at observation times (all it has).
+    """
+    if isinstance(data, History):
+        return data, data.times
+    if isinstance(data, TransferFrame):
+        return data.history(), data.start_times
+    records = list(data)
+    history = History.from_records(records)
+    anchors = np.fromiter(
+        (r.start_time for r in records), dtype=np.float64, count=len(records)
+    )
+    return history, anchors
 
 
 def percentage_error(measured: float, predicted: float) -> float:
@@ -130,7 +156,7 @@ class EvaluationResult:
 
 
 def evaluate(
-    data: Union[Sequence[TransferRecord], History],
+    data: EvaluationData,
     predictors: Mapping[str, Predictor],
     training: int = DEFAULT_TRAINING,
 ) -> EvaluationResult:
@@ -139,9 +165,10 @@ def evaluate(
     Parameters
     ----------
     data:
-        Either transfer records (predictions are anchored at each record's
-        *start* time — the moment a replica decision would be made) or a
-        bare :class:`History` (anchored at observation times).
+        Transfer records or a :class:`~repro.data.frame.TransferFrame`
+        (predictions are anchored at each record's *start* time — the
+        moment a replica decision would be made), or a bare
+        :class:`History` (anchored at observation times).
     predictors:
         Name -> predictor mapping; names key the result traces.
     training:
@@ -154,15 +181,7 @@ def evaluate(
     if not predictors:
         raise ValueError("no predictors supplied")
 
-    if isinstance(data, History):
-        history = data
-        anchors = history.times
-    else:
-        records = list(data)
-        history = History.from_records(records)
-        anchors = np.fromiter(
-            (r.start_time for r in records), dtype=np.float64, count=len(records)
-        )
+    history, anchors = resolve_history(data)
 
     n = len(history)
     collected: Dict[str, Dict[str, list]] = {

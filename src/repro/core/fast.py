@@ -27,15 +27,18 @@ speedup benchmark measures the difference (typically >10x).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.classification import Classification, paper_classification
-from repro.core.evaluation import EvaluationResult, PredictionTrace
-from repro.core.history import History
+from repro.core.evaluation import (
+    EvaluationData,
+    EvaluationResult,
+    PredictionTrace,
+    resolve_history,
+)
 from repro.core.predictors.registry import PAPER_PREDICTOR_NAMES
-from repro.logs.record import TransferRecord
 from repro.units import DAY, HOUR
 
 __all__ = ["fast_evaluate"]
@@ -230,7 +233,7 @@ def _predictor_matrix(
 
 
 def fast_evaluate(
-    data: Union[Sequence[TransferRecord], History],
+    data: EvaluationData,
     training: int = 15,
     classification: Optional[Classification] = None,
     classified: bool = True,
@@ -245,15 +248,7 @@ def fast_evaluate(
     """
     if training < 1:
         raise ValueError(f"training must be >= 1, got {training}")
-    if isinstance(data, History):
-        history = data
-        anchors = history.times.copy()
-    else:
-        records = list(data)
-        history = History.from_records(records)
-        anchors = np.fromiter(
-            (r.start_time for r in records), dtype=np.float64, count=len(records)
-        )
+    history, anchors = resolve_history(data)
     cls = classification or paper_classification()
     n = len(history)
 

@@ -97,9 +97,13 @@ class History:
         return self._view(slice(0, n))
 
     def last(self, n: int) -> "History":
-        """The most recent ``n`` observations (fewer if the history is short)."""
-        if n <= 0:
-            raise ValueError(f"n must be positive, got {n}")
+        """The most recent ``n`` observations (fewer if the history is short).
+
+        ``last(0)`` is the empty view — the same degenerate-window
+        semantics as ``prefix(0)``.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
         return self._view(slice(max(0, len(self) - n), len(self)))
 
     def since(self, t: float) -> "History":

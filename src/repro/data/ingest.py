@@ -1,0 +1,292 @@
+"""Vectorized ULM ingest with a content-addressed binary cache.
+
+The row-at-a-time loader (:func:`repro.logs.ulm.parse_lines`) costs one
+quote-aware character scan, one dict, and one frozen dataclass per line —
+fine for a test log, ruinous for the many-thousand-record campaign
+outputs the production service replays at startup.  This module parses a
+whole log into a :class:`~repro.data.frame.TransferFrame` in one pass:
+
+* **fast path** — lines containing no double quote (the overwhelming
+  majority: quoting only triggers on file names with spaces, ``=`` or
+  backslashes) tokenize with a plain ``str.split``/``partition`` sweep;
+* **fallback** — lines containing a quote go through the existing
+  quote-aware :func:`~repro.logs.ulm.parse_fields` scanner, so escaping
+  semantics are shared, not reimplemented;
+* **columnar conversion** — raw value strings convert to typed NumPy
+  columns in bulk, and record invariants (positive sizes, ordered
+  timestamps, positive bandwidth) are checked as vectorized masks.
+
+Any anomaly — a malformed line, a value the bulk cast rejects, a row
+failing validation — re-parses through the canonical per-record path so
+errors carry the exact message and line number :func:`parse_lines` would
+raise.  The per-record parser stays the single source of truth; the
+property tests assert frame-identical output on real and fuzzed logs.
+
+**Binary cache.**  :func:`load_ulm` keys a ``.npz`` sidecar on the
+SHA-256 of the log's bytes: the first load parses and writes the
+sidecar, every later load of unchanged content deserializes straight
+into arrays (no string parsing at all) and verifies the digest, so a
+rewritten or truncated log can never serve stale arrays.  Cache files
+are best-effort — an unwritable directory or a corrupt sidecar silently
+degrades to a parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.frame import OP_READ, OP_WRITE, TransferFrame
+from repro.logs.ulm import ULMError, parse_fields, parse_lines, parse_record
+
+__all__ = [
+    "parse_ulm_lines",
+    "parse_ulm_text",
+    "load_ulm",
+    "cache_path",
+    "write_cache",
+    "read_cache",
+]
+
+#: Bump when the cache layout changes; readers reject other versions.
+CACHE_VERSION = "1"
+
+#: ULM keys of the GridFTP transfer object, in frame column order.
+_RAW_KEYS: Tuple[str, ...] = (
+    "GFTP.START",
+    "GFTP.END",
+    "GFTP.BW",
+    "GFTP.NBYTES",
+    "GFTP.OP",
+    "GFTP.STREAMS",
+    "GFTP.BUFFER",
+    "GFTP.SRC",
+    "GFTP.FILE",
+    "GFTP.VOLUME",
+)
+
+
+class _SlowPath(Exception):
+    """Internal: the fast path met something only the canonical parser
+    should judge (and whose error message it owns)."""
+
+
+def _fast_fields(line: str) -> Dict[str, str]:
+    """Space-split tokenizer for quote-free lines.
+
+    Matches :func:`parse_fields` on its domain; anything it is not sure
+    about (missing ``=``, empty key, duplicate key) raises
+    :class:`_SlowPath` so the canonical scanner decides.
+    """
+    fields: Dict[str, str] = {}
+    for token in line.split(" "):
+        if not token:
+            continue
+        key, eq, value = token.partition("=")
+        if not eq or not key:
+            raise _SlowPath
+        if key in fields:
+            raise _SlowPath
+        fields[key] = value
+    return fields
+
+
+def _collect(lines: Iterable[str]) -> Tuple[List[List[str]], List[str], List[int]]:
+    """Tokenize every line into raw per-column value lists.
+
+    Returns ``(columns, kept_lines, line_numbers)`` where ``columns[i]``
+    is the raw string list for ``_RAW_KEYS[i]``.  Raises line-numbered
+    :class:`ULMError` exactly as :func:`parse_lines` would.
+    """
+    columns: List[List[str]] = [[] for _ in _RAW_KEYS]
+    kept: List[str] = []
+    numbers: List[int] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            if '"' in stripped:
+                fields = parse_fields(stripped)
+            else:
+                try:
+                    fields = _fast_fields(stripped)
+                except _SlowPath:
+                    fields = parse_fields(stripped)
+        except ULMError as exc:
+            raise ULMError(f"line {lineno}: {exc}") from None
+        if any(key not in fields for key in _RAW_KEYS):
+            # parse_record checks keys in its own order; let it pick which
+            # missing key the canonical error names.
+            try:
+                parse_record(stripped)
+            except ULMError as exc:
+                raise ULMError(f"line {lineno}: {exc}") from None
+            raise ULMError(f"line {lineno}: missing required key")
+        for i, key in enumerate(_RAW_KEYS):
+            columns[i].append(fields[key])
+        kept.append(stripped)
+        numbers.append(lineno)
+    return columns, kept, numbers
+
+
+def _reparse(kept: List[str], numbers: List[int]) -> TransferFrame:
+    """Authoritative fallback: the per-record parser on every kept line.
+
+    Either raises the canonical line-numbered error or resolves a
+    conversion-semantics divergence in the per-record parser's favor.
+    """
+    records = []
+    for stripped, lineno in zip(kept, numbers):
+        try:
+            records.append(parse_record(stripped))
+        except ULMError as exc:
+            raise ULMError(f"line {lineno}: {exc}") from None
+    return TransferFrame.from_records(records)
+
+
+def _op_codes(raw: List[str]) -> np.ndarray:
+    codes = np.empty(len(raw), dtype=np.int8)
+    for i, value in enumerate(raw):
+        text = value.strip().lower()
+        if text == "read":
+            codes[i] = OP_READ
+        elif text == "write":
+            codes[i] = OP_WRITE
+        else:
+            raise ValueError(f"unknown operation {value!r}")
+    return codes
+
+
+def parse_ulm_lines(lines: Iterable[str]) -> TransferFrame:
+    """Parse ULM lines into a frame, skipping blanks and ``#`` comments.
+
+    Frame-identical to ``TransferFrame.from_records(parse_lines(lines))``
+    and raises the same errors on malformed input.
+    """
+    columns, kept, numbers = _collect(lines)
+    n = len(kept)
+    if n == 0:
+        return TransferFrame.empty()
+    starts_r, ends_r, bws_r, sizes_r, ops_r, streams_r, bufs_r, srcs, files, vols = columns
+    try:
+        frame = TransferFrame(
+            start_times=np.array(starts_r, dtype=np.float64),
+            end_times=np.array(ends_r, dtype=np.float64),
+            bandwidths=np.array(bws_r, dtype=np.float64),
+            sizes=np.array(sizes_r, dtype=np.str_).astype(np.int64),
+            ops=_op_codes(ops_r),
+            streams=np.array(streams_r, dtype=np.str_).astype(np.int64),
+            buffers=np.array(bufs_r, dtype=np.str_).astype(np.int64),
+            sources=np.array(srcs, dtype=np.str_),
+            files=np.array(files, dtype=np.str_),
+            volumes=np.array(vols, dtype=np.str_),
+        )
+    except (ValueError, OverflowError):
+        return _reparse(kept, numbers)
+
+    # Record invariants, vectorized (mirrors TransferRecord.__post_init__).
+    valid = (
+        (np.char.str_len(frame.sources) > 0)
+        & (np.char.str_len(frame.files) > 0)
+        & (frame.sizes > 0)
+        & np.isfinite(frame.start_times)
+        & np.isfinite(frame.end_times)
+        & (frame.end_times > frame.start_times)
+        & np.isfinite(frame.bandwidths)
+        & (frame.bandwidths > 0)
+        & (frame.streams > 0)
+        & (frame.buffers > 0)
+    )
+    if not valid.all():
+        return _reparse(kept, numbers)
+    return frame
+
+
+def parse_ulm_text(text: str) -> TransferFrame:
+    """Parse a whole ULM document (see :func:`parse_ulm_lines`)."""
+    return parse_ulm_lines(text.splitlines())
+
+
+# ----------------------------------------------------------------------
+# binary cache
+# ----------------------------------------------------------------------
+def cache_path(path: Union[str, Path]) -> Path:
+    """The ``.npz`` sidecar for a log file (``x.ulm`` -> ``x.ulm.npz``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".npz")
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def read_cache(sidecar: Path, digest: str) -> Optional[TransferFrame]:
+    """The cached frame, or ``None`` on any mismatch or corruption."""
+    try:
+        with np.load(sidecar, allow_pickle=False) as payload:
+            if str(payload["__version__"]) != CACHE_VERSION:
+                return None
+            if str(payload["__digest__"]) != digest:
+                return None
+            return TransferFrame.from_arrays(payload)
+    except Exception:
+        return None
+
+
+def write_cache(sidecar: Path, digest: str, frame: TransferFrame) -> bool:
+    """Atomically write the sidecar; returns False when the directory
+    refuses (read-only media is a supported deployment)."""
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(sidecar.parent), prefix=sidecar.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    __version__=np.str_(CACHE_VERSION),
+                    __digest__=np.str_(digest),
+                    **frame.to_arrays(),
+                )
+            os.replace(tmp_name, sidecar)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return True
+    except OSError:
+        return False
+
+
+def load_ulm(path: Union[str, Path], cache: bool = True) -> TransferFrame:
+    """Load a ULM log as a frame, through the binary sidecar cache.
+
+    The cache key is the content digest: editing the log in place, even
+    without touching its mtime, invalidates the sidecar.  Pass
+    ``cache=False`` to force a parse and skip sidecar reads and writes.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    digest = _digest(raw)
+    sidecar = cache_path(path)
+    if cache:
+        cached = read_cache(sidecar, digest)
+        if cached is not None:
+            return cached
+    frame = parse_ulm_text(raw.decode("utf-8"))
+    if cache:
+        write_cache(sidecar, digest, frame)
+    return frame
+
+
+def iter_records(path: Union[str, Path]):
+    """Per-record iteration over a log file (the legacy row-wise path)."""
+    return parse_lines(Path(path).read_text().splitlines())

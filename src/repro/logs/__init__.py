@@ -43,6 +43,8 @@ from repro.logs.stats import (
     RunningSummary,
     summarize,
     summarize_by_class,
+    summarize_frame_by_class,
+    summarize_values,
 )
 
 __all__ = [
@@ -70,4 +72,6 @@ __all__ = [
     "RunningSummary",
     "summarize",
     "summarize_by_class",
+    "summarize_frame_by_class",
+    "summarize_values",
 ]

@@ -7,12 +7,17 @@ here as :class:`TrimPolicy` objects:
 * **Running window** (NWS style) — :class:`RunningWindow` drops entries
   older than a horizon; :class:`MaxCount` keeps the newest N.
 * **Flush and restart** (NetLogger style) — :class:`FlushRestart` hands
-  the full log to an archival sink and restarts empty once it exceeds a
-  threshold.
+  the full log to an archival sink and restarts empty once the log
+  *reaches* a threshold.
 
 A :class:`TransferLog` may also be persisted to/loaded from a ULM file, one
 record per line, which is how workload campaigns hand data to the analysis
-and benchmark layers.
+and benchmark layers.  Bulk ingestion (:meth:`TransferLog.extend`,
+:meth:`TransferLog.load`) folds a whole batch in one sorted merge — one
+trim-policy application instead of N — and :meth:`TransferLog.to_frame` /
+:meth:`TransferLog.from_frame` bridge to the columnar
+:class:`~repro.data.frame.TransferFrame` substrate the analysis, MDS, and
+service layers evaluate on.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from pathlib import Path
 from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.logs.record import TransferRecord
-from repro.logs.ulm import format_record, parse_lines
+from repro.logs.ulm import format_record
 
 __all__ = [
     "TrimPolicy",
@@ -34,7 +39,17 @@ __all__ = [
 
 
 class TrimPolicy:
-    """Decides which records survive after each append."""
+    """Decides which records survive after each append.
+
+    ``batch_safe`` declares that one application at the end of a sorted
+    batch leaves the same final state as applying after every record of
+    that batch — true for memoryless policies (:class:`KeepAll`,
+    :class:`RunningWindow`, :class:`MaxCount`), false for
+    :class:`FlushRestart`, whose archival batch boundaries depend on
+    per-record application.  The bulk ingest path consults it.
+    """
+
+    batch_safe = True
 
     def apply(self, records: List[TransferRecord], now: float) -> List[TransferRecord]:
         """Return the retained records (may be the same list)."""
@@ -76,11 +91,20 @@ class MaxCount(TrimPolicy):
 
 
 class FlushRestart(TrimPolicy):
-    """Archive everything and restart once the log exceeds ``threshold``.
+    """Archive everything and restart once the log *reaches* ``threshold``.
 
-    ``sink`` receives the flushed batch; by default batches are kept on the
-    policy's ``archived`` list so nothing is silently lost.
+    The flush fires when the record count is greater than or equal to
+    ``threshold`` — a log trimmed by ``FlushRestart(3)`` never holds three
+    records after an append.  ``sink`` receives the flushed batch; by
+    default batches are kept on the policy's ``archived`` list so nothing
+    is silently lost.
+
+    Not ``batch_safe``: which records land in which archival batch depends
+    on applying the policy after every single append, so bulk ingestion
+    falls back to the per-record path for this policy.
     """
+
+    batch_safe = False
 
     def __init__(
         self,
@@ -157,8 +181,48 @@ class TransferLog:
             listener(record)
 
     def extend(self, records: Sequence[TransferRecord]) -> None:
-        for record in records:
-            self.append(record)
+        """Bulk-append a batch: one sorted merge, one trim application.
+
+        Equivalent to appending the batch sorted by end time one record at
+        a time, but folds the whole batch with a single stable merge and a
+        single trim-policy application — the policies for which a final
+        application gives the same retained set declare ``batch_safe``;
+        :class:`FlushRestart` does not and keeps the per-record path.
+        Listeners fire once per record, in merged order, exactly as they
+        would under sequential appends.
+        """
+        batch = list(records)
+        if not batch:
+            return
+        if not self.trim.batch_safe:
+            for record in batch:
+                self.append(record)
+            return
+        batch.sort(key=lambda r: r.end_time)
+        existing = self._records
+        if existing and batch[0].end_time < existing[-1].end_time:
+            # Stable merge keeping existing records ahead of the batch on
+            # end-time ties, matching sequential binary inserts.
+            merged: List[TransferRecord] = []
+            i = j = 0
+            while i < len(existing) and j < len(batch):
+                if existing[i].end_time <= batch[j].end_time:
+                    merged.append(existing[i])
+                    i += 1
+                else:
+                    merged.append(batch[j])
+                    j += 1
+            merged.extend(existing[i:])
+            merged.extend(batch[j:])
+        else:
+            merged = existing + batch
+        # Sequential appends would apply the trim with each record's end
+        # time in turn; for batch-safe policies the final application (the
+        # batch's latest end time) subsumes the earlier ones.
+        self._records = self.trim.apply(merged, now=batch[-1].end_time)
+        for record in batch:
+            for listener in self._listeners:
+                listener(record)
 
     def clear(self) -> None:
         self._records = []
@@ -180,6 +244,31 @@ class TransferLog:
         return self._records[-1] if self._records else None
 
     # ------------------------------------------------------------------
+    # columnar bridge
+    # ------------------------------------------------------------------
+    def to_frame(self):
+        """The retained records as a columnar
+        :class:`~repro.data.frame.TransferFrame` (already end-time sorted).
+        """
+        # Imported lazily: repro.logs sits below repro.data in the layer
+        # DAG; the bridge must not make the whole logs package depend on it.
+        from repro.data.frame import TransferFrame
+
+        return TransferFrame.from_records(self._records)
+
+    @classmethod
+    def from_frame(
+        cls,
+        frame,
+        host: str = "localhost",
+        trim: Optional[TrimPolicy] = None,
+    ) -> "TransferLog":
+        """Build a log from a :class:`~repro.data.frame.TransferFrame`."""
+        log = cls(host=host, trim=trim)
+        log.extend(frame.to_records())
+        return log
+
+    # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> int:
@@ -189,10 +278,20 @@ class TransferLog:
         return len(lines)
 
     @classmethod
-    def load(cls, path: str | Path, host: str = "localhost") -> "TransferLog":
-        """Read a ULM log file written by :meth:`save`."""
+    def load(
+        cls, path: str | Path, host: str = "localhost", cache: bool = False
+    ) -> "TransferLog":
+        """Read a ULM log file written by :meth:`save`.
+
+        Parses the whole file with the vectorized one-pass ingest and
+        bulk-extends the new log — one sorted merge instead of N binary
+        inserts.  ``cache=True`` additionally reads/writes the ``.npz``
+        sidecar next to the file (off by default: loading should not
+        surprise callers by creating files).
+        """
+        from repro.data.ingest import load_ulm
+
         log = cls(host=host)
-        text = Path(path).read_text()
-        for record in parse_lines(text.splitlines()):
-            log.append(record)
+        frame = load_ulm(path, cache=cache)
+        log.extend(frame.to_records())
         return log

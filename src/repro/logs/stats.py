@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.logs.record import Operation, TransferRecord
 
-__all__ = ["BandwidthSummary", "RunningSummary", "summarize", "summarize_by_class"]
+__all__ = [
+    "BandwidthSummary",
+    "RunningSummary",
+    "summarize",
+    "summarize_by_class",
+    "summarize_values",
+    "summarize_frame_by_class",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +107,25 @@ class RunningSummary:
         )
 
 
+def summarize_values(bandwidths: np.ndarray) -> BandwidthSummary:
+    """Aggregate a bandwidth column directly (the columnar fast path).
+
+    :func:`summarize` on a record list produces the identical summary:
+    both reduce the same float64 array in the same order.
+    """
+    bw = np.asarray(bandwidths, dtype=np.float64)
+    if len(bw) == 0:
+        return BandwidthSummary.empty()
+    return BandwidthSummary(
+        count=len(bw),
+        minimum=float(bw.min()),
+        maximum=float(bw.max()),
+        mean=float(bw.mean()),
+        median=float(np.median(bw)),
+        stddev=float(bw.std(ddof=0)),
+    )
+
+
 def summarize(
     records: Sequence[TransferRecord],
     operation: Operation | None = None,
@@ -110,14 +136,7 @@ def summarize(
     if not records:
         return BandwidthSummary.empty()
     bw = np.fromiter((r.bandwidth for r in records), dtype=np.float64, count=len(records))
-    return BandwidthSummary(
-        count=len(records),
-        minimum=float(bw.min()),
-        maximum=float(bw.max()),
-        mean=float(bw.mean()),
-        median=float(np.median(bw)),
-        stddev=float(bw.std(ddof=0)),
-    )
+    return summarize_values(bw)
 
 
 def summarize_by_class(
@@ -136,3 +155,28 @@ def summarize_by_class(
     for record in records:
         buckets.setdefault(classify(record.file_size), []).append(record)
     return {label: summarize(bucket) for label, bucket in sorted(buckets.items())}
+
+
+def summarize_frame_by_class(
+    frame, classify: Callable[[int], str]
+) -> Dict[str, BandwidthSummary]:
+    """Columnar :func:`summarize_by_class`: classify once per *distinct* size.
+
+    ``frame`` is anything with parallel ``sizes`` / ``bandwidths`` columns
+    (a :class:`~repro.data.frame.TransferFrame`; duck-typed so this layer
+    needs no import from above).  Labels come from one ``classify`` call
+    per unique size instead of one per record, and each class's summary
+    reduces a sliced column — identical values, in identical order, to the
+    per-record path, so the provider parity tests hold bit for bit.
+    """
+    sizes = np.asarray(frame.sizes)
+    if len(sizes) == 0:
+        return {}
+    unique_sizes, inverse = np.unique(sizes, return_inverse=True)
+    unique_labels = np.array([classify(int(s)) for s in unique_sizes])
+    labels = unique_labels[inverse]
+    bandwidths = np.asarray(frame.bandwidths, dtype=np.float64)
+    return {
+        str(label): summarize_values(bandwidths[labels == label])
+        for label in sorted(set(labels.tolist()))
+    }

@@ -19,15 +19,20 @@ from __future__ import annotations
 import collections
 import time
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.classification import Classification, paper_classification
-from repro.core.history import History
 from repro.core.predictors.base import Predictor
 from repro.core.predictors.mean import TotalAverage
+from repro.data.frame import TransferFrame
 from repro.logs.logfile import TransferLog
 from repro.logs.record import Operation, TransferRecord
-from repro.logs.stats import BandwidthSummary, RunningSummary, summarize, summarize_by_class
+from repro.logs.stats import (
+    BandwidthSummary,
+    RunningSummary,
+    summarize_frame_by_class,
+    summarize_values,
+)
 from repro.mds.ldif import Entry
 from repro.net.topology import Site
 from repro.units import bytes_per_sec_to_kbps
@@ -65,7 +70,10 @@ class GridFTPInfoProvider:
     Parameters
     ----------
     log:
-        The server's transfer log.
+        The server's transfer log — a live :class:`TransferLog` or an
+        already-columnar :class:`~repro.data.frame.TransferFrame` (the
+        bulk-ingest path hands frames straight through without ever
+        materializing record objects).
     site:
         The server's site (drives the DN and hostname attributes).
     url:
@@ -83,7 +91,7 @@ class GridFTPInfoProvider:
 
     def __init__(
         self,
-        log: TransferLog,
+        log: Union[TransferLog, TransferFrame],
         site: Site,
         url: str,
         classification: Optional[Classification] = None,
@@ -113,29 +121,41 @@ class GridFTPInfoProvider:
         entry, _ = self.report(now)
         return [entry] if entry is not None else []
 
+    def _frame(self) -> TransferFrame:
+        """The log as a columnar frame (a frame passes straight through)."""
+        if isinstance(self.log, TransferFrame):
+            return self.log
+        return self.log.to_frame()
+
     def report(self, now: float) -> Tuple[Optional[Entry], ProviderReport]:
-        """Build the entry and measure each pipeline stage."""
+        """Build the entry and measure each pipeline stage.
+
+        The whole pipeline runs on column slices — filtering by direction,
+        summarizing, classifying, and predicting never materialize record
+        objects — yet publishes attribute-for-attribute what the original
+        record-list pipeline did (asserted by the columnar parity tests).
+        """
         t0 = time.perf_counter()
-        records = self.log.records()
-        reads = [r for r in records if r.operation is Operation.READ]
-        writes = [r for r in records if r.operation is Operation.WRITE]
+        frame = self._frame()
+        reads = frame.reads()
+        writes = frame.writes()
         t1 = time.perf_counter()
 
-        read_summary = summarize(reads)
-        write_summary = summarize(writes)
-        per_class = summarize_by_class(reads, self.classification.classify)
+        read_summary = summarize_values(reads.bandwidths)
+        write_summary = summarize_values(writes.bandwidths)
+        per_class = summarize_frame_by_class(reads, self.classification.classify)
         t2 = time.perf_counter()
 
         predictions = self._per_class_predictions(reads, now)
         t3 = time.perf_counter()
 
         report = ProviderReport(
-            n_records=len(records),
+            n_records=len(frame),
             filter_seconds=t1 - t0,
             classify_seconds=t2 - t1,
             predict_seconds=t3 - t2,
         )
-        if not records:
+        if not len(frame):
             return None, report
 
         entry = Entry(self.dn())
@@ -143,7 +163,7 @@ class GridFTPInfoProvider:
         entry.add("cn", self.site.address)
         entry.add("hostname", self.site.hostname)
         entry.add("gridftpurl", self.url)
-        entry.add("numtransfers", len(records))
+        entry.add("numtransfers", len(frame))
         entry.add("lastupdate", repr(now))
         if read_summary.count:
             entry.add("minrdbandwidth", _kb(read_summary.minimum))
@@ -161,17 +181,19 @@ class GridFTPInfoProvider:
             entry.add(
                 f"predictedrdbandwidth{_class_attr_label(label)}range", _kb(predicted)
             )
-        for record in reads[-self.recent:]:
-            entry.add("recentrdbandwidth", _kb(record.bandwidth))
+        # Note: ``recent=0`` slices ``[-0:]`` — the whole column — matching
+        # the record-list provider's historical behavior exactly.
+        for bandwidth in reads.bandwidths[-self.recent:]:
+            entry.add("recentrdbandwidth", _kb(float(bandwidth)))
         return entry, report
 
     def _per_class_predictions(
-        self, reads: List[TransferRecord], now: float
+        self, reads: TransferFrame, now: float
     ) -> Dict[str, float]:
         """Predicted bandwidth per size class, from class-filtered history."""
-        if not reads:
+        if not len(reads):
             return {}
-        history = History.from_records(reads)
+        history = reads.history()
         out: Dict[str, float] = {}
         for label in self.classification.labels:
             class_history = history.of_class(self.classification, label)

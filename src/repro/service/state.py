@@ -1,19 +1,25 @@
 """Per-link incremental history state.
 
 A :class:`LinkState` is the live, growable counterpart of the immutable
-:class:`~repro.core.history.History`: capacity-doubling parallel arrays
-of (end time, bandwidth, size, operation) plus a **version** counter that
-increments on every append.  The version is what makes precise cache
-invalidation possible — a cached prediction is keyed on the version it
-was computed against, so it dies the moment the link's history grows and
-survives any amount of growth on *other* links.
+:class:`~repro.core.history.History`: a versioned wrapper around a
+:class:`~repro.data.buffer.ColumnBuffer` of (end time, bandwidth, size,
+operation) columns.  The **version** counter increments on every append —
+that is what makes precise cache invalidation possible: a cached
+prediction is keyed on the version it was computed against, so it dies
+the moment the link's history grows and survives any amount of growth on
+*other* links.
 
-Snapshot semantics under concurrency: ``history()`` returns a zero-copy
-:class:`History` view of the first ``n`` slots.  In-order appends write
-only at index ``n`` (outside every existing view) and buffer growth or
-out-of-order insertion allocates fresh arrays, so a snapshot taken at
-version ``v`` stays internally consistent forever — readers never see a
-half-written record.  Mutation is serialized by the per-link lock.
+Snapshot semantics under concurrency come from the buffer: ``history()``
+returns a zero-copy :class:`History` view of the first ``n`` slots,
+in-order appends write only outside existing views, and growth or
+out-of-order insertion allocates fresh arrays — a snapshot taken at
+version ``v`` stays internally consistent forever.  Mutation is
+serialized by the per-link lock (the buffer itself holds no locks).
+
+:meth:`extend` is the bulk ingest path: a whole
+:class:`~repro.data.frame.TransferFrame` folds in with one sorted merge
+instead of N appends, bumping the version by the record count so
+version-keyed caches stay exact.
 """
 
 from __future__ import annotations
@@ -23,14 +29,20 @@ import threading
 import numpy as np
 
 from repro.core.history import History
+from repro.data.buffer import ColumnBuffer
+from repro.data.frame import OP_READ, OP_WRITE, TransferFrame
 from repro.logs.record import Operation, TransferRecord
 
-__all__ = ["LinkState"]
+__all__ = ["LinkState", "OP_READ", "OP_WRITE"]
 
 _INITIAL_CAPACITY = 64
 
-#: Operation codes in the ``ops`` array.
-OP_READ, OP_WRITE = 0, 1
+_DTYPES = (
+    ("times", np.dtype(np.float64)),
+    ("values", np.dtype(np.float64)),
+    ("sizes", np.dtype(np.int64)),
+    ("ops", np.dtype(np.int8)),
+)
 
 
 class LinkState:
@@ -41,24 +53,12 @@ class LinkState:
             raise ValueError("link name must be non-empty")
         self.link = link
         self.lock = threading.RLock()
-        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
-        self._values = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
-        self._sizes = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
-        self._ops = np.empty(_INITIAL_CAPACITY, dtype=np.int8)
-        self._n = 0
+        self._buffer = ColumnBuffer(_DTYPES, capacity=_INITIAL_CAPACITY)
         self._version = 0
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def _grow(self, capacity: int) -> None:
-        """Reallocate (never resize in place: snapshots alias the buffers)."""
-        for attr in ("_times", "_values", "_sizes", "_ops"):
-            old = getattr(self, attr)
-            new = np.empty(capacity, dtype=old.dtype)
-            new[: self._n] = old[: self._n]
-            setattr(self, attr, new)
-
     def append(self, record: TransferRecord) -> int:
         """Fold one completed transfer; returns the new version.
 
@@ -68,32 +68,32 @@ class LinkState:
         previously taken snapshots untouched.
         """
         with self.lock:
-            n = self._n
-            if n == len(self._times):
-                self._grow(max(2 * n, _INITIAL_CAPACITY))
             op = OP_READ if record.operation is Operation.READ else OP_WRITE
-            if n and record.end_time < self._times[n - 1]:
-                pos = int(np.searchsorted(self._times[:n], record.end_time,
-                                          side="right"))
-                for attr, value in (
-                    ("_times", record.end_time),
-                    ("_values", record.bandwidth),
-                    ("_sizes", record.file_size),
-                    ("_ops", op),
-                ):
-                    old = getattr(self, attr)
-                    new = np.empty(len(old), dtype=old.dtype)
-                    new[:pos] = old[:pos]
-                    new[pos] = value
-                    new[pos + 1 : n + 1] = old[pos:n]
-                    setattr(self, attr, new)
-            else:
-                self._times[n] = record.end_time
-                self._values[n] = record.bandwidth
-                self._sizes[n] = record.file_size
-                self._ops[n] = op
-            self._n = n + 1
+            self._buffer.append(
+                (record.end_time, record.bandwidth, record.file_size, op)
+            )
             self._version += 1
+            return self._version
+
+    def extend(self, frame: TransferFrame) -> int:
+        """Fold a whole frame in one sorted merge; returns the new version.
+
+        The version advances by ``len(frame)`` — exactly as if each record
+        had been appended individually — so version-keyed cache entries
+        behave identically on either ingest path.
+        """
+        with self.lock:
+            if len(frame):
+                ordered = frame if frame.is_sorted else frame.sort_by_end_time()
+                self._buffer.extend_sorted(
+                    (
+                        ordered.end_times,
+                        ordered.bandwidths,
+                        ordered.sizes,
+                        ordered.ops.astype(np.int8),
+                    )
+                )
+            self._version += len(frame)
             return self._version
 
     # ------------------------------------------------------------------
@@ -106,25 +106,19 @@ class LinkState:
 
     def __len__(self) -> int:
         with self.lock:
-            return self._n
+            return len(self._buffer)
 
     def history(self) -> History:
         """Zero-copy :class:`History` view of the current observations."""
         with self.lock:
-            n = self._n
-            return History(self._times[:n], self._values[:n], self._sizes[:n])
+            times, values, sizes, _ = self._buffer.views()
+            return History(times, values, sizes)
 
     def snapshot(self):
         """``(times, values, sizes, ops, version)`` views, for providers."""
         with self.lock:
-            n = self._n
-            return (
-                self._times[:n],
-                self._values[:n],
-                self._sizes[:n],
-                self._ops[:n],
-                self._version,
-            )
+            times, values, sizes, ops = self._buffer.views()
+            return (times, values, sizes, ops, self._version)
 
     def __repr__(self) -> str:
         return f"<LinkState {self.link} n={len(self)} v={self.version}>"

@@ -1,0 +1,92 @@
+"""Property tests: the vectorized ULM ingest is frame-identical to the
+per-record parser — on the shipped campaign logs and on fuzzed records
+exercising the quoting/escaping edge cases the fast path must hand off.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TransferFrame, parse_ulm_lines, parse_ulm_text
+from repro.logs import Operation, TransferRecord, format_record
+from repro.logs.ulm import parse_lines
+
+DATA_DIR = Path(__file__).resolve().parents[2] / "data"
+SHIPPED_LOGS = sorted(DATA_DIR.glob("*.ulm"))
+
+# File names biased toward the characters that trigger quoting and
+# escaping in ULM: spaces, '=', double quotes, backslashes.
+tricky_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=40,
+).filter(lambda s: s.strip())
+spicy_names = st.builds(
+    lambda parts: " ".join(parts).strip() or "x",
+    st.lists(
+        st.sampled_from(['a', 'data', '=', '"', '\\', 'file="v"', '\\"', 'b=c']),
+        min_size=1,
+        max_size=6,
+    ),
+)
+file_names = st.one_of(tricky_names, spicy_names).filter(lambda s: s.strip())
+
+records = st.builds(
+    lambda name, volume, size, start, duration, bw, op, streams, buffer: TransferRecord(
+        source_ip="140.221.65.69",
+        file_name=name,
+        file_size=size,
+        volume=volume,
+        start_time=start,
+        end_time=start + duration,
+        bandwidth=bw,
+        operation=op,
+        streams=streams,
+        tcp_buffer=buffer,
+    ),
+    name=file_names,
+    volume=st.sampled_from(["/home/ftp", "/vol with space", '/q"uote']),
+    size=st.integers(min_value=1, max_value=10**12),
+    start=st.floats(min_value=0, max_value=2e9, allow_nan=False),
+    duration=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    bw=st.floats(min_value=1e-3, max_value=1e12, allow_nan=False),
+    op=st.sampled_from([Operation.READ, Operation.WRITE]),
+    streams=st.integers(min_value=1, max_value=64),
+    buffer=st.integers(min_value=1, max_value=10**8),
+)
+
+
+@pytest.mark.parametrize("path", SHIPPED_LOGS, ids=lambda p: p.name)
+def test_shipped_logs_parse_identically(path):
+    text = path.read_text()
+    vectorized = parse_ulm_text(text)
+    per_record = TransferFrame.from_records(parse_lines(text.splitlines()))
+    assert len(vectorized) > 0
+    assert vectorized.equals(per_record)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(records, min_size=0, max_size=12))
+def test_fuzzed_records_parse_identically(batch):
+    lines = [format_record(r) for r in batch]
+    vectorized = parse_ulm_lines(lines)
+    per_record = TransferFrame.from_records(parse_lines(lines))
+    assert vectorized.equals(per_record)
+    assert vectorized.to_records() == batch
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(records, min_size=1, max_size=6),
+    st.sampled_from(["# comment", "", "   ", "\t"]),
+)
+def test_noise_lines_ignored_identically(batch, noise):
+    lines = []
+    for record in batch:
+        lines.append(noise)
+        lines.append(format_record(record))
+    vectorized = parse_ulm_lines(lines)
+    per_record = TransferFrame.from_records(parse_lines(lines))
+    assert vectorized.equals(per_record)

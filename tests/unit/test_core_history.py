@@ -65,8 +65,15 @@ class TestViews:
     def test_last(self, history):
         assert list(history.last(2).values) == [3e6, 4e6]
         assert len(history.last(100)) == 4
+
+    def test_last_zero_is_empty_view(self, history):
+        # Degenerate window, same semantics as prefix(0).
+        assert len(history.last(0)) == 0
+        assert len(history.prefix(0)) == 0
+
+    def test_last_negative_rejected(self, history):
         with pytest.raises(ValueError):
-            history.last(0)
+            history.last(-1)
 
     def test_since(self, history):
         w = history.since(1.5 * HOUR)

@@ -1,0 +1,124 @@
+"""Vectorized ULM ingest and the .npz sidecar cache."""
+
+import numpy as np
+import pytest
+
+from repro.data import TransferFrame, cache_path, load_ulm, parse_ulm_text
+from repro.data.ingest import CACHE_VERSION, read_cache, write_cache
+from repro.logs.ulm import ULMError, format_record, parse_lines
+
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def ulm_text(sample_records):
+    return "\n".join(format_record(r) for r in sample_records) + "\n"
+
+
+@pytest.fixture
+def log_path(tmp_path, ulm_text):
+    path = tmp_path / "link.ulm"
+    path.write_text(ulm_text)
+    return path
+
+
+class TestParse:
+    def test_matches_per_record_parser(self, ulm_text):
+        frame = parse_ulm_text(ulm_text)
+        expected = TransferFrame.from_records(parse_lines(ulm_text.splitlines()))
+        assert frame.equals(expected)
+
+    def test_blank_lines_and_comments_skipped(self, ulm_text):
+        noisy = "# header\n\n" + ulm_text + "\n  \n# trailer\n"
+        assert parse_ulm_text(noisy).equals(parse_ulm_text(ulm_text))
+
+    def test_empty_document(self):
+        assert len(parse_ulm_text("")) == 0
+
+    def test_quoted_file_names(self):
+        record = make_record(file_name='/data/odd name with "quote" and \\slash')
+        text = format_record(record)
+        frame = parse_ulm_text(text)
+        assert frame.to_records() == [record]
+
+    def test_error_carries_line_number(self, ulm_text):
+        bad = ulm_text + "GFTP.START=nonsense\n"
+        lineno = len(ulm_text.splitlines()) + 1
+        with pytest.raises(ULMError, match=f"line {lineno}"):
+            parse_ulm_text(bad)
+
+    def test_missing_key_error_matches_per_record_path(self):
+        # parse_record names the first missing key in *its* check order
+        # (GFTP.SRC first), not the frame's column order; the vectorized
+        # path must raise the same message.
+        with pytest.raises(ULMError) as vectorized:
+            parse_ulm_text("GFTP.START=1.0 GFTP.END=2.0\n")
+        with pytest.raises(ULMError) as per_record:
+            list(parse_lines(["GFTP.START=1.0 GFTP.END=2.0"]))
+        assert str(vectorized.value) == str(per_record.value)
+        assert "GFTP.SRC" in str(vectorized.value)
+
+    def test_invalid_value_raises_like_per_record_path(self, sample_records):
+        # A parseable line whose values violate record invariants must
+        # raise the canonical per-record error, not pass the bulk cast.
+        text = format_record(sample_records[0]).replace(
+            f"GFTP.NBYTES={sample_records[0].file_size}", "GFTP.NBYTES=0"
+        )
+        with pytest.raises(ULMError, match="line 1"):
+            parse_ulm_text(text)
+
+
+class TestCache:
+    def test_first_load_writes_sidecar(self, log_path):
+        frame = load_ulm(log_path)
+        sidecar = cache_path(log_path)
+        assert sidecar.exists()
+        assert load_ulm(log_path).equals(frame)
+
+    def test_cache_false_never_touches_disk(self, log_path):
+        load_ulm(log_path, cache=False)
+        assert not cache_path(log_path).exists()
+
+    def test_content_change_invalidates(self, log_path, sample_records):
+        load_ulm(log_path)
+        extra = make_record(start=9_999_999.0)
+        log_path.write_text(
+            log_path.read_text() + format_record(extra) + "\n"
+        )
+        frame = load_ulm(log_path)
+        assert len(frame) == len(sample_records) + 1
+        assert frame.to_records()[-1] == extra
+
+    def test_corrupt_sidecar_degrades_to_parse(self, log_path):
+        frame = load_ulm(log_path)
+        cache_path(log_path).write_bytes(b"not an npz file")
+        assert load_ulm(log_path).equals(frame)
+
+    def test_version_mismatch_rejected(self, log_path):
+        frame = load_ulm(log_path)
+        sidecar = cache_path(log_path)
+        with np.load(sidecar, allow_pickle=False) as payload:
+            digest = str(payload["__digest__"])
+            arrays = {k: payload[k] for k in payload.files}
+        arrays["__version__"] = np.str_("999")
+        with open(sidecar, "wb") as handle:
+            np.savez(handle, **arrays)
+        assert read_cache(sidecar, digest) is None
+        assert load_ulm(log_path).equals(frame)  # reparses and rewrites
+
+    def test_digest_mismatch_rejected(self, log_path):
+        load_ulm(log_path)
+        assert read_cache(cache_path(log_path), "0" * 64) is None
+
+    def test_write_cache_unwritable_destination(self, log_path, tmp_path):
+        # Best-effort contract: an unwritable sidecar location (here a
+        # missing parent directory) reports False instead of raising.
+        frame = load_ulm(log_path, cache=False)
+        ok = write_cache(tmp_path / "missing" / "x.ulm.npz", "0" * 64, frame)
+        assert ok is False
+
+    def test_round_trip_preserves_every_column(self, log_path):
+        parsed = load_ulm(log_path)          # writes sidecar
+        cached = load_ulm(log_path)          # reads it back
+        assert cached.equals(parsed)
+        assert str(CACHE_VERSION) == "1"

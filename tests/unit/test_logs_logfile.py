@@ -108,3 +108,103 @@ class TestPersistence:
         log.extend(records_at(1.0))
         log.records().clear()
         assert len(log) == 1
+
+
+class TestFlushRestartBoundary:
+    def test_flushes_exactly_at_threshold(self):
+        # The flush fires when the count *reaches* the threshold, not one
+        # past it: after the third append of threshold=3 the log is empty.
+        trim = FlushRestart(threshold=3)
+        log = TransferLog(trim=trim)
+        log.append(make_record(start=100.0))
+        log.append(make_record(start=200.0))
+        assert len(log) == 2 and trim.archived == []
+        log.append(make_record(start=300.0))
+        assert len(log) == 0
+        assert [len(batch) for batch in trim.archived] == [3]
+
+    def test_batch_safety_flags(self):
+        assert KeepAll().batch_safe
+        assert RunningWindow(max_age=1.0).batch_safe
+        assert MaxCount(count=1).batch_safe
+        assert not FlushRestart(threshold=1).batch_safe
+
+
+class TestBulkExtend:
+    """extend() folds a batch in one merge, equivalently to N appends."""
+
+    @pytest.mark.parametrize("trim_factory", [
+        KeepAll,
+        lambda: RunningWindow(max_age=5 * HOUR),
+        lambda: MaxCount(count=7),
+        lambda: FlushRestart(threshold=4),
+    ])
+    def test_extend_matches_sequential_appends(self, trim_factory):
+        starts = [100.0, 900.0, 300.0, 500.0, 500.0, 700.0, 200.0, 1100.0,
+                  400.0, 600.0]
+        batch = records_at(*starts)
+        bulk = TransferLog(trim=trim_factory())
+        sequential = TransferLog(trim=trim_factory())
+        bulk.extend(records_at(50.0))
+        sequential.extend(records_at(50.0))
+        bulk.extend(batch)
+        # Batch-safe policies fold the batch sorted by end time; the
+        # non-batch-safe FlushRestart falls back to per-record appends in
+        # the given order (archival boundaries depend on it).
+        ordered = (
+            sorted(batch, key=lambda r: r.end_time)
+            if bulk.trim.batch_safe
+            else batch
+        )
+        for record in ordered:
+            sequential.append(record)
+        assert bulk.records() == sequential.records()
+
+    def test_extend_interleaves_with_existing_records(self):
+        log = TransferLog()
+        log.extend(records_at(100.0, 500.0))
+        log.extend(records_at(300.0, 50.0))
+        assert [r.start_time for r in log] == [50.0, 100.0, 300.0, 500.0]
+
+    def test_extend_notifies_listeners_in_sorted_order(self):
+        log = TransferLog()
+        seen = []
+        log.subscribe(seen.append)
+        batch = records_at(300.0, 100.0, 200.0)
+        log.extend(batch)
+        assert [r.start_time for r in seen] == [100.0, 200.0, 300.0]
+
+    def test_extend_empty_batch_is_noop(self):
+        log = TransferLog()
+        log.extend([])
+        assert len(log) == 0
+
+
+class TestFrameBridge:
+    def test_to_frame_round_trip(self):
+        log = TransferLog()
+        log.extend(records_at(100.0, 300.0, 200.0))
+        frame = log.to_frame()
+        assert frame.to_records() == log.records()
+        rebuilt = TransferLog.from_frame(frame)
+        assert rebuilt.records() == log.records()
+
+    def test_load_uses_bulk_path(self, tmp_path):
+        log = TransferLog()
+        log.extend(records_at(*range(100, 2100, 100)))
+        path = tmp_path / "x.ulm"
+        log.save(path)
+        loaded = TransferLog.load(path)
+        assert loaded.records() == log.records()
+        # cache defaults off: no sidecar appears next to the log
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_load_with_cache_writes_sidecar(self, tmp_path):
+        log = TransferLog()
+        log.extend(records_at(100.0, 200.0))
+        path = tmp_path / "x.ulm"
+        log.save(path)
+        TransferLog.load(path, cache=True)
+        assert (tmp_path / "x.ulm.npz").exists()
+        reloaded = TransferLog.load(path, cache=True)  # warm read
+        assert reloaded.records() == log.records()
