@@ -15,6 +15,11 @@ Conventions: predictor sets are always ``--predictors`` (comma-separated
 specs), size classes are always ``--class``, machine-readable output is
 always ``--json``.  Exit codes: 0 success, 1 operational error (bad
 predictor name, missing link, server unreachable), 2 usage error.
+
+Observability: ``repro --profile <subcommand> ...`` wraps any subcommand
+in cProfile (pstats dump to ``--profile-out``, top-N hotspots on
+stderr); ``repro serve --metrics-interval N --metrics-file F`` appends
+one JSON registry snapshot per interval to ``F`` for offline analysis.
 """
 
 from __future__ import annotations
@@ -321,6 +326,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             follower.seek_to_end()
 
     if args.oneshot:
+        if args.metrics_file:
+            _dump_metrics_snapshot(service, args.metrics_file)
         print(json.dumps(service.status(), indent=2))
         return 0
 
@@ -338,6 +345,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 time.sleep(args.interval)
 
         threading.Thread(target=_poll_loop, name="repro-tail", daemon=True).start()
+    if args.metrics_file:
+        import threading
+
+        def _metrics_loop() -> None:
+            while True:
+                time.sleep(args.metrics_interval)
+                try:
+                    _dump_metrics_snapshot(service, args.metrics_file)
+                except OSError:
+                    pass  # an unwritable dump file must not kill serving
+
+        threading.Thread(
+            target=_metrics_loop, name="repro-metrics", daemon=True
+        ).start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -345,8 +366,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dump_metrics_snapshot(service, path: str) -> None:
+    """Append one timestamped merged-registry snapshot as a JSON line."""
+    from repro.obs import get_registry
+
+    snapshot = get_registry().snapshot()
+    snapshot.update(service.metrics.snapshot())
+    line = json.dumps({"time": time.time(), "metrics": snapshot})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     req: Dict[str, object] = {"op": args.op}
+    if args.kind and args.op in ("trace", "events"):
+        req["kind"] = args.kind
+    if args.limit is not None and args.op in ("spans", "events"):
+        req["limit"] = args.limit
     if args.op == "predict":
         if not args.link or args.size is None:
             raise SystemExit("query predict needs --link and --size")
@@ -431,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the IPPS 2002 wide-area transfer prediction paper.",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the subcommand under cProfile: dump pstats to "
+             "--profile-out and print a hotspot summary to stderr",
+    )
+    parser.add_argument(
+        "--profile-out", default="repro.pstats", metavar="PATH",
+        help="where --profile writes the raw pstats dump",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     campaign = sub.add_parser("campaign", help="run a two-week campaign, save ULM logs")
@@ -511,11 +556,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tail poll interval in seconds")
     serve.add_argument("--oneshot", action="store_true",
                        help="ingest, print service status JSON, and exit")
+    serve.add_argument("--metrics-interval", type=float, default=60.0,
+                       help="seconds between --metrics-file snapshots")
+    serve.add_argument("--metrics-file", default=None,
+                       help="append periodic registry snapshots (JSONL) here")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query", help="query a prediction service")
     query.add_argument(
-        "op", choices=["ping", "predict", "rank", "status", "metrics", "trace"],
+        "op",
+        choices=["ping", "predict", "rank", "status", "metrics", "spans",
+                 "events", "trace"],
     )
     query.add_argument("--socket", default=None, help="socket of a running server")
     query.add_argument("--logs", default=None,
@@ -528,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--spec", default=None, help="predictor spec")
     query.add_argument("--now", type=float, default=None,
                        help="anchor time (epoch seconds; default: wall clock)")
+    query.add_argument("--kind", default=None,
+                       help="filter events/trace by event kind")
+    query.add_argument("--limit", type=int, default=None,
+                       help="keep only the newest N spans/events")
     query.add_argument("--json", action="store_true",
                        help="emit the raw JSON response")
     query.set_defaults(func=_cmd_query)
@@ -537,6 +592,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.profile:
+            from repro.obs.profile import run_profiled
+
+            code, report = run_profiled(args.func, args)
+            report.dump(args.profile_out)
+            print(f"profile written to {args.profile_out}", file=sys.stderr)
+            print(report.summary(15), file=sys.stderr)
+            return code
         return args.func(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe; not an error.

@@ -25,6 +25,7 @@ The CLI, the analysis layer, and the benchmarks all call this facade.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Mapping, Optional, Sequence, Union
 
@@ -38,8 +39,23 @@ from repro.core.predictors.registry import (
     KERNEL_SPECS,
     resolve_battery,
 )
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import current_span, span as _span
 
 __all__ = ["ENGINES", "evaluate", "evaluate_dataset", "select_engine"]
+
+# Process-wide evaluation instrumentation (see docs/observability.md).
+_REG = get_registry()
+_H_EVALUATE = _REG.histogram(
+    "evaluate_seconds", "one evaluate() walk, labeled by engine")
+_H_LINK = _REG.histogram(
+    "evaluate_link_seconds", "per-link walk latency inside evaluate_dataset")
+_H_QUEUE = _REG.histogram(
+    "evaluate_queue_wait_seconds",
+    "time a link waited for a pool thread in evaluate_dataset")
+_M_LINKS = _REG.counter(
+    "evaluate_links", "links walked by evaluate_dataset")
 
 ENGINES = ("auto", "generic", "fast")
 
@@ -130,28 +146,38 @@ def evaluate(
     """
     chosen = select_engine(predictors, engine=engine, fallback=fallback)
     specs = _as_specs(predictors)
+    obs = _obs_enabled()
+    t0 = time.perf_counter()
 
-    if chosen == "fast":
-        assert specs is not None
-        classified = any(spec.startswith("C-") for spec in specs)
-        full = fast_evaluate(
-            data,
-            training=training,
-            classification=classification,
-            classified=classified,
-        )
-        traces = {spec: full[spec] for spec in dict.fromkeys(specs)}
-        return EvaluationResult(
-            traces=traces, training=full.training, n_records=full.n_records
-        )
-
-    if specs is None:
-        battery = dict(predictors)  # type: ignore[arg-type]
-    else:
-        battery = resolve_battery(
-            specs, classification=classification, fallback=fallback
-        )
-    return generic_evaluate(data, battery, training=training)
+    with _span("evaluate", engine=chosen) as sp:
+        if chosen == "fast":
+            assert specs is not None
+            classified = any(spec.startswith("C-") for spec in specs)
+            full = fast_evaluate(
+                data,
+                training=training,
+                classification=classification,
+                classified=classified,
+            )
+            traces = {spec: full[spec] for spec in dict.fromkeys(specs)}
+            result = EvaluationResult(
+                traces=traces, training=full.training, n_records=full.n_records
+            )
+        else:
+            if specs is None:
+                battery = dict(predictors)  # type: ignore[arg-type]
+            else:
+                battery = resolve_battery(
+                    specs, classification=classification, fallback=fallback
+                )
+            result = generic_evaluate(data, battery, training=training)
+        if obs:
+            elapsed = time.perf_counter() - t0
+            # Parent series totals across engines; children split per engine.
+            _H_EVALUATE.observe(elapsed)
+            _H_EVALUATE.labels(engine=chosen).observe(elapsed)
+            sp.set_attribute("n_records", result.n_records)
+    return result
 
 
 def evaluate_dataset(
@@ -182,19 +208,33 @@ def evaluate_dataset(
     # bad spec raises immediately rather than from inside a pool thread.
     select_engine(predictors, engine=engine, fallback=fallback)
 
-    def _one(link: str) -> EvaluationResult:
-        return evaluate(
-            dataset[link],
-            predictors,
-            training=training,
-            engine=engine,
-            classification=classification,
-            fallback=fallback,
-        )
+    # Pool threads start with an empty contextvars context, so the
+    # caller's span is captured here and passed to each link explicitly.
+    parent = current_span()
+    obs = _obs_enabled()
+
+    def _one(link: str, submitted: float) -> EvaluationResult:
+        started = time.perf_counter()
+        with _span("evaluate.link", parent=parent, link=link) as sp:
+            result = evaluate(
+                dataset[link],
+                predictors,
+                training=training,
+                engine=engine,
+                classification=classification,
+                fallback=fallback,
+            )
+            if obs:
+                _M_LINKS.inc()
+                _H_QUEUE.observe(started - submitted)
+                _H_LINK.observe(time.perf_counter() - started)
+                sp.set_attribute("queue_wait_seconds", started - submitted)
+        return result
 
     workers = max_workers or min(len(links), os.cpu_count() or 1)
     if workers <= 1 or len(links) == 1:
-        return {link: _one(link) for link in links}
+        return {link: _one(link, time.perf_counter()) for link in links}
+    submitted = time.perf_counter()
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(_one, links))
+        results = list(pool.map(lambda link: _one(link, submitted), links))
     return dict(zip(links, results))

@@ -20,6 +20,7 @@ the trace arrays.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -30,6 +31,15 @@ from repro.core.history import History
 from repro.core.predictors.base import Predictor
 from repro.data.frame import TransferFrame
 from repro.logs.record import TransferRecord
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.metrics import get_registry
+
+#: Cumulative predict() time per predictor over one walk, one labeled
+#: child per predictor name (observed once per walk, not per record).
+_H_PREDICTOR = get_registry().histogram(
+    "evaluate_predictor_seconds",
+    "per-predictor cumulative predict() time over one generic walk",
+)
 
 __all__ = [
     "percentage_error",
@@ -189,13 +199,21 @@ def evaluate(
     }
     abstentions = {name: 0 for name in predictors}
 
+    obs = _obs_enabled()
+    spent = {name: 0.0 for name in predictors} if obs else None
+
     for i in range(training, n):
         prefix = history.prefix(i)
         actual = float(history.values[i])
         size = int(history.sizes[i])
         now = float(anchors[i])
         for name, predictor in predictors.items():
-            predicted = predictor.predict(prefix, target_size=size, now=now)
+            if obs:
+                t0 = time.perf_counter()
+                predicted = predictor.predict(prefix, target_size=size, now=now)
+                spent[name] += time.perf_counter() - t0
+            else:
+                predicted = predictor.predict(prefix, target_size=size, now=now)
             if predicted is None:
                 abstentions[name] += 1
                 continue
@@ -205,6 +223,10 @@ def evaluate(
             bucket["a"].append(actual)
             bucket["s"].append(size)
             bucket["t"].append(now)
+
+    if obs and n > training:
+        for name, seconds in spent.items():
+            _H_PREDICTOR.labels(predictor=name).observe(seconds)
 
     traces = {
         name: PredictionTrace(

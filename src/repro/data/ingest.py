@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -43,6 +44,10 @@ import numpy as np
 
 from repro.data.frame import OP_READ, OP_WRITE, TransferFrame
 from repro.logs.ulm import ULMError, parse_fields, parse_lines, parse_record
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as _span
 
 __all__ = [
     "parse_ulm_lines",
@@ -55,6 +60,22 @@ __all__ = [
 
 #: Bump when the cache layout changes; readers reject other versions.
 CACHE_VERSION = "1"
+
+# Process-wide ingest instrumentation (see docs/observability.md).
+_REG = get_registry()
+_M_RECORDS = _REG.counter(
+    "ingest_records_parsed", "records parsed into frames by the columnar ingest")
+_M_FALLBACK = _REG.counter(
+    "ingest_fallback_reparses",
+    "vectorized parses that fell back to the per-record path")
+_M_CACHE_HITS = _REG.counter(
+    "ingest_cache_hits", "log loads served from the .npz sidecar")
+_M_CACHE_MISSES = _REG.counter(
+    "ingest_cache_misses", "log loads that parsed log text")
+_M_BYTES = _REG.counter("ingest_bytes", "log bytes read by load_ulm")
+_H_LOAD = _REG.histogram("ingest_seconds", "load_ulm wall-clock latency")
+_G_RATE = _REG.gauge(
+    "ingest_bytes_per_second", "throughput of the most recent load_ulm")
 
 #: ULM keys of the GridFTP transfer object, in frame column order.
 _RAW_KEYS: Tuple[str, ...] = (
@@ -188,6 +209,8 @@ def parse_ulm_lines(lines: Iterable[str]) -> TransferFrame:
             volumes=np.array(vols, dtype=np.str_),
         )
     except (ValueError, OverflowError):
+        if _obs_enabled():
+            _M_FALLBACK.inc()
         return _reparse(kept, numbers)
 
     # Record invariants, vectorized (mirrors TransferRecord.__post_init__).
@@ -204,6 +227,8 @@ def parse_ulm_lines(lines: Iterable[str]) -> TransferFrame:
         & (frame.buffers > 0)
     )
     if not valid.all():
+        if _obs_enabled():
+            _M_FALLBACK.inc()
         return _reparse(kept, numbers)
     return frame
 
@@ -274,16 +299,32 @@ def load_ulm(path: Union[str, Path], cache: bool = True) -> TransferFrame:
     ``cache=False`` to force a parse and skip sidecar reads and writes.
     """
     path = Path(path)
-    raw = path.read_bytes()
-    digest = _digest(raw)
-    sidecar = cache_path(path)
-    if cache:
-        cached = read_cache(sidecar, digest)
-        if cached is not None:
-            return cached
-    frame = parse_ulm_text(raw.decode("utf-8"))
-    if cache:
-        write_cache(sidecar, digest, frame)
+    obs = _obs_enabled()
+    t0 = time.perf_counter()
+    with _span("ingest.load_ulm", path=str(path)) as sp:
+        raw = path.read_bytes()
+        digest = _digest(raw)
+        sidecar = cache_path(path)
+        frame = read_cache(sidecar, digest) if cache else None
+        from_cache = frame is not None
+        if frame is None:
+            frame = parse_ulm_text(raw.decode("utf-8"))
+            if cache:
+                write_cache(sidecar, digest, frame)
+        if obs:
+            elapsed = time.perf_counter() - t0
+            _M_BYTES.inc(len(raw))
+            (_M_CACHE_HITS if from_cache else _M_CACHE_MISSES).inc()
+            _M_RECORDS.inc(len(frame))
+            _H_LOAD.observe(elapsed)
+            if elapsed > 0:
+                _G_RATE.set(len(raw) / elapsed)
+            sp.set_attribute("records", len(frame))
+            sp.set_attribute("cached", from_cache)
+            get_event_bus().emit(
+                "ingest.load_ulm", path=str(path), records=len(frame),
+                cached=from_cache, bytes=len(raw),
+            )
     return frame
 
 

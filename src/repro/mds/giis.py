@@ -14,8 +14,19 @@ from typing import List, Optional, Protocol, Union
 from repro.mds.ldif import Entry
 from repro.mds.query import Filter, parse_filter
 from repro.mds.registration import SoftStateRegistry
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.metrics import get_registry
 
 __all__ = ["GIIS"]
+
+# Process-wide MDS instrumentation (see docs/observability.md).
+_REG = get_registry()
+_M_REGISTER = _REG.counter(
+    "mds_registrations", "soft-state registrations accepted by GIISes")
+_M_RENEW = _REG.counter(
+    "mds_registration_renewals", "soft-state registration refreshes")
+_M_SEARCH = _REG.counter(
+    "mds_giis_searches", "merged-view searches answered by GIISes")
 
 
 class _Searchable(Protocol):
@@ -52,9 +63,13 @@ class GIIS:
         if source is self:
             raise ValueError("a GIIS cannot register with itself")
         self._registry.register(source.name, source, ttl or self.default_ttl, now)
+        if _obs_enabled():
+            _M_REGISTER.inc()
 
     def renew(self, source_name: str, now: float) -> None:
         self._registry.renew(source_name, now)
+        if _obs_enabled():
+            _M_RENEW.inc()
 
     def registered(self, now: float) -> List[str]:
         """Names of currently live sources."""
@@ -75,6 +90,8 @@ class GIIS:
         feeding this one) keep the first occurrence, matching the
         merge-into-aggregate-view behaviour described in the paper.
         """
+        if _obs_enabled():
+            _M_SEARCH.inc()
         parsed: Optional[Filter]
         parsed = parse_filter(flt) if isinstance(flt, str) else flt
         seen: set[str] = set()

@@ -35,9 +35,18 @@ from repro.logs.stats import (
 )
 from repro.mds.ldif import Entry
 from repro.net.topology import Site
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as _span
 from repro.units import bytes_per_sec_to_kbps
 
 __all__ = ["ProviderReport", "GridFTPInfoProvider", "IncrementalGridFTPInfoProvider"]
+
+# Process-wide MDS instrumentation (see docs/observability.md).
+_M_RENDERS = get_registry().counter(
+    "mds_ldif_renders", "GridFTPPerf LDIF entries rendered by providers")
+_H_RENDER = get_registry().histogram(
+    "mds_render_seconds", "provider entry-render latency")
 
 
 def _kb(rate_bytes_per_sec: float) -> str:
@@ -136,6 +145,16 @@ class GridFTPInfoProvider:
         record-list pipeline did (asserted by the columnar parity tests).
         """
         t0 = time.perf_counter()
+        with _span("mds.render", provider=type(self).__name__,
+                   host=self.site.hostname):
+            entry, report = self._report(now, t0)
+        if _obs_enabled():
+            if entry is not None:
+                _M_RENDERS.inc()
+            _H_RENDER.observe(time.perf_counter() - t0)
+        return entry, report
+
+    def _report(self, now: float, t0: float) -> Tuple[Optional[Entry], ProviderReport]:
         frame = self._frame()
         reads = frame.reads()
         writes = frame.writes()
@@ -287,6 +306,8 @@ class IncrementalGridFTPInfoProvider:
     def entries(self, now: float) -> List[Entry]:
         if self._n_records == 0:
             return []
+        if _obs_enabled():
+            _M_RENDERS.inc()
         entry = Entry(self.dn())
         entry.add("objectclass", "GridFTPPerf")
         entry.add("cn", self.site.address)

@@ -1,0 +1,70 @@
+"""repro.obs — the unified observability layer.
+
+The paper's credibility rests on instrumentation: it modifies the
+GridFTP server to log every transfer and reports the cost of doing so
+(~25 ms/transfer, Section 4).  This package is the reproduction's own
+instrumentation, threaded through every hot layer (ingest → evaluate →
+serve → MDS):
+
+* :mod:`repro.obs.metrics` — labeled Counter/Gauge/Histogram families,
+  a registry with JSON ``snapshot()`` and Prometheus ``render()``, and
+  the process-wide default registry (:func:`get_registry`);
+* :mod:`repro.obs.tracing` — :class:`Span` context managers with
+  ``contextvars`` parent propagation, a bounded :class:`SpanExporter`,
+  and the :func:`traced` decorator;
+* :mod:`repro.obs.events` — the subscriber-capable, JSONL-exportable
+  :class:`EventBus` (née ``TraceLog``);
+* :mod:`repro.obs.profile` — opt-in cProfile wrapping for
+  ``repro --profile``;
+* :mod:`repro.obs.config` — the process-wide on/off switch, so the
+  self-overhead benchmark can measure exactly what this layer costs
+  (<5% on the ingest and evaluate claims, by assertion).
+
+``repro.service.metrics`` remains as a deprecated shim re-exporting the
+names that used to live there.
+"""
+
+from repro.obs.config import disabled, enabled, set_enabled
+from repro.obs.events import EventBus, TraceEvent, TraceLog, get_event_bus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profile import ProfileReport, profiled, run_profiled
+from repro.obs.tracing import (
+    Span,
+    SpanExporter,
+    current_span,
+    get_span_exporter,
+    span,
+    traced,
+)
+
+__all__ = [
+    "disabled",
+    "enabled",
+    "set_enabled",
+    "EventBus",
+    "TraceEvent",
+    "TraceLog",
+    "get_event_bus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "ProfileReport",
+    "profiled",
+    "run_profiled",
+    "Span",
+    "SpanExporter",
+    "current_span",
+    "get_span_exporter",
+    "span",
+    "traced",
+]

@@ -1,0 +1,45 @@
+"""Process-wide observability switch.
+
+All instrumentation call sites in the pipeline (ingest, evaluation,
+serving, MDS) consult :func:`enabled` before doing any metric, span, or
+event work, so a deployment that wants literally zero observability cost
+— or a benchmark that wants to *measure* that cost, the way the paper
+reports its ~25 ms/transfer logging overhead — can turn the whole layer
+off with one call.
+
+The flag is a plain module attribute read: checking it costs one
+dictionary lookup, far below the cost of the work it gates.  Writes are
+rare (startup, benchmark harnesses) and need no lock — a stale read for
+a few instructions is harmless for telemetry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["enabled", "set_enabled", "disabled"]
+
+_enabled: bool = True
+
+
+def enabled() -> bool:
+    """Whether observability instrumentation is currently active."""
+    return _enabled
+
+
+def set_enabled(on: bool) -> bool:
+    """Turn instrumentation on or off; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+@contextmanager
+def disabled():
+    """Context manager: run a block with instrumentation off."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -1,0 +1,84 @@
+"""Opt-in profiling: cProfile plus wall/CPU timers.
+
+``repro --profile <subcommand> ...`` wraps the whole subcommand in
+:func:`run_profiled`, writes the raw ``pstats`` dump next to the current
+directory, and prints a top-N hotspot summary to stderr — the
+reproduction's equivalent of the paper quantifying its own
+instrumentation cost before trusting its numbers.
+
+The profiler is never armed implicitly: profiling costs real overhead
+(cProfile intercepts every call), so it is a deliberate switch, unlike
+the always-cheap metrics/span layer.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["ProfileReport", "profiled", "run_profiled"]
+
+
+@dataclass
+class ProfileReport:
+    """The result of one profiled block."""
+
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    stats: Optional[pstats.Stats] = None
+    _profile: Optional[cProfile.Profile] = field(default=None, repr=False)
+
+    def top(self, n: int = 10, sort: str = "cumulative") -> str:
+        """The top-``n`` hotspots as the familiar ``pstats`` table."""
+        if self.stats is None:
+            return "(no profile data)"
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=buffer)
+        stats.strip_dirs().sort_stats(sort).print_stats(n)
+        return buffer.getvalue()
+
+    def summary(self, n: int = 10) -> str:
+        """Wall/CPU header plus the top-``n`` hotspot table."""
+        header = (
+            f"wall {self.wall_seconds:.3f}s   cpu {self.cpu_seconds:.3f}s"
+        )
+        return f"{header}\n{self.top(n)}"
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the raw profile for ``pstats``/``snakeviz`` consumption."""
+        if self._profile is None:
+            raise ValueError("no profile data to dump")
+        path = Path(path)
+        self._profile.dump_stats(str(path))
+        return path
+
+
+@contextmanager
+def profiled():
+    """Profile a block; yields a :class:`ProfileReport` filled on exit."""
+    report = ProfileReport()
+    profile = cProfile.Profile()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    profile.enable()
+    try:
+        yield report
+    finally:
+        profile.disable()
+        report.wall_seconds = time.perf_counter() - wall0
+        report.cpu_seconds = time.process_time() - cpu0
+        report._profile = profile
+        report.stats = pstats.Stats(profile)
+
+
+def run_profiled(func, *args, **kwargs):
+    """``(result, ProfileReport)`` of one profiled call."""
+    with profiled() as report:
+        result = func(*args, **kwargs)
+    return result, report

@@ -10,18 +10,15 @@ serves predictions *live*, the deployment posture of Sections 5–6:
 * :mod:`repro.service.server` — Unix-socket JSON-lines front end
   (``repro serve`` / ``repro query``);
 * :mod:`repro.service.provider` — a ``GridFTPPerf`` MDS provider
-  rendered from warm state;
-* :mod:`repro.service.metrics` — counters/gauges/histograms + trace log.
+  rendered from warm state.
+
+Metrics/tracing/events live in :mod:`repro.obs` (the instrument names
+below re-export from there; :mod:`repro.service.metrics` remains as a
+deprecated shim).
 """
 
-from repro.service.metrics import (
-    Counter,
-    Gauge,
-    Histogram,
-    MetricsRegistry,
-    TraceEvent,
-    TraceLog,
-)
+from repro.obs.events import TraceEvent, TraceLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.provider import ServicePerfProvider
 from repro.service.server import ServiceServer, handle_request, request
 from repro.service.service import (

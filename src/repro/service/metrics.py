@@ -1,27 +1,20 @@
-"""Observability primitives for the prediction service.
+"""Deprecated: the metrics layer moved to :mod:`repro.obs`.
 
-A tiny, dependency-free metrics layer in the Prometheus idiom:
+This shim keeps every historical import working::
 
-* :class:`Counter` — monotone totals (records ingested, cache hits);
-* :class:`Gauge` — point-in-time values (link count, cache size);
-* :class:`Histogram` — latency distributions with percentile queries
-  over a bounded reservoir of recent samples (predict p50/p99);
-* :class:`MetricsRegistry` — the named instrument collection with a
-  ``snapshot()`` for scraping and a ``render()`` text exposition;
-* :class:`TraceLog` — a bounded ring of structured trace events
-  (ingest/predict/cache decisions) for debugging a live service.
+    from repro.service.metrics import Counter, MetricsRegistry, TraceLog
 
-Every instrument is safe for concurrent use; the registry hands out the
-same instrument for the same name, so call sites never coordinate.
+New code should import from :mod:`repro.obs` (or its submodules), which
+adds labeled metric families, span tracing, the process-wide event bus,
+and profiling on top of what lived here.
 """
 
 from __future__ import annotations
 
-import bisect
-import threading
-import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional
+import warnings
+
+from repro.obs.events import TraceEvent, TraceLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "Counter",
@@ -32,246 +25,8 @@ __all__ = [
     "TraceLog",
 ]
 
-
-class Counter:
-    """A monotonically increasing total."""
-
-    def __init__(self, name: str, help: str = ""):
-        self.name = name
-        self.help = help
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise ValueError(f"counter {self.name}: cannot decrease (got {amount})")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """A value that can move both ways."""
-
-    def __init__(self, name: str, help: str = ""):
-        self.name = name
-        self.help = help
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-
-    def inc(self, amount: float = 1.0) -> None:
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-
-class Histogram:
-    """Running count/sum/min/max plus a bounded sample reservoir.
-
-    Percentiles are computed over the newest ``window`` observations —
-    enough to answer "what is predict p99 *lately*" without unbounded
-    memory.  The reservoir is kept sorted incrementally (O(log n) search
-    + O(n) memmove per observe, C-speed for the sizes involved).
-    """
-
-    def __init__(self, name: str, help: str = "", window: int = 1024):
-        if window <= 0:
-            raise ValueError(f"histogram {name}: window must be positive")
-        self.name = name
-        self.help = help
-        self.window = window
-        self._lock = threading.Lock()
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
-        self._recent: List[float] = []   # insertion order (for eviction)
-        self._sorted: List[float] = []   # same values, kept sorted
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-            self._recent.append(value)
-            bisect.insort(self._sorted, value)
-            if len(self._recent) > self.window:
-                oldest = self._recent.pop(0)
-                del self._sorted[bisect.bisect_left(self._sorted, oldest)]
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def total(self) -> float:
-        with self._lock:
-            return self._sum
-
-    def mean(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else float("nan")
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        with self._lock:
-            if not self._sorted:
-                return float("nan")
-            rank = max(0, min(len(self._sorted) - 1,
-                              round(q / 100.0 * (len(self._sorted) - 1))))
-            return self._sorted[rank]
-
-    def summary(self) -> Dict[str, float]:
-        with self._lock:
-            if not self._count:
-                return {"count": 0}
-            ordered = self._sorted
-
-            def rank(q: float) -> float:
-                return ordered[max(0, min(len(ordered) - 1,
-                                          round(q / 100.0 * (len(ordered) - 1))))]
-
-            return {
-                "count": self._count,
-                "sum": self._sum,
-                "mean": self._sum / self._count,
-                "min": self._min,
-                "max": self._max,
-                "p50": rank(50.0),
-                "p90": rank(90.0),
-                "p99": rank(99.0),
-            }
-
-
-class MetricsRegistry:
-    """Named instruments, created on first use and shared thereafter."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._instruments: Dict[str, object] = {}
-
-    def _get_or_create(self, name: str, factory: Callable[[], object]) -> object:
-        if not name:
-            raise ValueError("instrument name must be non-empty")
-        with self._lock:
-            existing = self._instruments.get(name)
-            if existing is None:
-                existing = factory()
-                self._instruments[name] = existing
-            return existing
-
-    def counter(self, name: str, help: str = "") -> Counter:
-        out = self._get_or_create(name, lambda: Counter(name, help))
-        if not isinstance(out, Counter):
-            raise ValueError(f"{name!r} is registered as {type(out).__name__}")
-        return out
-
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        out = self._get_or_create(name, lambda: Gauge(name, help))
-        if not isinstance(out, Gauge):
-            raise ValueError(f"{name!r} is registered as {type(out).__name__}")
-        return out
-
-    def histogram(self, name: str, help: str = "", window: int = 1024) -> Histogram:
-        out = self._get_or_create(name, lambda: Histogram(name, help, window))
-        if not isinstance(out, Histogram):
-            raise ValueError(f"{name!r} is registered as {type(out).__name__}")
-        return out
-
-    def names(self) -> List[str]:
-        with self._lock:
-            return sorted(self._instruments)
-
-    def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """All instruments as plain data, for JSON scraping."""
-        with self._lock:
-            items = list(self._instruments.items())
-        out: Dict[str, Dict[str, Any]] = {}
-        for name, instrument in sorted(items):
-            if isinstance(instrument, Counter):
-                out[name] = {"type": "counter", "value": instrument.value}
-            elif isinstance(instrument, Gauge):
-                out[name] = {"type": "gauge", "value": instrument.value}
-            elif isinstance(instrument, Histogram):
-                out[name] = {"type": "histogram", **instrument.summary()}
-        return out
-
-    def render(self) -> str:
-        """Plain-text exposition, one ``name value`` line per series."""
-        lines: List[str] = []
-        for name, data in self.snapshot().items():
-            kind = data.get("type")
-            if kind in ("counter", "gauge"):
-                lines.append(f"{name} {data['value']:g}")
-            else:
-                for key in ("count", "mean", "p50", "p90", "p99", "max"):
-                    if key in data:
-                        lines.append(f"{name}_{key} {data[key]:g}")
-        return "\n".join(lines)
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One structured event in the service's trace ring."""
-
-    time: float
-    kind: str
-    fields: Mapping[str, Any] = field(default_factory=dict)
-
-    def as_dict(self) -> Dict[str, Any]:
-        return {"time": self.time, "kind": self.kind, **dict(self.fields)}
-
-
-class TraceLog:
-    """A bounded ring buffer of :class:`TraceEvent`."""
-
-    def __init__(self, capacity: int = 256, clock: Callable[[], float] = time.time):
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = capacity
-        self._clock = clock
-        self._lock = threading.Lock()
-        self._events: List[TraceEvent] = []
-        self._dropped = 0
-
-    def emit(self, kind: str, **fields: Any) -> TraceEvent:
-        event = TraceEvent(time=self._clock(), kind=kind, fields=fields)
-        with self._lock:
-            self._events.append(event)
-            if len(self._events) > self.capacity:
-                del self._events[0]
-                self._dropped += 1
-        return event
-
-    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
-        with self._lock:
-            events = list(self._events)
-        if kind is not None:
-            events = [e for e in events if e.kind == kind]
-        return events
-
-    @property
-    def dropped(self) -> int:
-        with self._lock:
-            return self._dropped
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._events)
+warnings.warn(
+    "repro.service.metrics is deprecated; import from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -22,10 +22,16 @@ import numpy as np
 from repro.mds.ldif import Entry
 from repro.mds.provider import _class_attr_label, _kb
 from repro.net.topology import Site
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as _span
 from repro.service.service import PredictionService
 from repro.service.state import OP_READ, OP_WRITE
 
 __all__ = ["ServicePerfProvider"]
+
+_M_RENDERS = get_registry().counter(
+    "mds_ldif_renders", "GridFTPPerf LDIF entries rendered by providers")
 
 
 class ServicePerfProvider:
@@ -77,7 +83,13 @@ class ServicePerfProvider:
         n = len(values)
         if n == 0:
             return []
+        with _span("mds.render", provider=type(self).__name__, link=self.link):
+            return self._entries(now, values, sizes, ops)
 
+    def _entries(self, now, values, sizes, ops) -> List[Entry]:
+        n = len(values)
+        if _obs_enabled():
+            _M_RENDERS.inc()
         entry = Entry(self.dn())
         entry.add("objectclass", "GridFTPPerf")
         entry.add("cn", self.site.address)

@@ -12,9 +12,19 @@ op          request fields                           response payload
 ``predict`` ``link``, ``size``, [``spec``, ``now``]  the Prediction fields
 ``rank``    ``candidates``, ``size``, [``spec``]     ordered replica list
 ``status``  —                                        service status dict
-``metrics`` —                                        registry snapshot
+``metrics`` [``format``]                             merged registry snapshot
+``spans``   [``name``, ``limit``]                    finished spans
+``events``  [``kind``, ``limit``, ``scope``]         structured events
 ``trace``   [``kind``]                               recent trace events
 ========== ======================================== =====================
+
+``metrics`` merges the service's own registry with the process-wide
+:func:`repro.obs.get_registry` (ingest/evaluate/MDS instrumentation);
+``format: "text"`` returns the Prometheus exposition instead of JSON.
+``spans`` reads the process-wide span exporter.  ``events`` reads the
+service's event bus by default; ``scope: "global"`` reads the
+process-wide bus, ``scope: "all"`` merges both by time.  ``trace`` is
+the historical alias for service-scope events.
 
 Every response carries ``"ok": true`` or ``"ok": false`` plus
 ``"error"``.  The dispatch lives in :func:`handle_request`, a pure
@@ -32,9 +42,42 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import get_span_exporter
 from repro.service.service import PredictionService
 
 __all__ = ["handle_request", "ServiceServer", "request"]
+
+
+def _merged_snapshot(service: PredictionService) -> Dict[str, Any]:
+    """Process-wide registry overlaid with the service's own series."""
+    merged = get_registry().snapshot()
+    merged.update(service.metrics.snapshot())
+    return merged
+
+
+def _merged_render(service: PredictionService) -> str:
+    """One Prometheus exposition covering both registries."""
+    return MetricsRegistry().merge(get_registry()).merge(service.metrics).render()
+
+
+def _events_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
+    kind = req.get("kind")
+    limit = req.get("limit")
+    scope = req.get("scope", "service")
+    if scope not in ("service", "global", "all"):
+        raise ValueError(f"unknown events scope {scope!r}")
+    events = []
+    if scope in ("service", "all"):
+        events += service.trace.events(kind=kind)
+    if scope in ("global", "all"):
+        events += get_event_bus().events(kind=kind)
+    events.sort(key=lambda e: e.time)
+    if limit is not None:
+        limit = int(limit)
+        events = events[len(events) - limit:] if limit > 0 else []
+    return {"events": [e.as_dict() for e in events]}
 
 
 def _predict_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
@@ -88,7 +131,19 @@ def handle_request(service: PredictionService, req: Dict[str, Any]) -> Dict[str,
         elif op == "status":
             payload = service.status()
         elif op == "metrics":
-            payload = {"metrics": service.metrics.snapshot()}
+            if req.get("format") == "text":
+                payload = {"text": _merged_render(service)}
+            else:
+                payload = {"metrics": _merged_snapshot(service)}
+        elif op == "spans":
+            limit = req.get("limit")
+            spans = get_span_exporter().spans(
+                name=req.get("name"),
+                limit=int(limit) if limit is not None else None,
+            )
+            payload = {"spans": [s.as_dict() for s in spans]}
+        elif op == "events":
+            payload = _events_payload(service, req)
         elif op == "trace":
             events = service.trace.events(kind=req.get("kind"))
             payload = {"events": [e.as_dict() for e in events]}

@@ -25,9 +25,14 @@ serving path:
 * **Concurrency** — a lock per link serializes mutation; predictions run
   on immutable snapshots outside any lock, so queries on different links
   (or even the same link) proceed in parallel with ingest.
-* **Observability** — every ingest and query updates the
-  :class:`~repro.service.metrics.MetricsRegistry` (counters, gauges,
-  predict-latency histogram) and the structured :class:`TraceLog`.
+* **Observability** — every ingest and query updates the service's
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges, a
+  predict-latency histogram with per-spec labeled children) and the
+  structured :class:`~repro.obs.events.EventBus` at ``service.trace``.
+  The registry is per-service so two services never mix their counts;
+  pipeline-level metrics (ingest, evaluation, MDS) live in the
+  process-wide :func:`repro.obs.get_registry`, and the socket server's
+  ``metrics`` op merges both views.
 
 Predictions are numerically identical to the batch evaluator: a query at
 history version *v* returns exactly what ``evaluate()`` computes at the
@@ -56,7 +61,9 @@ from repro.core.selection import RankedReplica
 from repro.data.frame import TransferFrame
 from repro.data.ingest import load_ulm
 from repro.logs.record import TransferRecord
-from repro.service.metrics import MetricsRegistry, TraceLog
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.events import TraceLog
+from repro.obs.metrics import MetricsRegistry
 from repro.service.state import LinkState
 
 __all__ = ["Prediction", "PredictionCache", "PredictionService", "DEFAULT_SPEC"]
@@ -367,6 +374,8 @@ class PredictionService:
         latency = time.perf_counter() - t0
         self._m_predicts.inc()
         self._m_latency.observe(latency)
+        if _obs_enabled():
+            self._m_latency.labels(spec=spec).observe(latency)
         self.trace.emit("predict", link=link, spec=spec, size=size,
                         cached=cached, value=value, version=version)
         return Prediction(

@@ -61,6 +61,54 @@ def test_status_metrics_trace_over_socket(server):
     assert all(e["kind"] == "observe" for e in trace["events"])
 
 
+def test_metrics_text_format_over_socket(server):
+    response = request(server.socket_path, {"op": "metrics", "format": "text"})
+    assert response["ok"]
+    text = response["text"]
+    assert "# TYPE service_ingested_records counter" in text
+    assert "service_ingested_records 30" in text
+
+
+def test_spans_op_serves_the_process_exporter(server):
+    from repro.obs.tracing import span
+
+    with span("server.test", link="LBL-ANL"):
+        pass
+    response = request(
+        server.socket_path, {"op": "spans", "name": "server.test", "limit": 1}
+    )
+    assert response["ok"]
+    (exported,) = response["spans"]
+    assert exported["name"] == "server.test"
+    assert exported["status"] == "ok"
+    assert exported["attributes"] == {"link": "LBL-ANL"}
+    assert exported["duration"] >= 0
+
+
+def test_events_op_scopes(server):
+    from repro.obs.events import get_event_bus
+
+    get_event_bus().emit("server.test.global", probe=1)
+    service_events = request(server.socket_path, {"op": "events", "kind": "observe"})
+    assert service_events["ok"]
+    assert len(service_events["events"]) > 0
+    assert all(e["kind"] == "observe" for e in service_events["events"])
+
+    global_events = request(
+        server.socket_path,
+        {"op": "events", "scope": "global", "kind": "server.test.global"},
+    )
+    assert [e["probe"] for e in global_events["events"]] == [1]
+
+    merged = request(server.socket_path, {"op": "events", "scope": "all", "limit": 5})
+    assert merged["ok"] and len(merged["events"]) == 5
+    times = [e["time"] for e in merged["events"]]
+    assert times == sorted(times)
+
+    bad = request(server.socket_path, {"op": "events", "scope": "sideways"})
+    assert not bad["ok"] and "scope" in bad["error"]
+
+
 def test_concurrent_clients(server):
     import threading
 

@@ -1,0 +1,91 @@
+"""The event bus: bounded ring, subscribers, JSONL export."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs.events import EventBus, TraceEvent, TraceLog, get_event_bus
+
+
+def _bus(capacity=8):
+    clock = itertools.count(1)
+    return EventBus(capacity=capacity, clock=lambda: float(next(clock)))
+
+
+def test_emit_returns_the_event_and_retains_it():
+    bus = _bus()
+    event = bus.emit("transfer", link="a-b", size=1024)
+    assert isinstance(event, TraceEvent)
+    assert event.kind == "transfer" and event.fields["size"] == 1024
+    assert bus.events() == [event]
+    assert len(bus) == 1
+    assert event.as_dict() == {"time": 1.0, "kind": "transfer", "link": "a-b", "size": 1024}
+
+
+def test_ring_evicts_oldest_and_counts_drops():
+    bus = _bus(capacity=3)
+    for i in range(5):
+        bus.emit("e", i=i)
+    assert [e.fields["i"] for e in bus.events()] == [2, 3, 4]
+    assert bus.dropped == 2
+    assert len(bus) == 3
+
+
+def test_events_filter_by_kind_and_limit_keeps_newest():
+    bus = _bus()
+    bus.emit("a", i=0)
+    bus.emit("b", i=1)
+    bus.emit("a", i=2)
+    assert [e.fields["i"] for e in bus.events(kind="a")] == [0, 2]
+    assert [e.fields["i"] for e in bus.events(limit=2)] == [1, 2]
+    assert bus.events(limit=0) == []
+
+
+def test_subscribers_see_every_emit_and_can_leave():
+    bus = _bus()
+    seen = []
+    bus.subscribe(seen.append)
+    first = bus.emit("a")
+    bus.unsubscribe(seen.append)
+    bus.emit("b")
+    assert seen == [first]
+
+
+def test_raising_subscriber_never_breaks_the_emitter():
+    bus = _bus()
+
+    def bad(event):
+        raise RuntimeError("subscriber bug")
+
+    good_seen = []
+    bus.subscribe(bad)
+    bus.subscribe(good_seen.append)
+    bus.emit("a")
+    bus.emit("b")
+    assert bus.subscriber_errors == 2
+    assert [e.kind for e in good_seen] == ["a", "b"]
+    assert len(bus) == 2  # the ring kept both events regardless
+
+
+def test_export_jsonl_round_trips(tmp_path):
+    bus = _bus()
+    bus.emit("transfer", link="a-b", size=1024)
+    bus.emit("cache", hit=True)
+    out = tmp_path / "events.jsonl"
+    assert bus.export_jsonl(out) == 2
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert lines == [
+        {"time": 1.0, "kind": "transfer", "link": "a-b", "size": 1024},
+        {"time": 2.0, "kind": "cache", "hit": True},
+    ]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventBus(capacity=0)
+
+
+def test_tracelog_alias_and_default_bus():
+    assert TraceLog is EventBus
+    assert get_event_bus() is get_event_bus()

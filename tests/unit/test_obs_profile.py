@@ -1,0 +1,45 @@
+"""The opt-in profiler: timers, hotspot tables, pstats dumps."""
+
+import pstats
+
+import pytest
+
+from repro.obs.profile import ProfileReport, profiled, run_profiled
+
+
+def _busy(n=20_000):
+    return sum(i * i for i in range(n))
+
+
+def test_profiled_block_fills_the_report():
+    with profiled() as report:
+        _busy()
+    assert report.wall_seconds > 0
+    assert report.cpu_seconds >= 0
+    assert report.stats is not None
+    table = report.top(5)
+    assert "_busy" in table or "genexpr" in table
+
+
+def test_run_profiled_returns_result_and_report():
+    result, report = run_profiled(_busy, 10_000)
+    assert result == sum(i * i for i in range(10_000))
+    assert isinstance(report, ProfileReport)
+    summary = report.summary(3)
+    assert summary.startswith("wall ")
+    assert "cpu" in summary
+
+
+def test_dump_writes_a_loadable_pstats_file(tmp_path):
+    _, report = run_profiled(_busy)
+    out = report.dump(tmp_path / "run.pstats")
+    assert out.exists()
+    stats = pstats.Stats(str(out))
+    assert stats.total_calls > 0
+
+
+def test_empty_report_degrades_gracefully():
+    report = ProfileReport()
+    assert report.top() == "(no profile data)"
+    with pytest.raises(ValueError):
+        report.dump("nowhere.pstats")

@@ -84,6 +84,23 @@ class TestQueryInProcess:
             assert rc == 0
             assert json.loads(capsys.readouterr().out)["size"] == 100_000_000
 
+    def test_query_spans_sees_the_ingest_span(self, log_path, capsys):
+        rc = main(["query", "spans", "--logs", str(log_path), "--json"])
+        assert rc == 0
+        spans = json.loads(capsys.readouterr().out)["spans"]
+        ingest = [s for s in spans if s["name"] == "ingest.load_ulm"]
+        assert ingest, [s["name"] for s in spans]
+        assert ingest[-1]["attributes"]["records"] == 30
+
+    def test_query_events_filters_by_kind(self, log_path, capsys):
+        rc = main(["query", "events", "--logs", str(log_path),
+                   "--kind", "ingest_ulm", "--limit", "1", "--json"])
+        assert rc == 0
+        events = json.loads(capsys.readouterr().out)["events"]
+        assert len(events) == 1
+        assert events[0]["kind"] == "ingest_ulm"
+        assert events[0]["records"] == 30
+
     def test_bad_size_rejected(self, log_path):
         with pytest.raises(SystemExit, match="bad size"):
             main(["query", "predict", "--logs", str(log_path),
@@ -100,6 +117,33 @@ class TestQueryInProcess:
     def test_unreachable_socket_is_operational_error(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot reach server"):
             main(["query", "ping", "--socket", str(tmp_path / "none.sock")])
+
+
+class TestObservabilityFlags:
+    def test_serve_oneshot_dumps_a_metrics_snapshot(self, log_path, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.jsonl"
+        rc = main(["serve", str(log_path), "--oneshot",
+                   "--metrics-file", str(metrics_file)])
+        assert rc == 0
+        (line,) = metrics_file.read_text().splitlines()
+        snapshot = json.loads(line)
+        assert snapshot["time"] > 0
+        assert snapshot["metrics"]["service_ingested_records"]["value"] == 30
+        # The merged view carries the process-wide ingest instruments too.
+        assert "ingest_records_parsed" in snapshot["metrics"]
+
+    def test_profile_wraps_a_subcommand(self, log_path, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["--profile", "--profile-out", "query.pstats",
+                   "query", "status", "--logs", str(log_path), "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["ingested"] == 30  # result unchanged
+        assert "profile written to query.pstats" in captured.err
+        assert "wall " in captured.err
+        import pstats
+
+        assert pstats.Stats(str(tmp_path / "query.pstats")).total_calls > 0
 
 
 class TestEvaluateJson:

@@ -1,131 +1,61 @@
-"""The service metrics layer: instruments, registry, trace ring."""
+"""The repro.service.metrics deprecation shim.
 
-import threading
+The instruments moved to :mod:`repro.obs` (see
+tests/unit/test_obs_metrics.py for their behaviour); this module pins
+the back-compat contract: every historical name still imports from
+``repro.service.metrics``, resolves to the same objects, and the import
+warns exactly once per interpreter.
+"""
 
-import pytest
+import os
+import subprocess
+import sys
+from pathlib import Path
 
+import repro.obs.events
+import repro.obs.metrics
 from repro.service.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    TraceEvent,
     TraceLog,
 )
 
 
-# ----------------------------------------------------------------------
-# instruments
-# ----------------------------------------------------------------------
-def test_counter_accumulates_and_rejects_decrease():
-    c = Counter("hits")
-    c.inc()
-    c.inc(2.5)
-    assert c.value == 3.5
-    with pytest.raises(ValueError):
-        c.inc(-1)
+def test_shim_reexports_the_obs_objects():
+    assert Counter is repro.obs.metrics.Counter
+    assert Gauge is repro.obs.metrics.Gauge
+    assert Histogram is repro.obs.metrics.Histogram
+    assert MetricsRegistry is repro.obs.metrics.MetricsRegistry
+    assert TraceEvent is repro.obs.events.TraceEvent
+    assert TraceLog is repro.obs.events.TraceLog
+    assert TraceLog is repro.obs.events.EventBus
 
 
-def test_gauge_moves_both_ways():
-    g = Gauge("links")
-    g.set(4)
-    g.inc(-1)
-    assert g.value == 3.0
-
-
-def test_histogram_summary_and_percentiles():
-    h = Histogram("latency", window=100)
-    for v in range(1, 101):  # 1..100
-        h.observe(float(v))
-    assert h.count == 100
-    assert h.total == pytest.approx(5050.0)
-    assert h.mean() == pytest.approx(50.5)
-    assert h.percentile(0) == 1.0
-    assert h.percentile(100) == 100.0
-    assert h.percentile(50) == pytest.approx(50.0, abs=1.0)
-    summary = h.summary()
-    assert summary["min"] == 1.0 and summary["max"] == 100.0
-    assert summary["p99"] >= summary["p90"] >= summary["p50"]
-
-
-def test_histogram_window_bounds_the_reservoir():
-    h = Histogram("latency", window=10)
-    for v in range(1000):
-        h.observe(float(v))
-    # Lifetime aggregates see everything; percentiles only the newest 10.
-    assert h.count == 1000
-    assert h.percentile(0) == 990.0
-
-
-def test_histogram_empty_percentile_is_nan():
-    h = Histogram("latency")
-    assert h.percentile(50) != h.percentile(50)  # NaN
-    with pytest.raises(ValueError):
-        h.percentile(101)
-
-
-def test_histogram_concurrent_observes_are_exact():
-    h = Histogram("latency", window=64)
-    threads = [
-        threading.Thread(target=lambda: [h.observe(1.0) for _ in range(500)])
-        for _ in range(4)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    assert h.count == 2000
-    assert h.total == pytest.approx(2000.0)
-
-
-# ----------------------------------------------------------------------
-# registry
-# ----------------------------------------------------------------------
-def test_registry_shares_instruments_by_name():
-    reg = MetricsRegistry()
-    assert reg.counter("a") is reg.counter("a")
-    assert reg.names() == ["a"]
-
-
-def test_registry_rejects_type_mismatch():
-    reg = MetricsRegistry()
-    reg.counter("x")
-    with pytest.raises(ValueError, match="registered as Counter"):
-        reg.gauge("x")
-
-
-def test_registry_snapshot_and_render():
+def test_shim_instruments_still_work_through_old_import():
     reg = MetricsRegistry()
     reg.counter("requests").inc(3)
-    reg.gauge("links").set(2)
-    reg.histogram("lat").observe(0.5)
-    snap = reg.snapshot()
-    assert snap["requests"] == {"type": "counter", "value": 3.0}
-    assert snap["links"]["value"] == 2.0
-    assert snap["lat"]["count"] == 1
-    text = reg.render()
-    assert "requests 3" in text
-    assert "lat_p99 0.5" in text
-
-
-# ----------------------------------------------------------------------
-# trace log
-# ----------------------------------------------------------------------
-def test_trace_ring_keeps_newest_and_counts_drops():
-    clock = iter(range(100)).__next__
-    log = TraceLog(capacity=3, clock=lambda: float(clock()))
-    for i in range(5):
-        log.emit("predict", i=i)
-    assert len(log) == 3
-    assert log.dropped == 2
-    assert [e.fields["i"] for e in log.events()] == [2, 3, 4]
-
-
-def test_trace_filter_by_kind_and_as_dict():
-    log = TraceLog(capacity=10, clock=lambda: 7.0)
+    log = TraceLog(capacity=4)
     log.emit("observe", link="a")
-    log.emit("predict", link="a", value=1.0)
-    predicts = log.events(kind="predict")
-    assert len(predicts) == 1
-    assert predicts[0].as_dict() == {
-        "time": 7.0, "kind": "predict", "link": "a", "value": 1.0,
-    }
+    assert reg.snapshot()["requests"]["value"] == 3.0
+    assert [e.kind for e in log.events()] == ["observe"]
+
+
+def test_shim_import_emits_deprecation_warning():
+    # A fresh interpreter, because this test module already imported the
+    # shim (module-level warnings fire once per process).
+    code = (
+        "import warnings\n"
+        "with warnings.catch_warnings(record=True) as caught:\n"
+        "    warnings.simplefilter('always')\n"
+        "    import repro.service.metrics\n"
+        "assert any(w.category is DeprecationWarning for w in caught), caught\n"
+    )
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(repo_root / "src"), env.get("PYTHONPATH")) if p
+    )
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
