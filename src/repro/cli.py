@@ -291,10 +291,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 # serve / query
 # ----------------------------------------------------------------------
 def _build_service(log_paths: List[str], spec: str, cache_size: int,
-                   link: Optional[str] = None):
+                   link: Optional[str] = None, degraded_fallback: bool = False):
     from repro.service import PredictionService
 
-    service = PredictionService(default_spec=spec, cache_size=cache_size)
+    service = PredictionService(default_spec=spec, cache_size=cache_size,
+                                degraded_fallback=degraded_fallback)
     if link is not None and len(log_paths) > 1:
         raise SystemExit("--link only applies to a single log file")
     for path in log_paths:
@@ -312,7 +313,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         resolve(args.spec)
     except KeyError:
         raise SystemExit(f"unknown predictor {args.spec!r}") from None
-    service = _build_service(args.logs, args.spec, args.cache_size, args.link)
+    service = _build_service(args.logs, args.spec, args.cache_size, args.link,
+                             degraded_fallback=args.fallback)
 
     followers = []
     if args.follow:
@@ -430,6 +432,8 @@ def _render_query(op: str, response: Dict) -> str:
     if op == "predict":
         value = response["value"]
         rendered = f"{value / 1e6:.3f} MB/s" if value is not None else "no prediction"
+        if response.get("degraded"):
+            rendered += " [degraded fallback]"
         return (
             f"{response['link']} [{response['spec']}] "
             f"size={response['size']}: {rendered} "
@@ -554,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep tailing the logs for appended records")
     serve.add_argument("--interval", type=float, default=1.0,
                        help="tail poll interval in seconds")
+    serve.add_argument("--fallback", action="store_true",
+                       help="answer unknown links with a low-confidence "
+                            "link-agnostic aggregate instead of no value")
     serve.add_argument("--oneshot", action="store_true",
                        help="ingest, print service status JSON, and exit")
     serve.add_argument("--metrics-interval", type=float, default=60.0,

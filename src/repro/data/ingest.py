@@ -27,8 +27,11 @@ SHA-256 of the log's bytes: the first load parses and writes the
 sidecar, every later load of unchanged content deserializes straight
 into arrays (no string parsing at all) and verifies the digest, so a
 rewritten or truncated log can never serve stale arrays.  Cache files
-are best-effort — an unwritable directory or a corrupt sidecar silently
-degrades to a parse.
+are best-effort — an unwritable directory degrades to a parse, and a
+*corrupt* sidecar (truncated write, bit rot) is quarantined
+(``*.npz.quarantined``), counted, announced on the event bus, and
+rebuilt from the log — it never raises out of :func:`load_ulm` and is
+never consulted again (see docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.data.frame import OP_READ, OP_WRITE, TransferFrame
 from repro.logs.ulm import ULMError, parse_fields, parse_lines, parse_record
 from repro.obs.config import enabled as _obs_enabled
@@ -56,6 +60,8 @@ __all__ = [
     "cache_path",
     "write_cache",
     "read_cache",
+    "read_cache_status",
+    "quarantine_cache",
 ]
 
 #: Bump when the cache layout changes; readers reject other versions.
@@ -76,6 +82,8 @@ _M_BYTES = _REG.counter("ingest_bytes", "log bytes read by load_ulm")
 _H_LOAD = _REG.histogram("ingest_seconds", "load_ulm wall-clock latency")
 _G_RATE = _REG.gauge(
     "ingest_bytes_per_second", "throughput of the most recent load_ulm")
+_M_QUARANTINED = _REG.counter(
+    "ingest_cache_quarantined", "corrupt .npz sidecars quarantined by load_ulm")
 
 #: ULM keys of the GridFTP transfer object, in frame column order.
 _RAW_KEYS: Tuple[str, ...] = (
@@ -251,16 +259,55 @@ def _digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def read_cache(sidecar: Path, digest: str) -> Optional[TransferFrame]:
-    """The cached frame, or ``None`` on any mismatch or corruption."""
+def read_cache_status(sidecar: Path, digest: str) -> Tuple[Optional[TransferFrame], str]:
+    """Read the sidecar, reporting *why* it missed.
+
+    Returns ``(frame, status)`` where status is one of:
+
+    * ``"hit"`` — the frame was deserialized and matches the digest;
+    * ``"absent"`` — no sidecar file exists;
+    * ``"stale"`` — the sidecar is well-formed but for other content or
+      an older cache layout (normal after a log rewrite or an upgrade);
+    * ``"corrupt"`` — the sidecar exists but cannot be deserialized
+      (truncated write, bit rot, injected fault).  Callers should
+      quarantine it: unlike ``stale`` it will never heal by itself.
+    """
     try:
+        _faults.check("ingest.cache", path=str(sidecar))
         with np.load(sidecar, allow_pickle=False) as payload:
             if str(payload["__version__"]) != CACHE_VERSION:
-                return None
+                return None, "stale"
             if str(payload["__digest__"]) != digest:
-                return None
-            return TransferFrame.from_arrays(payload)
+                return None, "stale"
+            return TransferFrame.from_arrays(payload), "hit"
+    except FileNotFoundError:
+        return None, "absent"
     except Exception:
+        return None, "corrupt"
+
+
+def read_cache(sidecar: Path, digest: str) -> Optional[TransferFrame]:
+    """The cached frame, or ``None`` on any mismatch or corruption."""
+    return read_cache_status(sidecar, digest)[0]
+
+
+def quarantine_cache(sidecar: Path) -> Optional[Path]:
+    """Move a corrupt sidecar aside so it is never consulted again.
+
+    Renames ``x.ulm.npz`` to ``x.ulm.npz.quarantined`` (replacing any
+    earlier quarantine); falls back to deletion, and returns ``None``
+    when the filesystem refuses both (read-only media — the corrupt
+    file then simply keeps losing the digest check).
+    """
+    target = sidecar.with_name(sidecar.name + ".quarantined")
+    try:
+        os.replace(sidecar, target)
+        return target
+    except OSError:
+        try:
+            sidecar.unlink(missing_ok=True)
+        except OSError:
+            pass
         return None
 
 
@@ -305,7 +352,21 @@ def load_ulm(path: Union[str, Path], cache: bool = True) -> TransferFrame:
         raw = path.read_bytes()
         digest = _digest(raw)
         sidecar = cache_path(path)
-        frame = read_cache(sidecar, digest) if cache else None
+        if cache:
+            frame, status = read_cache_status(sidecar, digest)
+        else:
+            frame, status = None, "skipped"
+        if status == "corrupt":
+            # A sidecar that cannot even deserialize never heals on its
+            # own — move it aside loudly and rebuild from the log.
+            quarantined = quarantine_cache(sidecar)
+            if obs:
+                _M_QUARANTINED.inc()
+                get_event_bus().emit(
+                    "ingest.cache_quarantine", path=str(path),
+                    sidecar=str(sidecar),
+                    quarantined=str(quarantined) if quarantined else None,
+                )
         from_cache = frame is not None
         if frame is None:
             frame = parse_ulm_text(raw.decode("utf-8"))

@@ -1,0 +1,60 @@
+"""The fallback combinator: degrade through alternatives, in order.
+
+``fallback(primary, backup, ...)`` returns a callable that tries each
+alternative until one answers; only exceptions in ``exceptions`` trigger
+the next alternative, anything else propagates.  Each degradation is
+counted (``resilience_fallbacks``) and emitted as a
+``resilience.fallback`` event so graceful degradation stays loud in the
+telemetry even while staying quiet for callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import get_registry
+
+__all__ = ["fallback"]
+
+T = TypeVar("T")
+
+_M_FALLBACKS = get_registry().counter(
+    "resilience_fallbacks", "calls answered by a non-primary alternative")
+
+
+def fallback(
+    *alternatives: Callable[[], T],
+    exceptions: Tuple[Type[BaseException], ...] = (Exception,),
+    label: str = "",
+) -> Callable[[], T]:
+    """Compose alternatives into one callable.
+
+    The returned callable invokes each alternative in order and returns
+    the first result.  If the last alternative also fails, its exception
+    propagates unchanged.
+    """
+    if not alternatives:
+        raise ValueError("fallback() needs at least one alternative")
+
+    def run() -> T:
+        last = len(alternatives) - 1
+        for index, alternative in enumerate(alternatives):
+            try:
+                result = alternative()
+            except exceptions as exc:
+                if index == last:
+                    raise
+                if _obs_enabled():
+                    _M_FALLBACKS.inc()
+                    get_event_bus().emit(
+                        "resilience.fallback", label=label, alternative=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                continue
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    run.__name__ = f"fallback[{label or len(alternatives)}]"
+    return run

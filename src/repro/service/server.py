@@ -42,12 +42,50 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro import faults as _faults
+from repro.obs.config import enabled as _obs_enabled
 from repro.obs.events import get_event_bus
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import get_span_exporter
+from repro.resilience import Deadline, DeadlineExceeded, RetryError, RetryPolicy
 from repro.service.service import PredictionService
 
-__all__ = ["handle_request", "ServiceServer", "request"]
+__all__ = [
+    "handle_request",
+    "ServiceServer",
+    "request",
+    "CONNECT_RETRY_POLICY",
+    "MAX_REQUEST_BYTES",
+]
+
+#: One JSON request line may not exceed this (a malicious or confused
+#: client must not balloon the handler's memory).
+MAX_REQUEST_BYTES = 1 << 20
+
+#: Default client-side policy for reaching a server that is still
+#: binding its socket (``repro serve`` startup race): a missing socket
+#: file or a refused/timed-out connect retries briefly with backoff.
+CONNECT_RETRY_POLICY = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=0.5, jitter=0.25
+)
+
+_CONNECT_RETRY_ON = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    FileNotFoundError,   # the socket path does not exist yet
+    socket.timeout,
+)
+
+# Process-wide server instrumentation (see docs/resilience.md).
+_REG = get_registry()
+_M_REQUESTS = _REG.counter(
+    "server_requests", "JSON requests answered by the socket server")
+_M_BAD = _REG.counter(
+    "server_bad_requests", "malformed or oversized requests answered in-band")
+_M_DEADLINES = _REG.counter(
+    "server_deadline_exceeded", "requests cut off by the per-request deadline")
+_M_INTERNAL = _REG.counter(
+    "server_internal_errors", "unexpected handler exceptions answered in-band")
 
 
 def _merged_snapshot(service: PredictionService) -> Dict[str, Any]:
@@ -96,10 +134,14 @@ def _predict_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[st
         "version": prediction.version,
         "history_length": prediction.history_length,
         "latency_seconds": prediction.latency_seconds,
+        "degraded": prediction.degraded,
     }
 
 
-def _rank_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
+def _rank_payload(
+    service: PredictionService, req: Dict[str, Any], deadline: Deadline
+) -> Dict[str, Any]:
+    deadline.check("rank")
     ranked = service.rank_replicas(
         [str(c) for c in req["candidates"]],
         int(req["size"]),
@@ -118,16 +160,28 @@ def _rank_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, 
     }
 
 
-def handle_request(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
-    """Answer one request dict; never raises (errors come back in-band)."""
+def handle_request(
+    service: PredictionService,
+    req: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
+) -> Dict[str, Any]:
+    """Answer one request dict; never raises (errors come back in-band).
+
+    ``deadline``, when given, bounds the whole request: it is checked
+    before dispatch and propagated into multi-step operations (``rank``
+    checks it between candidates' predictions), so one slow request can
+    never hold a connection thread indefinitely.
+    """
+    deadline = deadline or Deadline.unbounded()
     try:
+        deadline.check("request")
         op = req.get("op")
         if op == "ping":
             payload: Dict[str, Any] = {"pong": True}
         elif op == "predict":
             payload = _predict_payload(service, req)
         elif op == "rank":
-            payload = _rank_payload(service, req)
+            payload = _rank_payload(service, req, deadline)
         elif op == "status":
             payload = service.status()
         elif op == "metrics":
@@ -149,15 +203,47 @@ def handle_request(service: PredictionService, req: Dict[str, Any]) -> Dict[str,
             payload = {"events": [e.as_dict() for e in events]}
         else:
             return {"ok": False, "error": f"unknown op {op!r}"}
+        deadline.check("request")
         return {"ok": True, **payload}
+    except DeadlineExceeded as exc:
+        if _obs_enabled():
+            _M_DEADLINES.inc()
+        return {"ok": False, "error": f"DeadlineExceeded: {exc}"}
     except (KeyError, TypeError, ValueError) as exc:
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read a line, answer a line, survive everything.
+
+    A malformed line, an oversized line, or an unexpected handler
+    exception all answer in-band and keep the connection thread alive —
+    only transport failure (the peer going away) or an unrecoverably
+    desynchronized stream (an oversized request we cannot resync past)
+    ends the loop.
+    """
+
     def handle(self) -> None:
-        service = self.server.service  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        server = self.server
+        service = server.service  # type: ignore[attr-defined]
+        timeout = getattr(server, "request_timeout", None)
+        while True:
+            try:
+                raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+            except OSError:
+                return  # the peer is gone; nothing left to answer
+            if not raw:
+                return
+            if len(raw) > MAX_REQUEST_BYTES:
+                # The rest of this oversized line is still in the pipe;
+                # answering and closing is the only way to stay in sync.
+                if _obs_enabled():
+                    _M_BAD.inc()
+                self._respond({
+                    "ok": False,
+                    "error": f"request exceeds {MAX_REQUEST_BYTES} bytes",
+                })
+                return
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
@@ -166,11 +252,34 @@ class _Handler(socketserver.StreamRequestHandler):
                 if not isinstance(req, dict):
                     raise ValueError("request must be a JSON object")
             except ValueError as exc:
+                if _obs_enabled():
+                    _M_BAD.inc()
                 response = {"ok": False, "error": f"bad request: {exc}"}
             else:
-                response = handle_request(service, req)
+                deadline = (
+                    Deadline.after(timeout) if timeout else Deadline.unbounded()
+                )
+                try:
+                    response = handle_request(service, req, deadline=deadline)
+                except Exception as exc:  # defense in depth: never drop the thread
+                    if _obs_enabled():
+                        _M_INTERNAL.inc()
+                    response = {
+                        "ok": False,
+                        "error": f"internal error: {type(exc).__name__}: {exc}",
+                    }
+            if _obs_enabled():
+                _M_REQUESTS.inc()
+            if not self._respond(response):
+                return
+
+    def _respond(self, response: Dict[str, Any]) -> bool:
+        try:
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
             self.wfile.flush()
+            return True
+        except OSError:
+            return False
 
 
 class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
@@ -186,11 +295,17 @@ class ServiceServer:
     context manager or call :meth:`start`/:meth:`stop`.
     """
 
-    def __init__(self, service: PredictionService, socket_path: Union[str, Path]):
+    def __init__(
+        self,
+        service: PredictionService,
+        socket_path: Union[str, Path],
+        request_timeout: Optional[float] = 30.0,
+    ):
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
             raise OSError("unix domain sockets are not available on this platform")
         self.service = service
         self.socket_path = Path(socket_path)
+        self.request_timeout = request_timeout
         self._server: Optional[_ThreadingUnixServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -200,6 +315,7 @@ class ServiceServer:
         self.socket_path.unlink(missing_ok=True)
         self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
         self._server.service = self.service  # type: ignore[attr-defined]
+        self._server.request_timeout = self.request_timeout  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"repro-serve[{self.socket_path.name}]",
@@ -226,6 +342,7 @@ class ServiceServer:
         self.socket_path.unlink(missing_ok=True)
         self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
         self._server.service = self.service  # type: ignore[attr-defined]
+        self._server.request_timeout = self.request_timeout  # type: ignore[attr-defined]
         try:
             self._server.serve_forever()
         finally:
@@ -240,18 +357,50 @@ class ServiceServer:
         self.stop()
 
 
-def request(socket_path: Union[str, Path], req: Dict[str, Any], timeout: float = 10.0) -> Dict[str, Any]:
-    """Send one request to a running server and return its response."""
+def _request_once(socket_path: str, payload: bytes, timeout: float) -> bytes:
     with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
         sock.settimeout(timeout)
-        sock.connect(str(socket_path))
-        sock.sendall(json.dumps(req).encode("utf-8") + b"\n")
+        _faults.check("socket.connect", path=socket_path)
+        sock.connect(socket_path)
+        sock.sendall(payload)
         buf = b""
         while not buf.endswith(b"\n"):
             chunk = sock.recv(65536)
             if not chunk:
                 break
             buf += chunk
+    return buf
+
+
+def request(
+    socket_path: Union[str, Path],
+    req: Dict[str, Any],
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
+) -> Dict[str, Any]:
+    """Send one request to a running server and return its response.
+
+    A refused or timed-out connect — and a socket path that does not
+    exist *yet* — is retried under ``retry`` (default
+    :data:`CONNECT_RETRY_POLICY`), so ``repro query`` works through a
+    server startup race.  Pass ``retry=RetryPolicy(max_attempts=1)`` to
+    fail fast.  When every attempt fails the *underlying* error is
+    re-raised, so callers keep catching ``OSError``/``ConnectionError``
+    as before.
+    """
+    policy = CONNECT_RETRY_POLICY if retry is None else retry
+    payload = json.dumps(req).encode("utf-8") + b"\n"
+    try:
+        buf = policy.call(
+            lambda: _request_once(str(socket_path), payload, timeout),
+            retry_on=_CONNECT_RETRY_ON,
+            label=f"request[{socket_path}]",
+        )
+    except RetryError as exc:
+        cause = exc.__cause__
+        if isinstance(cause, OSError):
+            raise cause
+        raise
     if not buf:
         raise ConnectionError(f"no response from {socket_path}")
     return json.loads(buf.decode("utf-8"))

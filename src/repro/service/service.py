@@ -87,6 +87,10 @@ class Prediction:
     version: int                # link history version answered against
     history_length: int
     latency_seconds: float
+    #: True when the value is a low-confidence link-agnostic fallback
+    #: (the link had no history and the service degraded gracefully
+    #: instead of answering nothing; see ``degraded_fallback``).
+    degraded: bool = False
 
 
 class PredictionCache:
@@ -141,6 +145,13 @@ class PredictionService:
     clock:
         Time source for default query anchors and trace timestamps
         (injectable for tests).
+    degraded_fallback:
+        When True, a query for a link with **no history** answers a
+        low-confidence link-agnostic aggregate (the mean of every known
+        link's mean bandwidth) marked ``degraded=True`` instead of
+        ``value=None`` — graceful degradation for brokers that must
+        rank a replica nobody has measured yet.  Off by default:
+        abstention is the honest answer unless the deployment opts in.
     """
 
     def __init__(
@@ -151,9 +162,11 @@ class PredictionService:
         clock: Callable[[], float] = time.time,
         metrics: Optional[MetricsRegistry] = None,
         trace_capacity: int = 256,
+        degraded_fallback: bool = False,
     ):
         resolve(default_spec)  # fail fast on a bad default
         self.default_spec = default_spec
+        self.degraded_fallback = degraded_fallback
         self.classification = classification or paper_classification()
         self.clock = clock
         self.metrics = metrics or MetricsRegistry()
@@ -177,6 +190,9 @@ class PredictionService:
         self._m_cache_size = m.gauge("service_cache_entries", "live LRU entries")
         self._m_latency = m.histogram(
             "service_predict_seconds", "predict() wall-clock latency")
+        self._m_fallbacks = m.counter(
+            "service_fallback_predictions",
+            "degraded link-agnostic fallback answers served")
 
     # ------------------------------------------------------------------
     # link state
@@ -371,6 +387,18 @@ class PredictionService:
                 self._cache.put(key, value)
                 self._m_cache_size.set(len(self._cache))
 
+        degraded = False
+        if value is None and length == 0 and self.degraded_fallback:
+            # Graceful degradation: a link nobody has measured yet gets
+            # the link-agnostic aggregate, explicitly marked low-confidence.
+            # Never cached — it depends on every *other* link's state.
+            value = self.aggregate_bandwidth()
+            if value is not None:
+                degraded = True
+                self._m_fallbacks.inc()
+                self.trace.emit("predict.fallback", link=link, spec=spec,
+                                size=size, value=value)
+
         latency = time.perf_counter() - t0
         self._m_predicts.inc()
         self._m_latency.observe(latency)
@@ -381,7 +409,27 @@ class PredictionService:
         return Prediction(
             link=link, spec=spec, target_size=size, value=value, cached=cached,
             version=version, history_length=length, latency_seconds=latency,
+            degraded=degraded,
         )
+
+    def aggregate_bandwidth(self) -> Optional[float]:
+        """Link-agnostic aggregate: the mean of per-link mean bandwidths.
+
+        The degraded-fallback value — deliberately crude (every link
+        weighs the same regardless of sample count) because its job is
+        a plausible low-confidence prior, not a forecast.  ``None``
+        when no link has any history at all.
+        """
+        with self._links_lock:
+            states = list(self._links.values())
+        means = [
+            float(history.values.mean())
+            for history in (state.history() for state in states)
+            if len(history)
+        ]
+        if not means:
+            return None
+        return sum(means) / len(means)
 
     def rank_replicas(
         self,
@@ -392,29 +440,32 @@ class PredictionService:
     ) -> List[RankedReplica]:
         """Rank candidate source links for a ``size``-byte transfer.
 
-        Candidates with a prediction sort by descending bandwidth;
-        candidates with none (unknown link, abstaining predictor) rank
-        last but are reported so a caller may explore them.
+        Candidates with a confident prediction sort by descending
+        bandwidth; degraded fallback answers (see ``degraded_fallback``)
+        sort after every confident one; candidates with no value at all
+        (unknown link, abstaining predictor) rank last but are reported
+        so a caller may explore them.
         """
         predictions = [
             (link, self.predict(link, size, spec=spec, now=now))
             for link in dict.fromkeys(candidates)
         ]
-        ranked = [
+        order = sorted(
+            predictions,
+            key=lambda item: (
+                item[1].value is None,
+                item[1].degraded,
+                -(item[1].value or 0.0),
+            ),
+        )
+        return [
             RankedReplica(
                 site=link,
                 predicted_bandwidth=p.value,
                 history_length=p.history_length,
             )
-            for link, p in predictions
+            for link, p in order
         ]
-        ranked.sort(
-            key=lambda r: (
-                r.predicted_bandwidth is None,
-                -(r.predicted_bandwidth or 0.0),
-            )
-        )
-        return ranked
 
     # ------------------------------------------------------------------
     # introspection

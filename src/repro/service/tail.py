@@ -7,15 +7,26 @@ consumption: each :meth:`poll` reads only the bytes appended since the
 last call, parses the complete new lines, and feeds them to a sink
 (typically ``service.observe``).
 
-Robustness rules:
+Robustness rules (this is a boundary with the outside world — a poll
+must *never* kill the caller's loop):
 
 * a partial final line (the server mid-write) is buffered, not parsed,
-  and completed on a later poll;
+  and completed on a later poll — the buffer holds raw **bytes**, so a
+  torn multi-byte UTF-8 sequence can never raise a decode error;
 * a malformed line is counted and skipped — one corrupt entry must not
-  wedge the service;
-* truncation (log rotation) is detected by the file shrinking, and the
-  follower restarts from offset zero;
-* a missing file is not an error — the follower waits for it to appear.
+  wedge the service; undecodable bytes inside a complete line decode
+  with ``errors="replace"`` and fall out as a counted parse error;
+* truncation (log rotation) is detected by the file shrinking **or by
+  the inode changing** — a rotation that replaces the file with one of
+  the same size is still a restart from offset zero;
+* a missing file is not an error — the follower waits for it to appear;
+* a transient ``OSError`` mid-stat or mid-read is counted
+  (:attr:`io_errors`), leaves the offset untouched, and is retried on
+  the next poll.
+
+Poll activity is mirrored into the process-wide :mod:`repro.obs`
+registry (``tail_*`` counters) and the read path is a named
+:mod:`repro.faults` site (``tail.read``) for the chaos suite.
 """
 
 from __future__ import annotations
@@ -23,10 +34,24 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro import faults as _faults
 from repro.logs.record import TransferRecord
 from repro.logs.ulm import ULMError, parse_record
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.metrics import get_registry
 
 __all__ = ["LogFollower"]
+
+# Process-wide tail instrumentation (see docs/resilience.md).
+_REG = get_registry()
+_M_RECORDS = _REG.counter(
+    "tail_records_delivered", "records delivered by log followers")
+_M_PARSE_ERRORS = _REG.counter(
+    "tail_parse_errors", "malformed log lines skipped by followers")
+_M_IO_ERRORS = _REG.counter(
+    "tail_io_errors", "transient I/O errors tolerated by followers")
+_M_ROTATIONS = _REG.counter(
+    "tail_rotations", "log rotations detected by followers")
 
 
 class LogFollower:
@@ -47,9 +72,11 @@ class LogFollower:
         self.sink = sink
         self.link = link or self.path.stem
         self.offset = 0          # bytes consumed so far
-        self._partial = ""       # trailing incomplete line
+        self._partial = b""      # trailing incomplete line (raw bytes)
+        self._inode: Optional[int] = None  # identity of the file last read
         self.records = 0         # records delivered over the lifetime
         self.errors = 0          # malformed lines skipped
+        self.io_errors = 0       # transient OSErrors tolerated
         self.truncations = 0     # rotations detected
 
     def seek_to_end(self) -> None:
@@ -61,56 +88,93 @@ class LogFollower:
         every historical record a second time.
         """
         try:
-            self.offset = self.path.stat().st_size
-        except FileNotFoundError:
+            stat = self.path.stat()
+        except OSError:
             self.offset = 0
-        self._partial = ""
+            self._inode = None
+        else:
+            self.offset = stat.st_size
+            self._inode = stat.st_ino
+        self._partial = b""
+
+    def _rotated(self) -> None:
+        self.offset = 0
+        self._partial = b""
+        self.truncations += 1
+        if _obs_enabled():
+            _M_ROTATIONS.inc()
 
     def poll(self) -> int:
         """Consume everything appended since the last poll.
 
-        Returns the number of records delivered this call.
+        Returns the number of records delivered this call.  Never
+        raises on I/O trouble: a vanished file returns 0, any other
+        ``OSError`` is counted in :attr:`io_errors` and retried on the
+        next poll with the offset unchanged.
         """
         try:
-            size = self.path.stat().st_size
+            _faults.check("tail.read", path=str(self.path))
+            stat = self.path.stat()
         except FileNotFoundError:
             return 0
-        if size < self.offset:
-            # The file shrank: rotated or rewritten. Start over.
-            self.offset = 0
-            self._partial = ""
-            self.truncations += 1
-        if size == self.offset:
+        except OSError:
+            self.io_errors += 1
+            if _obs_enabled():
+                _M_IO_ERRORS.inc()
+            return 0
+        if self._inode is not None and stat.st_ino != self._inode:
+            # Rotated to a fresh file — even one of the exact same size.
+            self._rotated()
+        elif stat.st_size < self.offset:
+            # The file shrank in place: truncated or rewritten.
+            self._rotated()
+        self._inode = stat.st_ino
+        if stat.st_size == self.offset:
             return 0
 
-        with self.path.open("r") as fh:
-            fh.seek(self.offset)
-            chunk = fh.read()
-            self.offset = fh.tell()
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(self.offset)
+                chunk = fh.read()
+                new_offset = fh.tell()
+        except OSError:
+            self.io_errors += 1
+            if _obs_enabled():
+                _M_IO_ERRORS.inc()
+            return 0
+        chunk = _faults.filter_bytes("tail.read", chunk, path=str(self.path))
+        self.offset = new_offset
 
-        text = self._partial + chunk
-        lines = text.split("\n")
+        data = self._partial + chunk
+        lines = data.split(b"\n")
         # Without a trailing newline the last element is a line still
-        # being written — hold it back for the next poll.
+        # being written — hold it back (as bytes) for the next poll.
         self._partial = lines.pop()
 
         delivered = 0
-        for line in lines:
-            stripped = line.strip()
+        for raw in lines:
+            # A complete line with broken encoding must not raise; the
+            # replacement characters surface as a counted parse error.
+            stripped = raw.decode("utf-8", errors="replace").strip()
             if not stripped or stripped.startswith("#"):
                 continue
             try:
                 record = parse_record(stripped)
             except ULMError:
                 self.errors += 1
+                if _obs_enabled():
+                    _M_PARSE_ERRORS.inc()
                 continue
             self.sink(self.link, record)
             delivered += 1
         self.records += delivered
+        if delivered and _obs_enabled():
+            _M_RECORDS.inc(delivered)
         return delivered
 
     def __repr__(self) -> str:
         return (
             f"<LogFollower {self.path} link={self.link} offset={self.offset} "
-            f"records={self.records} errors={self.errors}>"
+            f"records={self.records} errors={self.errors} "
+            f"io_errors={self.io_errors}>"
         )

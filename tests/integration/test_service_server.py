@@ -147,3 +147,92 @@ def test_stop_removes_the_socket(service, tmp_path):
     assert path.exists()
     server.stop()
     assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# resilience: malformed input, oversized requests, startup races, deadlines
+# ----------------------------------------------------------------------
+def test_malformed_json_keeps_the_connection_alive(server):
+    import json as jsonlib
+
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(5.0)
+        sock.connect(str(server.socket_path))
+        fh = sock.makefile("rwb")
+        fh.write(b"{this is not json}\n")
+        fh.flush()
+        bad = jsonlib.loads(fh.readline())
+        assert not bad["ok"] and "bad request" in bad["error"]
+        # Same connection, same thread: a valid request still answers.
+        fh.write(b'{"op": "ping"}\n')
+        fh.flush()
+        assert jsonlib.loads(fh.readline()) == {"ok": True, "pong": True}
+
+
+def test_oversized_request_answers_in_band_then_closes(server):
+    import json as jsonlib
+
+    from repro.service.server import MAX_REQUEST_BYTES
+
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(5.0)
+        sock.connect(str(server.socket_path))
+        fh = sock.makefile("rwb")
+        fh.write(b'{"op": "ping", "pad": "' + b"x" * MAX_REQUEST_BYTES + b'"}\n')
+        fh.flush()
+        response = jsonlib.loads(fh.readline())
+        assert not response["ok"] and "exceeds" in response["error"]
+
+
+def test_request_retries_through_a_startup_race(service, tmp_path):
+    import threading
+    import time as timelib
+
+    socket_path = tmp_path / "late.sock"
+    server = ServiceServer(service, socket_path)
+    starter = threading.Timer(0.2, server.start)
+    starter.start()
+    try:
+        # The socket file does not exist yet; the default connect retry
+        # policy bridges the gap.
+        response = request(socket_path, {"op": "ping"})
+        assert response == {"ok": True, "pong": True}
+    finally:
+        starter.join()
+        server.stop()
+
+
+def test_request_fail_fast_policy_still_raises(tmp_path):
+    from repro.resilience import RetryPolicy
+
+    with pytest.raises(OSError):
+        request(tmp_path / "never.sock", {"op": "ping"},
+                retry=RetryPolicy(max_attempts=1))
+
+
+def test_injected_connect_refusals_are_retried(server):
+    from repro import faults
+    from repro.faults import FaultInjector
+
+    injector = FaultInjector().inject(
+        "socket.connect", error=ConnectionRefusedError, times=2)
+    with faults.injected(injector):
+        response = request(server.socket_path, {"op": "ping"})
+    assert response == {"ok": True, "pong": True}
+    assert injector.fired["socket.connect"] == 2
+
+
+def test_expired_deadline_answers_in_band(service):
+    from repro.resilience import Deadline
+
+    clock = iter([0.0, 100.0, 200.0, 300.0]).__next__
+    deadline = Deadline(10.0, clock=clock)  # expires before the first check
+    response = handle_request(service, {"op": "status"}, deadline=deadline)
+    assert not response["ok"] and "Deadline" in response["error"]
+
+
+def test_tiny_request_timeout_cuts_requests_over_the_socket(service, tmp_path):
+    with ServiceServer(service, tmp_path / "t.sock",
+                       request_timeout=1e-9) as server:
+        response = request(server.socket_path, {"op": "status"})
+    assert not response["ok"] and "Deadline" in response["error"]

@@ -122,3 +122,68 @@ class TestCache:
         cached = load_ulm(log_path)          # reads it back
         assert cached.equals(parsed)
         assert str(CACHE_VERSION) == "1"
+
+
+class TestCacheQuarantine:
+    def test_corrupt_sidecar_is_quarantined_and_rebuilt(self, log_path):
+        from repro.data.ingest import read_cache_status
+
+        baseline = load_ulm(log_path, cache=False)
+        sidecar = cache_path(log_path)
+        sidecar.write_bytes(b"definitely not an npz file")
+
+        frame = load_ulm(log_path)           # must not raise
+        assert frame.equals(baseline)
+        quarantined = sidecar.with_name(sidecar.name + ".quarantined")
+        assert quarantined.exists()          # corrupt file moved aside
+        assert sidecar.exists()              # fresh cache rewritten
+        frame2, status = read_cache_status(
+            sidecar, __import__("hashlib").sha256(log_path.read_bytes()).hexdigest())
+        assert status == "hit" and frame2.equals(baseline)
+
+    def test_truncated_sidecar_is_treated_as_corrupt(self, log_path):
+        load_ulm(log_path)                    # write a real sidecar
+        sidecar = cache_path(log_path)
+        sidecar.write_bytes(sidecar.read_bytes()[: sidecar.stat().st_size // 2])
+        frame = load_ulm(log_path)            # must not raise
+        assert frame.equals(load_ulm(log_path, cache=False))
+        assert sidecar.with_name(sidecar.name + ".quarantined").exists()
+
+    def test_stale_format_falls_back_without_quarantine(self, log_path):
+        import numpy as np
+
+        frame = load_ulm(log_path, cache=False)
+        sidecar = cache_path(log_path)
+        digest = __import__("hashlib").sha256(log_path.read_bytes()).hexdigest()
+        with open(sidecar, "wb") as handle:
+            np.savez(handle, __version__=np.str_("0"), __digest__=np.str_(digest),
+                     **frame.to_arrays())
+        assert load_ulm(log_path).equals(frame)
+        # A well-formed old-layout sidecar is stale, not corrupt: it is
+        # rewritten in place, never quarantined.
+        assert not sidecar.with_name(sidecar.name + ".quarantined").exists()
+
+    def test_quarantine_is_counted_and_announced(self, log_path):
+        from repro.obs import get_event_bus, get_registry
+
+        before = get_registry().counter("ingest_cache_quarantined", "").value
+        cache_path(log_path).write_bytes(b"garbage")
+        load_ulm(log_path)
+        assert (
+            get_registry().counter("ingest_cache_quarantined", "").value
+            == before + 1
+        )
+        events = get_event_bus().events(kind="ingest.cache_quarantine")
+        assert any(e.fields.get("path") == str(log_path) for e in events)
+
+    def test_injected_cache_fault_degrades_to_reparse(self, log_path):
+        from repro import faults
+        from repro.faults import FaultInjector
+
+        baseline = load_ulm(log_path, cache=False)
+        load_ulm(log_path)                    # warm, valid sidecar
+        injector = FaultInjector().inject("ingest.cache", error=IOError, times=1)
+        with faults.injected(injector):
+            assert load_ulm(log_path).equals(baseline)   # reparse, no raise
+        assert injector.fired["ingest.cache"] == 1
+        assert load_ulm(log_path).equals(baseline)       # cache healed

@@ -1,0 +1,130 @@
+"""repro.faults: the deterministic fault-injection switchboard."""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjector, injected
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_injector():
+    yield
+    faults.uninstall()
+
+
+class TestScheduling:
+    def test_error_fires_for_the_scheduled_count_then_stops(self):
+        injector = FaultInjector()
+        injector.inject("site", error=OSError, times=2)
+        with pytest.raises(OSError):
+            injector.check("site")
+        with pytest.raises(OSError):
+            injector.check("site")
+        injector.check("site")  # exhausted
+        assert injector.fired["site"] == 2
+
+    def test_after_skips_early_calls(self):
+        injector = FaultInjector()
+        injector.inject("site", error=IOError, times=1, after=2)
+        injector.check("site")
+        injector.check("site")
+        with pytest.raises(IOError):
+            injector.check("site")
+        injector.check("site")
+
+    def test_times_none_fires_forever(self):
+        injector = FaultInjector()
+        injector.inject("site", error=ConnectionRefusedError, times=None)
+        for _ in range(5):
+            with pytest.raises(ConnectionRefusedError):
+                injector.check("site")
+
+    def test_context_matching_targets_one_source(self):
+        injector = FaultInjector()
+        injector.inject("gris.search", error=TimeoutError, times=None,
+                        source="ISI")
+        with pytest.raises(TimeoutError):
+            injector.check("gris.search", source="ISI")
+        injector.check("gris.search", source="LBL")  # unaffected
+
+    def test_latency_uses_the_injectable_sleep(self):
+        slept = []
+        injector = FaultInjector(sleep=slept.append)
+        injector.inject("site", latency=0.25, times=1)
+        injector.check("site")
+        assert slept == [0.25]
+
+    def test_a_fault_must_do_something(self):
+        with pytest.raises(ValueError):
+            FaultInjector().inject("site")
+
+
+class TestByteFaults:
+    def test_truncation_keeps_the_configured_fraction(self):
+        injector = FaultInjector()
+        injector.inject("site", truncate=0.5, times=1)
+        assert injector.filter_bytes("site", b"0123456789") == b"01234"
+        assert injector.filter_bytes("site", b"0123456789") == b"0123456789"
+
+    def test_corruption_is_deterministic_under_a_seed(self):
+        def corrupt(seed):
+            injector = FaultInjector(seed=seed)
+            injector.inject("site", corrupt=3, times=1)
+            return injector.filter_bytes("site", bytes(range(64)))
+
+        assert corrupt(7) == corrupt(7)
+        assert corrupt(7) != corrupt(8)
+        assert corrupt(7) != bytes(range(64))  # something actually flipped
+
+    def test_empty_data_survives_corruption(self):
+        injector = FaultInjector()
+        injector.inject("site", corrupt=3, times=1)
+        assert injector.filter_bytes("site", b"") == b""
+
+
+class TestGlobalInstallation:
+    def test_module_hooks_are_noops_without_an_injector(self):
+        faults.check("anything")
+        assert faults.filter_bytes("anything", b"data") == b"data"
+        assert faults.active() is None
+
+    def test_injected_scopes_the_installation(self):
+        injector = FaultInjector()
+        injector.inject("site", error=OSError, times=1)
+        with injected(injector):
+            assert faults.active() is injector
+            with pytest.raises(OSError):
+                faults.check("site")
+        assert faults.active() is None
+        faults.check("site")  # uninstalled: no-op
+
+    def test_injected_restores_a_previous_injector(self):
+        outer, inner = FaultInjector(), FaultInjector()
+        faults.install(outer)
+        with injected(inner):
+            assert faults.active() is inner
+        assert faults.active() is outer
+        faults.uninstall()
+
+    def test_fired_faults_are_observable(self):
+        from repro.obs import get_event_bus, get_registry
+
+        before = get_registry().counter("faults_injected", "").value
+        injector = FaultInjector()
+        injector.inject("obs.site", error=OSError, times=1)
+        with injected(injector):
+            with pytest.raises(OSError):
+                faults.check("obs.site", path="/x")
+        assert get_registry().counter("faults_injected", "").value == before + 1
+        events = get_event_bus().events(kind="fault.injected")
+        assert any(e.fields.get("site") == "obs.site" for e in events)
+
+    def test_pending_reports_unfired_schedules(self):
+        injector = FaultInjector()
+        injector.inject("a", error=OSError, times=1)
+        injector.inject("b", error=OSError, times=2)
+        assert injector.pending() == ["a", "b"]
+        with pytest.raises(OSError):
+            injector.check("a")
+        assert injector.pending() == ["b"]
+        assert injector.total_fired() == 1

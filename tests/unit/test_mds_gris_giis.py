@@ -118,3 +118,122 @@ class TestGIIS:
         giis = GIIS("giis")
         with pytest.raises(ValueError):
             giis.register(giis, now=0.0)
+
+
+class WedgedSource:
+    """A registered source whose search always raises (a wedged provider)."""
+
+    def __init__(self, name="wedged"):
+        self.name = name
+        self.calls = 0
+
+    def search(self, now, flt=None, base=None):
+        self.calls += 1
+        raise TimeoutError("provider wedged")
+
+
+class TestGIISDegradation:
+    def make_gris(self, name, dn):
+        gris = GRIS(name)
+        gris.add_provider("p", CountingProvider(dn=dn, objectclass="GridFTPPerf"))
+        return gris
+
+    def test_one_wedged_source_does_not_take_down_the_view(self):
+        giis = GIIS("top", breaker_failures=3)
+        giis.register(self.make_gris("ok", "cn=ok,o=grid"), now=0.0)
+        giis.register(WedgedSource(), now=0.0)
+        entries = giis.search(now=1.0)
+        assert [e.dn for e in entries] == ["cn=ok,o=grid"]
+
+    def test_breaker_opens_and_stops_hammering_the_wedged_source(self):
+        wedged = WedgedSource()
+        giis = GIIS("top", breaker_failures=3, breaker_reset=60.0)
+        giis.register(wedged, now=0.0)
+        for t in range(5):
+            giis.search(now=float(t))
+        assert wedged.calls == 3              # benched after the third failure
+        assert giis.degraded_sources(now=5.0) == ["wedged"]
+        assert giis.breaker_status()["wedged"]["state"] == "open"
+
+    def test_stale_entries_served_while_benched(self):
+        class FlakySource:
+            name = "flaky"
+
+            def __init__(self):
+                self.fail = False
+                self.calls = 0
+
+            def search(self, now, flt=None, base=None):
+                self.calls += 1
+                if self.fail:
+                    raise OSError("wedged now")
+                return [Entry("cn=flaky,o=grid", {"a": ["1"]})]
+
+        source = FlakySource()
+        giis = GIIS("top", breaker_failures=1, breaker_reset=60.0)
+        giis.register(source, now=0.0)
+        assert len(giis.search(now=0.0)) == 1  # good answer cached
+        source.fail = True
+        # Failure trips the breaker but the view still answers, stale.
+        assert [e.dn for e in giis.search(now=1.0)] == ["cn=flaky,o=grid"]
+        calls_while_benched = source.calls
+        assert [e.dn for e in giis.search(now=2.0)] == ["cn=flaky,o=grid"]
+        assert source.calls == calls_while_benched  # breaker short-circuits
+
+    def test_half_open_probe_restores_live_answers_after_recovery(self):
+        class FlakySource:
+            name = "flaky"
+
+            def __init__(self):
+                self.fail = True
+
+            def search(self, now, flt=None, base=None):
+                if self.fail:
+                    raise OSError("down")
+                return [Entry("cn=back,o=grid", {"a": ["1"]})]
+
+        source = FlakySource()
+        giis = GIIS("top", breaker_failures=1, breaker_reset=30.0)
+        giis.register(source, now=0.0, ttl=1e9)
+        assert giis.search(now=0.0) == []      # fails, trips, no stale yet
+        source.fail = False
+        assert giis.search(now=10.0) == []     # still benched
+        assert [e.dn for e in giis.search(now=31.0)] == ["cn=back,o=grid"]
+        assert giis.breaker_status()["flaky"]["state"] == "closed"
+
+    def test_stale_answers_respect_the_inquiry_filter(self):
+        class OneGoodThenDead:
+            name = "s"
+
+            def __init__(self):
+                self.dead = False
+
+            def search(self, now, flt=None, base=None):
+                if self.dead:
+                    raise OSError("down")
+                entry = Entry("cn=x,o=grid", {"objectclass": ["GridFTPPerf"]})
+                return [entry] if flt is None or flt.matches(entry) else []
+
+        source = OneGoodThenDead()
+        giis = GIIS("top", breaker_failures=1, breaker_reset=1e9)
+        giis.register(source, now=0.0, ttl=1e9)
+        assert giis.search(now=0.0, flt="(objectclass=GridFTPPerf)")
+        source.dead = True
+        giis.search(now=1.0, flt="(objectclass=GridFTPPerf)")  # trips
+        # The stale cache answered for the filter it was built for; a
+        # *different* filter has no stale answer and returns nothing.
+        assert giis.search(now=2.0, flt="(objectclass=GridFTPPerf)")
+        assert giis.search(now=3.0, flt="(objectclass=Nope)") == []
+
+    def test_source_failures_are_counted(self):
+        from repro.obs import get_registry
+
+        before = get_registry().counter("mds_giis_source_errors", "").value
+        giis = GIIS("top", breaker_failures=10)
+        giis.register(WedgedSource(), now=0.0)
+        giis.search(now=0.0)
+        giis.search(now=1.0)
+        assert (
+            get_registry().counter("mds_giis_source_errors", "").value
+            == before + 2
+        )

@@ -156,3 +156,74 @@ def test_status_is_json_shaped():
 def test_bad_default_spec_fails_fast():
     with pytest.raises(KeyError):
         PredictionService(default_spec="NOPE")
+
+
+# ----------------------------------------------------------------------
+# graceful degradation: the link-agnostic fallback
+# ----------------------------------------------------------------------
+class TestDegradedFallback:
+    def test_off_by_default(self):
+        service = build_service()
+        assert service.predict("NOWHERE", 100 * MB).value is None
+
+    def test_unknown_link_gets_the_aggregate_marked_degraded(self):
+        service = build_service(degraded_fallback=True)
+        service.ingest_records(
+            "FAST-ANL",
+            [make_record(start=1000.0 + 100 * i, bandwidth=4e6) for i in range(10)],
+        )
+        prediction = service.predict("NOWHERE", 100 * MB)
+        assert prediction.degraded
+        assert prediction.value == pytest.approx(service.aggregate_bandwidth())
+        assert prediction.history_length == 0 and prediction.version == 0
+        # A confident answer is never marked degraded.
+        assert not service.predict("LBL-ANL", 100 * MB).degraded
+
+    def test_no_history_anywhere_still_answers_none(self):
+        service = PredictionService(degraded_fallback=True)
+        prediction = service.predict("NOWHERE", 100 * MB)
+        assert prediction.value is None and not prediction.degraded
+
+    def test_aggregate_is_the_mean_of_per_link_means(self):
+        service = PredictionService(degraded_fallback=True)
+        service.ingest_records(
+            "A", [make_record(start=1000.0 + 100 * i, bandwidth=2e6)
+                  for i in range(5)])
+        service.ingest_records(
+            "B", [make_record(start=1000.0 + 100 * i, bandwidth=4e6)
+                  for i in range(15)])
+        assert service.aggregate_bandwidth() == pytest.approx(3e6)
+
+    def test_degraded_answers_rank_after_confident_ones(self):
+        service = build_service(degraded_fallback=True)
+        service.ingest_records(
+            "SLOW-ANL",
+            [make_record(start=1000.0 + 100 * i, bandwidth=1e5) for i in range(20)],
+        )
+        ranking = service.rank_replicas(
+            ["NOWHERE", "SLOW-ANL", "LBL-ANL"], 100 * MB)
+        # The fallback aggregate exceeds SLOW-ANL's prediction, but a
+        # degraded guess must not outrank a measured link.
+        assert [r.site for r in ranking] == ["LBL-ANL", "SLOW-ANL", "NOWHERE"]
+        assert ranking[-1].predicted_bandwidth is not None
+
+    def test_fallbacks_are_counted_and_traced(self):
+        service = build_service(degraded_fallback=True)
+        service.predict("NOWHERE", 100 * MB)
+        assert service.metrics.snapshot()[
+            "service_fallback_predictions"]["value"] == 1
+        assert service.trace.events(kind="predict.fallback")
+
+    def test_fallback_is_never_cached(self):
+        service = build_service(degraded_fallback=True)
+        first = service.predict("NOWHERE", 100 * MB)
+        # New history changes the aggregate; a cached fallback would
+        # have frozen the old value.
+        service.ingest_records(
+            "FAST-ANL",
+            [make_record(start=1000.0 + 100 * i, bandwidth=9e6)
+             for i in range(10)],
+        )
+        second = service.predict("NOWHERE", 100 * MB)
+        assert not second.cached
+        assert second.value != first.value

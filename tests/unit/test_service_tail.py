@@ -108,3 +108,93 @@ def test_follower_feeds_the_service_observe(tmp_path):
     assert follower.poll() == 5
     assert service.version("LBL-ANL") == 5
     assert len(service.history("LBL-ANL")) == 5
+
+
+# ----------------------------------------------------------------------
+# resilience: I/O errors, torn writes, same-size rotation
+# ----------------------------------------------------------------------
+def test_transient_os_error_is_counted_and_retried(tmp_path):
+    from repro import faults
+    from repro.faults import FaultInjector
+
+    path = tmp_path / "log.ulm"
+    r1 = make_record(start=1000.0)
+    r2 = make_record(start=2000.0)
+    path.write_text(format_record(r1) + "\n")
+
+    follower, seen = collect(path)
+    injector = FaultInjector().inject(
+        "tail.read", error=OSError, message="EIO", times=2)
+    with faults.injected(injector):
+        assert follower.poll() == 0      # injected failure, no raise
+        assert follower.poll() == 0
+        assert follower.io_errors == 2
+        assert follower.poll() == 1      # fault exhausted: reads catch up
+    with path.open("a") as fh:
+        fh.write(format_record(r2) + "\n")
+    assert follower.poll() == 1
+    assert [r.start_time for _, r in seen] == [1000.0, 2000.0]
+
+
+def test_torn_multibyte_write_never_raises(tmp_path):
+    # A UTF-8 sequence split across polls used to raise UnicodeDecodeError
+    # out of poll(); buffering raw bytes makes the tear invisible.
+    path = tmp_path / "log.ulm"
+    line = format_record(
+        make_record(start=1000.0, file_name="/home/ftp/données")
+    ).encode("utf-8")
+    split = line.index("données".encode("utf-8")) + 1  # mid-sequence
+    path.write_bytes(line[:split])
+
+    follower, seen = collect(path)
+    assert follower.poll() == 0          # torn tail held back, no error
+    with path.open("ab") as fh:
+        fh.write(line[split:] + b"\n")
+    assert follower.poll() == 1
+    assert seen[0][1].file_name == "/home/ftp/données"
+
+
+def test_undecodable_complete_line_is_a_counted_parse_error(tmp_path):
+    path = tmp_path / "log.ulm"
+    good = format_record(make_record(start=1000.0)).encode("utf-8")
+    path.write_bytes(b"\xff\xfe garbage \xff\n" + good + b"\n")
+
+    follower, seen = collect(path)
+    assert follower.poll() == 1
+    assert follower.errors == 1
+    assert len(seen) == 1
+
+
+def test_rotation_to_same_size_is_detected_via_inode(tmp_path):
+    path = tmp_path / "log.ulm"
+    line = format_record(make_record(start=1000.0)) + "\n"
+    path.write_text(line + line)
+
+    follower, seen = collect(path)
+    assert follower.poll() == 2
+
+    # Rotate: replace the file with a *same-size* fresh one.
+    replacement = tmp_path / "log.ulm.new"
+    new_line = format_record(make_record(start=2000.0)) + "\n"
+    replacement.write_text(new_line + new_line)
+    assert replacement.stat().st_size == path.stat().st_size
+    replacement.rename(path)
+
+    assert follower.poll() == 2          # offset-only tracking would miss this
+    assert follower.truncations == 1
+    assert [r.start_time for _, r in seen] == [1000.0, 1000.0, 2000.0, 2000.0]
+
+
+def test_poll_mirrors_into_process_wide_counters(tmp_path):
+    from repro.obs import get_registry
+
+    reg = get_registry()
+    delivered_before = reg.counter("tail_records_delivered", "").value
+    errors_before = reg.counter("tail_parse_errors", "").value
+
+    path = tmp_path / "log.ulm"
+    path.write_text("NOT ULM\n" + format_record(make_record(start=1000.0)) + "\n")
+    follower, _ = collect(path)
+    assert follower.poll() == 1
+    assert reg.counter("tail_records_delivered", "").value == delivered_before + 1
+    assert reg.counter("tail_parse_errors", "").value == errors_before + 1
