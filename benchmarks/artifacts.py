@@ -1,0 +1,53 @@
+"""Machine-readable benchmark trajectories.
+
+Every ``bench_claim_*`` benchmark records its headline measurement as
+``BENCH_<name>.json`` at the repository root — the claim being tested,
+the measured value, the floor (or ceiling) it is asserted against, and a
+timestamp — so the performance trajectory is tracked across PRs instead
+of living only in transient pytest output.  The artifacts are plain
+single-object JSON: diff-friendly, greppable, and trivially plotted.
+
+Not named ``bench_*.py`` on purpose: ``pyproject.toml`` collects that
+pattern as test modules.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["record"]
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record(
+    name: str,
+    claim: str,
+    measured: float,
+    floor: Optional[float] = None,
+    unit: str = "ratio",
+    higher_is_better: bool = True,
+    **extra: float,
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    ``measured`` is the headline number, asserted against ``floor`` (a
+    minimum when ``higher_is_better``, a maximum otherwise).  Additional
+    keyword numbers land alongside for context (raw timings, sizes).
+    """
+    payload = {
+        "name": name,
+        "claim": claim,
+        "measured": measured,
+        "floor": floor,
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    payload.update(extra)
+    path = _ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

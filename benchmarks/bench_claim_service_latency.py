@@ -19,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+from artifacts import record
 from repro.core.predictors import resolve
 from repro.logs import TransferLog
 from repro.mds import GridFTPInfoProvider
@@ -65,4 +66,10 @@ def test_warm_service_beats_cold_provider_scan(benchmark):
     print(f"cold provider scan: {cold * 1e3:.3f} ms; "
           f"warm cached predict: {warm * 1e6:.2f} us; "
           f"speedup {cold / warm:.0f}x")
+    record(
+        "service_latency",
+        "warm cached predict >= 10x a cold full-log provider scan",
+        measured=cold / warm, floor=10.0,
+        cold_seconds=cold, warm_seconds=warm,
+    )
     assert cold / warm >= 10.0

@@ -1,0 +1,143 @@
+"""Streaming claim: warm predict under live ingest is O(1), not O(n).
+
+The version-keyed LRU is precise but perishable: every append moves the
+link version, so under live ingest (one append per query) the cache
+**never** hits and every query pays a miss.  Pre-streaming, a miss
+recomputed from the full history — O(n) per query, the recompute cost
+the paper's GRIS ate on every inquiry.  The streaming bank answers the
+same miss from incremental sufficient statistics.
+
+Two assertions, per the acceptance criteria:
+
+* at n=10,000 the streaming miss is >= 10x faster than the
+  snapshot-recompute miss (``streaming=False``, the pre-PR path);
+* streaming per-query latency is flat — <= 1.5x from n=1,000 to
+  n=10,000 — while the snapshot path degrades linearly.
+
+``C-MED`` is the measured battery spec, over a single-class workload —
+the paper's homogeneous bulk-transfer case, where every record lands in
+the target's size class.  That makes the snapshot recompute the heaviest
+honest miss: a class filter (boolean mask plus three fancy-index column
+copies over all n rows) followed by a full ``np.median`` partition,
+against the bank's O(1) class lookup and dual-heap peek.  Ingest is
+interleaved with querying throughout, so no run ever benefits from the
+LRU.
+"""
+
+import gc
+import time
+
+import pytest
+
+from artifacts import record
+from repro.logs.record import Operation, TransferRecord
+from repro.service import PredictionService
+from repro.units import MB
+
+SPEC = "C-MED"
+TARGET = 600_000_000  # same size class as every synthetic record below
+BASE = 1_000_000_000.0
+SPACING = 120.0  # seconds between synthetic transfers
+
+MIN_SPEEDUP = 10.0
+MAX_FLATNESS = 1.5
+
+
+def make_records(n, start=0):
+    """Deterministic synthetic transfer stream, one record per SPACING.
+
+    Sizes stay inside one paper size class ([250 MB, 750 MB)) so every
+    record — and the query target — shares the C-MED class.
+    """
+    records = []
+    for i in range(start, start + n):
+        t = BASE + i * SPACING
+        records.append(TransferRecord(
+            source_ip="140.221.65.69",
+            file_name=f"/data/f{i}",
+            file_size=(250 + (i * 37) % 500) * MB,
+            volume="/data",
+            start_time=t,
+            end_time=t + 30.0,
+            bandwidth=2e6 + (i * 7919) % 1_000_000,
+            operation=Operation.READ,
+            streams=8,
+            tcp_buffer=1 * MB,
+        ))
+    return records
+
+
+def interleaved_latency(service, link, records, queries=200, warmup=20):
+    """Trimmed-mean predict() latency, one append per query (no LRU hits).
+
+    Per-query samples with the top 5% discarded: scheduler preemption on
+    a shared machine shows up as rare one-sided spikes, while the body of
+    the distribution — including the snapshot path's real allocation
+    churn, which a plain median would hide — is what a query costs.
+    """
+    samples = []
+    gc.disable()
+    try:
+        for i, rec in enumerate(records[: queries + warmup]):
+            t0 = time.perf_counter()
+            p = service.predict(link, TARGET, spec=SPEC, now=rec.start_time)
+            elapsed = time.perf_counter() - t0
+            if i >= warmup:
+                samples.append(elapsed)
+            assert p.value is not None and not p.cached
+            service.observe(link, rec)
+    finally:
+        gc.enable()
+    samples.sort()
+    kept = samples[: max(1, (len(samples) * 95) // 100)]
+    return sum(kept) / len(kept)
+
+
+def grown_service(n, streaming):
+    service = PredictionService(streaming=streaming)
+    for rec in make_records(n):
+        service.observe("link", rec)
+    return service
+
+
+@pytest.mark.benchmark(group="claim-streaming")
+def test_streaming_predict_is_fast_and_flat_under_live_ingest():
+    # --- n = 10,000: streaming vs the pre-PR snapshot-recompute path ---
+    tail = make_records(220, start=10_000)
+    streaming_10k = interleaved_latency(
+        grown_service(10_000, streaming=True), "link", tail)
+    snapshot_10k = interleaved_latency(
+        grown_service(10_000, streaming=False), "link", tail)
+
+    # --- n = 1,000: flatness reference point ---
+    tail_1k = make_records(220, start=1_000)
+    streaming_1k = interleaved_latency(
+        grown_service(1_000, streaming=True), "link", tail_1k)
+
+    speedup = snapshot_10k / streaming_10k
+    flatness = streaming_10k / streaming_1k
+    print(
+        f"\nn=10,000 interleaved miss: streaming {streaming_10k * 1e6:.1f} us   "
+        f"snapshot {snapshot_10k * 1e6:.1f} us   speedup {speedup:.1f}x\n"
+        f"n=1,000 streaming: {streaming_1k * 1e6:.1f} us   "
+        f"flatness 1k->10k: {flatness:.2f}x (<= {MAX_FLATNESS}x)"
+    )
+    record(
+        "streaming_latency",
+        f"warm {SPEC} predict under live ingest at n=10k: streaming bank "
+        f">= {MIN_SPEEDUP}x the snapshot recompute, flat <= {MAX_FLATNESS}x "
+        "from n=1k to n=10k",
+        measured=speedup, floor=MIN_SPEEDUP,
+        streaming_10k_seconds=streaming_10k,
+        snapshot_10k_seconds=snapshot_10k,
+        streaming_1k_seconds=streaming_1k,
+        flatness_1k_to_10k=flatness,
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"streaming only {speedup:.1f}x faster than snapshot recompute "
+        f"at n=10,000; claim needs >={MIN_SPEEDUP}x"
+    )
+    assert flatness <= MAX_FLATNESS, (
+        f"streaming latency grew {flatness:.2f}x from n=1,000 to n=10,000; "
+        f"claim allows <={MAX_FLATNESS}x"
+    )

@@ -19,6 +19,9 @@ Layout:
   (Figures 14–21).
 * :mod:`repro.core.selection` — the replica-selection broker that the
   predictions exist to serve (Section 1).
+* :mod:`repro.core.streaming` — incremental sufficient statistics that
+  answer the battery in O(1)/O(log n) per query for the live serving
+  path (no history walk).
 """
 
 from repro.core.classification import Classification, paper_classification
@@ -37,6 +40,7 @@ from repro.core.accuracy import (
     backtest_error,
 )
 from repro.core.fast import fast_evaluate
+from repro.core.streaming import StreamingBank, StreamingUnavailable
 
 __all__ = [
     "Classification",
@@ -58,4 +62,6 @@ __all__ = [
     "RiskAssessedReplica",
     "backtest_error",
     "fast_evaluate",
+    "StreamingBank",
+    "StreamingUnavailable",
 ]

@@ -1,0 +1,627 @@
+"""Incremental sufficient statistics for the live serving path.
+
+Every Figure 4 predictor is defined by a handful of running moments —
+*Using Regression Techniques to Predict Large Data Transfers* (Vazhkudai
+& Schopf) spells this out for the regression family, and the rest are
+classical streaming summaries.  This module folds one observation into
+those moments in O(1)/O(log n) and answers the *current* prediction
+without touching the history arrays, so a warm ``predict`` under live
+ingest no longer pays the O(n) recompute that the version-keyed LRU
+cannot absorb (every append kills its entries):
+
+* ``AVG`` — a longdouble running sum and count;
+* ``LV`` — the last value;
+* ``AVG{n}`` / ``MED{n}`` — one shared ring buffer of the last
+  :data:`RING_CAPACITY` values (any window that fits is answerable);
+* ``MED`` — the classic dual-heap running median;
+* ``AVG{h}hr`` — a time-window deque with lazy front expiry and a
+  longdouble window sum;
+* ``AR`` / ``AR{d}d`` — incremental lag-pair accumulators
+  (``Σx, Σy, Σxx, Σxy, m`` in longdouble, exactly the prefix-sum
+  statistics of :mod:`repro.core.fast`), plus a monotonic min-deque for
+  the clamp floor on the windowed variants;
+* ``C-`` variants — a bank of the same summaries per observed size
+  class.
+
+Numerical contract: answers match the generic predictors within the
+established longdouble tolerance — bit-identical for ``LV``, ``MED``,
+``MED{n}``, ``AVG{n}`` (same values reduced in the same order), and
+within a few ulps for the running sums; the AR family carries the same
+sufficient-statistics-vs-two-pass tolerance the vectorized kernels
+already established (see ``tests/integration/test_fast_evaluate_parity``).
+
+Time-window summaries expire lazily from the front and therefore assume
+query anchors move forward.  A query anchored *before* an already
+expired boundary raises :class:`StreamingUnavailable`; the serving layer
+falls back to a snapshot recompute, so correctness never depends on the
+anchor pattern.  Out-of-order history growth (overlapping transfers) is
+handled the same way: the owner rebuilds the bank from the arrays via
+:meth:`StreamingBank.rebuild` (vectorized, counted).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classification import Classification
+from repro.core.predictors.arima import ArModel
+from repro.core.predictors.base import Predictor
+from repro.core.predictors.classified import ClassifiedPredictor
+from repro.core.predictors.last_value import LastValue
+from repro.core.predictors.mean import TemporalAverage, TotalAverage, WindowedAverage
+from repro.core.predictors.median import TotalMedian, WindowedMedian
+from repro.logs.stats import BandwidthSummary, RunningSummary
+from repro.units import DAY, HOUR
+
+__all__ = [
+    "RING_CAPACITY",
+    "RECENT_CAPACITY",
+    "StreamingUnavailable",
+    "SeriesSummaries",
+    "StreamingBank",
+]
+
+#: Largest count window answerable from the shared ring buffer; covers the
+#: paper's ``AVG5/15/25`` and ``MED5/15/25`` (and any other window that fits).
+RING_CAPACITY = 25
+
+#: Temporal-mean windows kept incrementally (hours).
+TEMPORAL_HOURS: Tuple[float, ...] = (5.0, 15.0, 25.0)
+
+#: AR fit windows kept incrementally (days); ``None`` (all data) is always kept.
+AR_DAYS: Tuple[float, ...] = (5.0, 10.0)
+
+#: Recent read bandwidths retained for the MDS ``recentrdbandwidth`` attribute.
+RECENT_CAPACITY = 64
+
+
+class StreamingUnavailable(RuntimeError):
+    """The bank cannot answer this query; recompute from a snapshot.
+
+    Raised for predictors outside the banked battery (``SIZE``, hybrids,
+    non-standard windows) and for time-window queries anchored before an
+    already expired boundary.
+    """
+
+
+# ----------------------------------------------------------------------
+# per-series summaries
+# ----------------------------------------------------------------------
+class _RunningMean:
+    """``AVG``: longdouble running sum + count."""
+
+    __slots__ = ("count", "_sum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sum = np.longdouble(0.0)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self._sum += value
+
+    def build(self, values: np.ndarray) -> None:
+        self.count = len(values)
+        self._sum = values.astype(np.longdouble).sum() if len(values) else np.longdouble(0.0)
+
+    def value(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return float(self._sum / self.count)
+
+
+class _RunningMedian:
+    """``MED``: dual-heap running median, O(log n) per add, O(1) per query."""
+
+    __slots__ = ("_lower", "_upper")
+
+    def __init__(self) -> None:
+        self._lower: List[float] = []  # max-heap (negated)
+        self._upper: List[float] = []  # min-heap
+
+    def add(self, value: float) -> None:
+        heapq.heappush(self._lower, -value)
+        heapq.heappush(self._upper, -heapq.heappop(self._lower))
+        if len(self._upper) > len(self._lower):
+            heapq.heappush(self._lower, -heapq.heappop(self._upper))
+
+    def build(self, values: np.ndarray) -> None:
+        ordered = np.sort(values)
+        k = (len(ordered) + 1) // 2
+        # An ascending list is a valid min-heap; the negated, reversed
+        # lower half likewise — no heapify needed.
+        self._lower = [-v for v in ordered[k - 1 :: -1]] if k else []
+        self._upper = ordered[k:].tolist()
+
+    def value(self) -> Optional[float]:
+        if not self._lower:
+            return None
+        if len(self._lower) > len(self._upper):
+            return float(-self._lower[0])
+        return float((-self._lower[0] + self._upper[0]) / 2.0)
+
+
+class _TemporalMean:
+    """``AVG{h}hr``: (time, value) deque with lazy expiry + window sum."""
+
+    __slots__ = ("seconds", "_entries", "_sum", "_expired_to")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self._entries: deque = deque()  # (time, value), time-ordered
+        self._sum = np.longdouble(0.0)
+        self._expired_to = -np.inf
+
+    def add(self, time: float, value: float) -> None:
+        self._entries.append((time, value))
+        self._sum += value
+
+    def build(self, times: np.ndarray, values: np.ndarray) -> None:
+        self._entries = deque(zip(times.tolist(), values.tolist()))
+        self._sum = values.astype(np.longdouble).sum() if len(values) else np.longdouble(0.0)
+        self._expired_to = -np.inf
+
+    def value(self, anchor: float) -> Optional[float]:
+        cutoff = anchor - self.seconds
+        if cutoff < self._expired_to:
+            raise StreamingUnavailable(
+                f"window start {cutoff} precedes expired boundary {self._expired_to}"
+            )
+        entries = self._entries
+        while entries and entries[0][0] < cutoff:
+            self._sum -= entries.popleft()[1]
+        self._expired_to = cutoff
+        if not entries:
+            return None
+        return float(self._sum / len(entries))
+
+
+class _ArSummary:
+    """``AR`` / ``AR{d}d``: lag-pair sufficient statistics.
+
+    The fit is the closed-form least squares of
+    :func:`repro.core.predictors.arima.fit_ar1` expressed through the
+    sufficient statistics ``Σx, Σy, Σxx, Σxy, m`` — the exact formulation
+    (and longdouble precision) of the vectorized kernel in
+    :mod:`repro.core.fast`.  The all-data variant needs only running
+    scalars; the windowed variants add a lazy-expiry deque and a
+    monotonic min-deque for the clamp floor.
+    """
+
+    __slots__ = (
+        "seconds", "count", "_sum", "_last", "_min",
+        "_m", "_sx", "_sy", "_sxx", "_sxy",
+        "_entries", "_mins", "_expired_to",
+    )
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self.count = 0
+        self._sum = np.longdouble(0.0)
+        self._last = 0.0
+        self._min = np.inf
+        self._m = 0
+        self._sx = np.longdouble(0.0)
+        self._sy = np.longdouble(0.0)
+        self._sxx = np.longdouble(0.0)
+        self._sxy = np.longdouble(0.0)
+        self._entries: Optional[deque] = deque() if seconds is not None else None
+        self._mins: Optional[deque] = deque() if seconds is not None else None
+        self._expired_to = -np.inf
+
+    def _add_pair(self, x: float, y: float, sign: int) -> None:
+        xl = np.longdouble(x)
+        self._m += sign
+        self._sx += sign * xl
+        self._sy += sign * np.longdouble(y)
+        self._sxx += sign * xl * xl
+        self._sxy += sign * xl * np.longdouble(y)
+
+    def add(self, time: float, value: float) -> None:
+        if self.count:
+            self._add_pair(self._last, value, +1)
+        self.count += 1
+        self._sum += value
+        self._last = value
+        if self.seconds is None:
+            if value < self._min:
+                self._min = value
+        else:
+            self._entries.append((time, value))
+            mins = self._mins
+            while mins and mins[-1][1] >= value:
+                mins.pop()
+            mins.append((time, value))
+
+    def build(self, times: np.ndarray, values: np.ndarray) -> None:
+        n = len(values)
+        self.count = n
+        wide = values.astype(np.longdouble)
+        self._sum = wide.sum() if n else np.longdouble(0.0)
+        self._last = float(values[-1]) if n else 0.0
+        self._expired_to = -np.inf
+        if n >= 2:
+            x, y = wide[:-1], wide[1:]
+            self._m = n - 1
+            self._sx = x.sum()
+            self._sy = y.sum()
+            self._sxx = (x * x).sum()
+            self._sxy = (x * y).sum()
+        else:
+            self._m = 0
+            self._sx = self._sy = self._sxx = self._sxy = np.longdouble(0.0)
+        if self.seconds is None:
+            self._min = float(values.min()) if n else np.inf
+        else:
+            self._entries = deque(zip(times.tolist(), values.tolist()))
+            # The monotonic min-deque holds exactly the strictly
+            # decreasing suffix-minima chain; select it vectorized.
+            if n:
+                suffix_min = np.minimum.accumulate(values[::-1])[::-1]
+                keep = values < np.concatenate([suffix_min[1:], [np.inf]])
+                self._mins = deque(zip(times[keep].tolist(), values[keep].tolist()))
+            else:
+                self._mins = deque()
+
+    def _expire(self, cutoff: float) -> None:
+        entries = self._entries
+        while entries and entries[0][0] < cutoff:
+            _, value = entries.popleft()
+            self._sum -= value
+            self.count -= 1
+            if entries:
+                self._add_pair(value, entries[0][1], -1)
+        mins = self._mins
+        while mins and mins[0][0] < cutoff:
+            mins.popleft()
+
+    def value(self, anchor: float, min_points: int, clamp: float) -> Optional[float]:
+        if self.seconds is not None:
+            cutoff = anchor - self.seconds
+            if cutoff < self._expired_to:
+                raise StreamingUnavailable(
+                    f"window start {cutoff} precedes expired boundary {self._expired_to}"
+                )
+            self._expire(cutoff)
+            self._expired_to = cutoff
+        n = self.count
+        if n == 0:
+            return None
+        mean = float(self._sum / n)
+        if n < min_points or self._m < 2:
+            return mean
+        m = self._m
+        var = self._sxx - self._sx * self._sx / m
+        if not (var > 0) or not np.isfinite(float(var)):
+            return mean
+        cov = self._sxy - self._sx * self._sy / m
+        b = cov / var
+        a = (self._sy - b * self._sx) / m
+        prediction = float(a + b * np.longdouble(self._last if self.seconds is None
+                                                 else self._entries[-1][1]))
+        floor = clamp * (self._min if self.seconds is None else self._mins[0][1])
+        return max(prediction, float(floor))
+
+
+class SeriesSummaries:
+    """All banked summaries for one observation series.
+
+    One instance serves the 15 context-insensitive predictors; the
+    classified variants use one instance per observed size class.
+    """
+
+    __slots__ = ("count", "last", "_ring", "_mean", "_median", "_temporal", "_ar")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.last: Optional[float] = None
+        self._ring: deque = deque(maxlen=RING_CAPACITY)
+        self._mean = _RunningMean()
+        self._median = _RunningMedian()
+        self._temporal = {h: _TemporalMean(h * HOUR) for h in TEMPORAL_HOURS}
+        self._ar = {d: _ArSummary(None if d is None else d * DAY)
+                    for d in (None, *AR_DAYS)}
+
+    def add(self, time: float, value: float) -> None:
+        self.count += 1
+        self.last = value
+        self._ring.append(value)
+        self._mean.add(value)
+        self._median.add(value)
+        for summary in self._temporal.values():
+            summary.add(time, value)
+        for summary in self._ar.values():
+            summary.add(time, value)
+
+    def build(self, times: np.ndarray, values: np.ndarray) -> None:
+        self.count = len(values)
+        self.last = float(values[-1]) if len(values) else None
+        self._ring = deque(values[-RING_CAPACITY:].tolist(), maxlen=RING_CAPACITY)
+        self._mean.build(values)
+        self._median.build(values)
+        for summary in self._temporal.values():
+            summary.build(times, values)
+        for summary in self._ar.values():
+            summary.build(times, values)
+
+    # -- queries; each mirrors one predictor's semantics exactly --------
+    def mean(self) -> Optional[float]:
+        return self._mean.value()
+
+    def last_value(self) -> Optional[float]:
+        return self.last
+
+    def window_values(self, window: int) -> np.ndarray:
+        """The last ``window`` values, oldest first (fewer if short)."""
+        ring = self._ring
+        if window >= len(ring):
+            return np.array(ring, dtype=np.float64)
+        return np.array([ring[i] for i in range(len(ring) - window, len(ring))],
+                        dtype=np.float64)
+
+    def window_mean(self, window: int) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return float(self.window_values(window).mean())
+
+    def window_median(self, window: int) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return float(np.median(self.window_values(window)))
+
+    def median(self) -> Optional[float]:
+        return self._median.value()
+
+    def temporal_mean(self, hours: float, anchor: float) -> Optional[float]:
+        return self._temporal[hours].value(anchor)
+
+    def ar(self, window_days: Optional[float], anchor: float,
+           min_points: int, clamp: float) -> Optional[float]:
+        return self._ar[window_days].value(anchor, min_points, clamp)
+
+
+# ----------------------------------------------------------------------
+# the per-link bank
+# ----------------------------------------------------------------------
+class StreamingBank:
+    """Per-link incremental summaries: global, per class, and per op.
+
+    Owned by a :class:`~repro.service.state.LinkState`; all mutation and
+    all queries happen under the owner's per-link lock (time-window
+    queries expire entries lazily, so even reads mutate).
+
+    Parameters
+    ----------
+    classification:
+        Size classes for the ``C-`` summary banks (must be the same
+        object the serving layer resolves ``C-`` specs with).
+    on_rebuild:
+        Called with a reason string (``"out_of_order"`` or ``"bulk"``)
+        whenever the bank is rebuilt from the history arrays.
+    read_op:
+        The op-column code marking read transfers (the MDS ``rd``
+        attributes aggregate these; default matches
+        ``repro.data.frame.OP_READ``).
+    """
+
+    def __init__(
+        self,
+        classification: Classification,
+        on_rebuild: Optional[Callable[[str], None]] = None,
+        read_op: int = 0,
+    ) -> None:
+        self.classification = classification
+        self.on_rebuild = on_rebuild
+        self.read_op = read_op
+        self.rebuilds = 0
+        self.count = 0
+        self._global = SeriesSummaries()
+        self._classes: Dict[str, SeriesSummaries] = {}
+        self._label_cache: Dict[int, str] = {}
+        # MDS attribute state: per-direction summary stats, per-class
+        # read means, and the recent read bandwidths.
+        self._op_stats: Dict[int, RunningSummary] = {}
+        self._class_read: Dict[str, List] = {}  # label -> [longdouble sum, count]
+        self._recent_reads: deque = deque(maxlen=RECENT_CAPACITY)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _label(self, size: int) -> str:
+        label = self._label_cache.get(size)
+        if label is None:
+            if len(self._label_cache) > 4096:  # fuzz-resistant bound
+                self._label_cache.clear()
+            label = self.classification.classify(size)
+            self._label_cache[size] = label
+        return label
+
+    def add(self, time: float, value: float, size: int, op: int) -> None:
+        """Fold one in-order observation; O(1) amortized."""
+        self.count += 1
+        self._global.add(time, value)
+        label = self._label(int(size))
+        series = self._classes.get(label)
+        if series is None:
+            series = self._classes[label] = SeriesSummaries()
+        series.add(time, value)
+
+        stats = self._op_stats.get(op)
+        if stats is None:
+            stats = self._op_stats[op] = RunningSummary()
+        stats.add(value)
+        if op == self.read_op:
+            self._recent_reads.append(value)
+            bucket = self._class_read.get(label)
+            if bucket is None:
+                bucket = self._class_read[label] = [np.longdouble(0.0), 0]
+            bucket[0] += value
+            bucket[1] += 1
+
+    def rebuild(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        sizes: np.ndarray,
+        ops: np.ndarray,
+        reason: str = "bulk",
+    ) -> None:
+        """Rebuild every summary from the full arrays, vectorized.
+
+        Used after a bulk ``extend`` (fold the batch with array kernels,
+        then resume incrementally) and after the rare out-of-order insert
+        that invalidates positional windows.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        sizes = np.asarray(sizes)
+        self.count = len(values)
+        self._global.build(times, values)
+
+        # One classify per *distinct* size, scattered back.
+        self._classes = {}
+        self._class_read = {}
+        if len(sizes):
+            unique_sizes, inverse = np.unique(sizes, return_inverse=True)
+            unique_labels = np.array([self._label(int(s)) for s in unique_sizes])
+            labels = unique_labels[inverse]
+            read_mask = np.asarray(ops) == self.read_op
+            for label in sorted(set(labels.tolist())):
+                mask = labels == label
+                series = self._classes[label] = SeriesSummaries()
+                series.build(times[mask], values[mask])
+                class_read = values[mask & read_mask]
+                if len(class_read):
+                    self._class_read[label] = [
+                        class_read.astype(np.longdouble).sum(), len(class_read)
+                    ]
+        else:
+            read_mask = np.zeros(0, dtype=bool)
+
+        self._op_stats = {}
+        for op in sorted(set(np.asarray(ops).tolist())):
+            self._op_stats[int(op)] = RunningSummary.from_values(
+                values[np.asarray(ops) == op]
+            )
+        self._recent_reads = deque(values[read_mask][-RECENT_CAPACITY:].tolist(),
+                                   maxlen=RECENT_CAPACITY)
+
+        self.rebuilds += 1
+        if self.on_rebuild is not None:
+            self.on_rebuild(reason)
+
+    # ------------------------------------------------------------------
+    # predictor queries
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        predictor: Predictor,
+        size: int,
+        now: Optional[float],
+    ) -> Optional[float]:
+        """What ``predictor.predict(history, size, now)`` would return.
+
+        Raises :class:`StreamingUnavailable` for predictors outside the
+        banked battery or anchors behind an expired window boundary; the
+        caller recomputes from a snapshot in that case.
+        """
+        if isinstance(predictor, ClassifiedPredictor):
+            if predictor.classification is not self.classification:
+                raise StreamingUnavailable("classification mismatch")
+            series = self._classes.get(self._label(int(size)))
+            value = self._answer_series(predictor.base, series, now)
+            if value is None and predictor.fallback:
+                value = self._answer_series(predictor.base, self._global, now)
+            return value
+        return self._answer_series(predictor, self._global, now)
+
+    def _answer_series(
+        self,
+        base: Predictor,
+        series: Optional[SeriesSummaries],
+        now: Optional[float],
+    ) -> Optional[float]:
+        if series is None or series.count == 0:
+            # Every banked base predictor abstains on an empty history
+            # (checked before its anchor default kicks in).
+            if type(base) in _BANKED_TYPES:
+                return None
+            raise StreamingUnavailable(f"unbanked predictor {base!r}")
+        kind = type(base)
+        if kind is TotalAverage:
+            return series.mean()
+        if kind is LastValue:
+            return series.last_value()
+        if kind is WindowedAverage:
+            if base.window > RING_CAPACITY:
+                raise StreamingUnavailable(f"window {base.window} exceeds ring")
+            return series.window_mean(base.window)
+        if kind is WindowedMedian:
+            if base.window > RING_CAPACITY:
+                raise StreamingUnavailable(f"window {base.window} exceeds ring")
+            return series.window_median(base.window)
+        if kind is TotalMedian:
+            return series.median()
+        if kind is TemporalAverage:
+            if base.hours not in series._temporal:
+                raise StreamingUnavailable(f"no {base.hours}hr window banked")
+            anchor = now if now is not None else _last_time(series)
+            return series.temporal_mean(base.hours, anchor)
+        if kind is ArModel:
+            if base.window_days not in series._ar:
+                raise StreamingUnavailable(f"no {base.window_days}d window banked")
+            anchor = now if now is not None else _last_time(series)
+            return series.ar(base.window_days, anchor, base.min_points, base.clamp)
+        raise StreamingUnavailable(f"unbanked predictor {base!r}")
+
+    # ------------------------------------------------------------------
+    # MDS attribute queries
+    # ------------------------------------------------------------------
+    def op_summary(self, op: int) -> BandwidthSummary:
+        """:class:`~repro.logs.stats.BandwidthSummary` for one direction."""
+        stats = self._op_stats.get(op)
+        if stats is None:
+            return BandwidthSummary.empty()
+        return stats.summary()
+
+    def class_read_means(self) -> Dict[str, float]:
+        """Mean read bandwidth per size class, for classes with reads."""
+        return {
+            label: float(total / count)
+            for label, (total, count) in sorted(self._class_read.items())
+        }
+
+    def recent_reads(self, n: int) -> Optional[List[float]]:
+        """The last ``n`` read bandwidths, or ``None`` if the bank's ring
+        is too short to answer (the caller slices the columns instead)."""
+        recent = self._recent_reads
+        if len(recent) >= n:
+            return list(recent)[len(recent) - n :]
+        stats = self._op_stats.get(self.read_op)
+        if stats is None or stats.count <= len(recent):
+            return list(recent)  # the ring holds every read there is
+        return None
+
+
+_BANKED_TYPES = (
+    TotalAverage, LastValue, WindowedAverage, WindowedMedian,
+    TotalMedian, TemporalAverage, ArModel,
+)
+
+
+def _last_time(series: SeriesSummaries) -> float:
+    """Anchor default for windowed queries with ``now=None``.
+
+    Mirrors :meth:`Predictor._now`: the last observation time.  The
+    all-data AR summary's deque-free bookkeeping does not retain times,
+    so the temporal deques provide it (they always hold the newest entry
+    until it expires).
+    """
+    for summary in series._temporal.values():
+        if summary._entries:
+            return summary._entries[-1][0]
+    raise StreamingUnavailable("no anchor available for now=None")

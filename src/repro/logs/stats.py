@@ -68,6 +68,30 @@ class RunningSummary:
         self._lower: List[float] = []  # max-heap (negated values)
         self._upper: List[float] = []  # min-heap
 
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "RunningSummary":
+        """Vectorized bulk construction, then resume incrementally.
+
+        An ascending list is a valid min-heap, and its negation reversed
+        is a valid max-heap, so one sort seeds both median heaps with no
+        ``heapify``.  The moments come from array reductions; subsequent
+        :meth:`add` calls continue Welford's recurrence from them.
+        """
+        summary = cls()
+        bw = np.asarray(values, dtype=np.float64)
+        if len(bw) == 0:
+            return summary
+        summary._count = len(bw)
+        summary._mean = float(bw.mean())
+        summary._m2 = float(((bw - bw.mean()) ** 2).sum())
+        summary._min = float(bw.min())
+        summary._max = float(bw.max())
+        ordered = np.sort(bw)
+        k = (len(ordered) + 1) // 2
+        summary._lower = [-v for v in ordered[k - 1 :: -1]]
+        summary._upper = ordered[k:].tolist()
+        return summary
+
     def add(self, value: float) -> None:
         """Fold one bandwidth observation in."""
         self._count += 1

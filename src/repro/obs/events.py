@@ -25,7 +25,7 @@ from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Union
 __all__ = ["TraceEvent", "EventBus", "TraceLog", "get_event_bus"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One structured event."""
 
@@ -71,7 +71,9 @@ class EventBus:
             if len(self._events) == self.capacity:
                 self._dropped += 1  # the append below evicts the oldest
             self._events.append(event)
-            subscribers = list(self._subscribers)
+            # Copy only when there is someone to notify: emit() runs on
+            # per-query hot paths where an empty-list copy is measurable.
+            subscribers = list(self._subscribers) if self._subscribers else ()
         for subscriber in subscribers:
             try:
                 subscriber(event)

@@ -23,7 +23,6 @@ ingest, evaluation, serving, and MDS layers.
 
 from __future__ import annotations
 
-import bisect
 import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -130,9 +129,11 @@ class Histogram(_Instrument):
 
     Percentiles are computed over the newest ``window`` observations —
     enough to answer "what is predict p99 *lately*" without unbounded
-    memory.  The reservoir is deque-backed (O(1) eviction) with a
-    parallel sorted list (O(log n) search + O(n) memmove per observe,
-    C-speed for the sizes involved).
+    memory.  The reservoir is deque-backed, and :meth:`observe` is
+    strictly O(1): the sorted view percentiles need is rebuilt lazily on
+    the first read after a write.  Writes happen per prediction on the
+    serving hot path; reads happen on scrapes — paying the sort
+    (O(w log w), C-speed) on the cold side is the right trade.
 
     **Lifetime vs window extremes.**  ``min``/``max`` (and
     ``summary()['min']``/``['max']``) are *all-time* extremes over every
@@ -153,7 +154,8 @@ class Histogram(_Instrument):
         self._max = float("-inf")
         # Insertion order for eviction; maxlen evicts the oldest on append.
         self._recent: Deque[float] = deque(maxlen=window)
-        self._sorted: List[float] = []   # same values, kept sorted
+        self._sorted: List[float] = []   # lazily rebuilt sorted view
+        self._stale = False              # True when _sorted lags _recent
 
     def _new_child(self) -> "Histogram":
         return Histogram(self.name, self.help, self.window)
@@ -163,15 +165,19 @@ class Histogram(_Instrument):
         with self._lock:
             self._count += 1
             self._sum += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-            if len(self._recent) == self.window:
-                # The append below evicts self._recent[0]; drop it from
-                # the sorted mirror first.
-                oldest = self._recent[0]
-                del self._sorted[bisect.bisect_left(self._sorted, oldest)]
-            self._recent.append(value)
-            bisect.insort(self._sorted, value)
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._recent.append(value)  # maxlen evicts the oldest
+            self._stale = True
+
+    def _ordered(self) -> List[float]:
+        """The sorted reservoir; caller must hold the lock."""
+        if self._stale:
+            self._sorted = sorted(self._recent)
+            self._stale = False
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -197,11 +203,12 @@ class Histogram(_Instrument):
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
-            if not self._sorted:
+            ordered = self._ordered()
+            if not ordered:
                 return float("nan")
-            rank = max(0, min(len(self._sorted) - 1,
-                              round(q / 100.0 * (len(self._sorted) - 1))))
-            return self._sorted[rank]
+            rank = max(0, min(len(ordered) - 1,
+                              round(q / 100.0 * (len(ordered) - 1))))
+            return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
         """All-time aggregates plus reservoir percentiles.
@@ -213,7 +220,7 @@ class Histogram(_Instrument):
         with self._lock:
             if not self._count:
                 return {"count": 0}
-            ordered = self._sorted
+            ordered = self._ordered()
 
             def rank(q: float) -> float:
                 return ordered[max(0, min(len(ordered) - 1,

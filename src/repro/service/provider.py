@@ -11,6 +11,16 @@ cache as broker queries.
 For a read-only log the published attributes match the batch
 :class:`~repro.mds.provider.GridFTPInfoProvider` (with the matching
 predictor spec) exactly — asserted by the integration tests.
+
+When the link carries a :class:`~repro.core.streaming.StreamingBank`
+(the service default), every summary attribute — per-direction
+min/max/avg/med, per-class read means, the recent-read tail — comes
+straight from the bank's incremental statistics in O(1), instead of
+being re-derived from column slices on every poll.  The column path
+remains as the fallback (bank disabled, or ``recent`` beyond what the
+bank retains) and publishes identical attribute strings: ``_kb``
+rounds to whole kilobytes, far coarser than the summaries'
+floating-point agreement.
 """
 
 from __future__ import annotations
@@ -79,12 +89,72 @@ class ServicePerfProvider:
         state = self.service.link_state(self.link)
         if state is None:
             return []
+        view = self._bank_view(state)
+        if view is not None:
+            if view["n"] == 0:
+                return []
+            with _span("mds.render", provider=type(self).__name__, link=self.link):
+                return self._entries_from_bank(now, view)
         times, values, sizes, ops, _version = state.snapshot()
         n = len(values)
         if n == 0:
             return []
         with _span("mds.render", provider=type(self).__name__, link=self.link):
             return self._entries(now, values, sizes, ops)
+
+    # ------------------------------------------------------------------
+    # streaming-bank path
+    # ------------------------------------------------------------------
+    def _bank_view(self, state):
+        """Copy everything the entry needs out of the bank, under the lock.
+
+        Returns ``None`` when the bank cannot serve this provider (no
+        bank on the link, or ``recent`` exceeds the bank's retained
+        tail) — the caller falls back to column slices.
+        """
+        bank = state.bank
+        if bank is None:
+            return None
+        with state.lock:
+            recent = bank.recent_reads(self.recent) if self.recent else []
+            if recent is None:
+                return None
+            return {
+                "n": bank.count,
+                "read": bank.op_summary(OP_READ),
+                "write": bank.op_summary(OP_WRITE),
+                "class_means": bank.class_read_means(),
+                "recent": recent,
+            }
+
+    def _entries_from_bank(self, now, view) -> List[Entry]:
+        if _obs_enabled():
+            _M_RENDERS.inc()
+        entry = Entry(self.dn())
+        entry.add("objectclass", "GridFTPPerf")
+        entry.add("cn", self.site.address)
+        entry.add("hostname", self.site.hostname)
+        entry.add("gridftpurl", self.url)
+        entry.add("numtransfers", view["n"])
+        entry.add("lastupdate", repr(now))
+
+        for prefix, summary in (("rd", view["read"]), ("wr", view["write"])):
+            if summary.count == 0:
+                continue
+            entry.add(f"min{prefix}bandwidth", _kb(summary.minimum))
+            entry.add(f"max{prefix}bandwidth", _kb(summary.maximum))
+            entry.add(f"avg{prefix}bandwidth", _kb(summary.mean))
+            entry.add(f"med{prefix}bandwidth", _kb(summary.median))
+
+        for label, mean in view["class_means"].items():
+            fragment = _class_attr_label(label)
+            entry.add(f"avgrdbandwidth{fragment}range", _kb(mean))
+            predicted = self._class_prediction(label, now)
+            if predicted is not None:
+                entry.add(f"predictedrdbandwidth{fragment}range", _kb(predicted))
+        for bandwidth in view["recent"]:
+            entry.add("recentrdbandwidth", _kb(float(bandwidth)))
+        return [entry]
 
     def _entries(self, now, values, sizes, ops) -> List[Entry]:
         n = len(values)
@@ -105,7 +175,10 @@ class ServicePerfProvider:
         read_sizes = sizes[read_mask]
         read_values = values[read_mask]
         cls = self.service.classification
-        labels = np.array([cls.classify(int(s)) for s in read_sizes]) if len(read_sizes) else np.array([])
+        if len(read_sizes):
+            labels = np.array([cls.classify(int(s)) for s in read_sizes])
+        else:
+            labels = np.array([])
         for label in sorted(set(labels.tolist())):
             class_values = read_values[labels == label]
             fragment = _class_attr_label(label)

@@ -58,12 +58,13 @@ from repro.core.predictors.mean import TemporalAverage
 from repro.core.predictors.registry import resolve
 from repro.core.predictors.size_model import SizeScaledPredictor
 from repro.core.selection import RankedReplica
+from repro.core.streaming import StreamingBank, StreamingUnavailable
 from repro.data.frame import TransferFrame
 from repro.data.ingest import load_ulm
 from repro.logs.record import TransferRecord
 from repro.obs.config import enabled as _obs_enabled
 from repro.obs.events import TraceLog
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.service.state import LinkState
 
 __all__ = ["Prediction", "PredictionCache", "PredictionService", "DEFAULT_SPEC"]
@@ -75,7 +76,7 @@ DEFAULT_SPEC = "C-AVG15"
 _MISSING = object()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prediction:
     """One answered query."""
 
@@ -91,6 +92,9 @@ class Prediction:
     #: (the link had no history and the service degraded gracefully
     #: instead of answering nothing; see ``degraded_fallback``).
     degraded: bool = False
+    #: True when the value came off the O(1) streaming bank rather than a
+    #: cache hit or a full-history recompute (see ``streaming``).
+    streamed: bool = False
 
 
 class PredictionCache:
@@ -115,12 +119,15 @@ class PredictionCache:
             self._data.move_to_end(key)
             return self._data[key]
 
-    def put(self, key: Tuple, value: Optional[float]) -> None:
+    def put(self, key: Tuple, value: Optional[float]) -> int:
+        """Insert and return the live entry count (saves a second lock
+        round-trip for callers that gauge the size after every put)."""
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+            return len(self._data)
 
     def __len__(self) -> int:
         with self._lock:
@@ -152,6 +159,16 @@ class PredictionService:
         ``value=None`` — graceful degradation for brokers that must
         rank a replica nobody has measured yet.  Off by default:
         abstention is the honest answer unless the deployment opts in.
+    streaming:
+        When True (the default), every link carries a
+        :class:`~repro.core.streaming.StreamingBank` of incremental
+        sufficient statistics, and battery-spec queries are answered
+        from it in O(1)/O(log n) — independent of history length — when
+        the LRU misses.  Specs outside the banked battery (``SIZE``,
+        hybrids) and queries the bank cannot serve (anchors behind an
+        expired window) recompute from a snapshot exactly as before;
+        answers are numerically identical either way (the parity suite
+        walks every prefix of the shipped logs on both paths).
     """
 
     def __init__(
@@ -163,10 +180,12 @@ class PredictionService:
         metrics: Optional[MetricsRegistry] = None,
         trace_capacity: int = 256,
         degraded_fallback: bool = False,
+        streaming: bool = True,
     ):
         resolve(default_spec)  # fail fast on a bad default
         self.default_spec = default_spec
         self.degraded_fallback = degraded_fallback
+        self.streaming = streaming
         self.classification = classification or paper_classification()
         self.clock = clock
         self.metrics = metrics or MetricsRegistry()
@@ -177,6 +196,8 @@ class PredictionService:
         self._cache = PredictionCache(cache_size)
         self._predictors: Dict[str, Predictor] = {}
         self._predictors_lock = threading.Lock()
+        self._plans: Dict[str, Tuple[bool, bool, bool]] = {}
+        self._latency_children: Dict[str, Histogram] = {}
         self._listeners: List[Callable[[str, TransferRecord], None]] = []
 
         m = self.metrics
@@ -193,18 +214,43 @@ class PredictionService:
         self._m_fallbacks = m.counter(
             "service_fallback_predictions",
             "degraded link-agnostic fallback answers served")
+        self._m_streamed = m.counter(
+            "service_streaming_answers",
+            "cache misses answered from the O(1) streaming bank")
+        self._m_stream_fallbacks = m.counter(
+            "service_streaming_fallbacks",
+            "cache misses recomputed from a snapshot (unbanked spec or "
+            "expired window)")
+        self._m_rebuilds = m.counter(
+            "streaming_rebuilds",
+            "streaming banks rebuilt from history arrays")
 
     # ------------------------------------------------------------------
     # link state
     # ------------------------------------------------------------------
     def _state(self, link: str, create: bool = False) -> Optional[LinkState]:
+        # Lock-free fast path: a plain dict read is GIL-atomic, and link
+        # states are only ever added, never replaced or removed.
+        state = self._links.get(link)
+        if state is not None or not create:
+            return state
         with self._links_lock:
             state = self._links.get(link)
-            if state is None and create:
-                state = LinkState(link)
+            if state is None:
+                bank = None
+                if self.streaming:
+                    bank = StreamingBank(
+                        self.classification, on_rebuild=self._on_bank_rebuild
+                    )
+                state = LinkState(link, bank=bank)
                 self._links[link] = state
                 self._m_links.set(len(self._links))
             return state
+
+    def _on_bank_rebuild(self, reason: str) -> None:
+        self._m_rebuilds.inc()
+        if _obs_enabled():
+            self._m_rebuilds.labels(reason=reason).inc()
 
     def links(self) -> List[str]:
         with self._links_lock:
@@ -315,7 +361,14 @@ class PredictionService:
     # predictors and cache keys
     # ------------------------------------------------------------------
     def _resolve(self, spec: str) -> Predictor:
-        """Resolve and memoize a spec (registry predictors are stateless)."""
+        """Resolve and memoize a spec (registry predictors are stateless).
+
+        The memo read is lock-free (GIL-atomic dict get; entries are
+        only ever added); the lock guards first-resolution only.
+        """
+        predictor = self._predictors.get(spec)
+        if predictor is not None:
+            return predictor
         with self._predictors_lock:
             predictor = self._predictors.get(spec)
             if predictor is None:
@@ -323,7 +376,31 @@ class PredictionService:
                 self._predictors[spec] = predictor
             return predictor
 
-    def _context(self, predictor: Predictor, size: int, now: float) -> Tuple:
+    def _context_plan(self, spec: str, predictor: Predictor) -> Tuple[bool, bool, bool]:
+        """``(classified, size_sensitive, now_sensitive)`` for a spec.
+
+        The plan is a pure function of the (stateless) predictor, so it
+        is computed once per spec and memoized — the isinstance chain is
+        measurable on the per-query hot path.  The benign race on the
+        memo dict is harmless: both writers store the same tuple.
+        """
+        plan = self._plans.get(spec)
+        if plan is None:
+            base = (
+                predictor.base
+                if isinstance(predictor, ClassifiedPredictor)
+                else predictor
+            )
+            plan = (
+                isinstance(predictor, ClassifiedPredictor),
+                isinstance(base, SizeScaledPredictor),
+                isinstance(base, TemporalAverage)
+                or (isinstance(base, ArModel) and base.window_days is not None),
+            )
+            self._plans[spec] = plan
+        return plan
+
+    def _context(self, spec: str, predictor: Predictor, size: int, now: float) -> Tuple:
         """The non-(link, spec, version) inputs the answer depends on.
 
         * ``C-`` specs depend on the target's size *class* only;
@@ -333,17 +410,12 @@ class PredictionService:
         Everything else is insensitive to both, so distinct queries can
         share one cache entry.
         """
-        base = predictor.base if isinstance(predictor, ClassifiedPredictor) else predictor
-        label = (
-            self.classification.classify(size)
-            if isinstance(predictor, ClassifiedPredictor)
-            else None
+        classified, size_sensitive, now_sensitive = self._context_plan(spec, predictor)
+        return (
+            self.classification.classify(size) if classified else None,
+            size if size_sensitive else None,
+            now if now_sensitive else None,
         )
-        size_part = size if isinstance(base, SizeScaledPredictor) else None
-        uses_now = isinstance(base, TemporalAverage) or (
-            isinstance(base, ArModel) and base.window_days is not None
-        )
-        return (label, size_part, now if uses_now else None)
 
     # ------------------------------------------------------------------
     # serve
@@ -361,32 +433,86 @@ class PredictionService:
         at inquiry time, exactly where a replica decision happens.  An
         unknown link answers ``value=None`` over empty history rather
         than raising: brokers routinely ask about links with no data yet.
+
+        A cache miss on a battery spec is answered by the link's
+        streaming bank in O(1)/O(log n); other specs (and anchors the
+        bank cannot serve) recompute from an immutable snapshot with the
+        generic predictor — same answer, O(n) cost.
         """
         t0 = time.perf_counter()
         spec = spec or self.default_spec
-        predictor = self._resolve(spec)
-        anchor = self.clock() if now is None else now
+        return self._predict_on(self._state(link), link, size, spec, now, t0)
 
-        state = self._state(link)
+    def _predict_on(
+        self,
+        state: Optional[LinkState],
+        link: str,
+        size: int,
+        spec: str,
+        now: Optional[float],
+        t0: float,
+    ) -> Prediction:
+        # Empty-history short-circuit: no predictor resolution, no
+        # context/cache-key work — unmeasured-link misses are near-free.
         if state is None:
-            value, cached, version, length = None, False, 0, 0
-        else:
-            with state.lock:
-                version = state.version
-                history = state.history()
-            length = len(history)
-            key = (link, spec, self._context(predictor, size, anchor), version)
-            hit = self._cache.get(key)
-            if hit is not _MISSING:
-                value, cached = hit, True
-                self._m_hits.inc()
-            else:
-                value = predictor.predict(history, target_size=size, now=anchor)
-                cached = False
-                self._m_misses.inc()
-                self._cache.put(key, value)
-                self._m_cache_size.set(len(self._cache))
+            return self._finish(t0, link, spec, size, value=None, cached=False,
+                                version=0, length=0, streamed=False)
 
+        anchor = self.clock() if now is None else now
+        history: Optional[History] = None
+        streamed = False
+        with state.lock:
+            # One locked region: the version, the bank's contents, and
+            # the cache key must all describe the same history prefix.
+            version, length = state.meta()
+            if length:
+                predictor = self._resolve(spec)
+                key = (link, spec,
+                       self._context(spec, predictor, size, anchor), version)
+                hit = self._cache.get(key)
+                if hit is not _MISSING:
+                    value, cached = hit, True
+                else:
+                    value, cached = None, False
+                    if state.bank is not None:
+                        try:
+                            value = state.bank.answer(predictor, size, anchor)
+                            streamed = True
+                        except StreamingUnavailable:
+                            history = state.history()
+                    else:
+                        history = state.history()
+        if length == 0:
+            return self._finish(t0, link, spec, size, value=None, cached=False,
+                                version=version, length=0, streamed=False)
+        if cached:
+            self._m_hits.inc()
+        else:
+            if history is not None:
+                # Snapshot recompute, outside the lock.
+                value = predictor.predict(history, target_size=size, now=anchor)
+            self._m_misses.inc()
+            if streamed:
+                self._m_streamed.inc()
+            elif self.streaming:
+                self._m_stream_fallbacks.inc()
+            self._m_cache_size.set(self._cache.put(key, value))
+        return self._finish(t0, link, spec, size, value=value, cached=cached,
+                            version=version, length=length, streamed=streamed)
+
+    def _finish(
+        self,
+        t0: float,
+        link: str,
+        spec: str,
+        size: int,
+        *,
+        value: Optional[float],
+        cached: bool,
+        version: int,
+        length: int,
+        streamed: bool,
+    ) -> Prediction:
         degraded = False
         if value is None and length == 0 and self.degraded_fallback:
             # Graceful degradation: a link nobody has measured yet gets
@@ -403,13 +529,20 @@ class PredictionService:
         self._m_predicts.inc()
         self._m_latency.observe(latency)
         if _obs_enabled():
-            self._m_latency.labels(spec=spec).observe(latency)
+            # The labeled child is looked up per spec once and memoized:
+            # labels() costs a sort + lock per call, which is measurable
+            # at streaming-path latencies.  Benign race: same child.
+            child = self._latency_children.get(spec)
+            if child is None:
+                child = self._m_latency.labels(spec=spec)
+                self._latency_children[spec] = child
+            child.observe(latency)
         self.trace.emit("predict", link=link, spec=spec, size=size,
                         cached=cached, value=value, version=version)
         return Prediction(
             link=link, spec=spec, target_size=size, value=value, cached=cached,
             version=version, history_length=length, latency_seconds=latency,
-            degraded=degraded,
+            degraded=degraded, streamed=streamed,
         )
 
     def aggregate_bandwidth(self) -> Optional[float]:
@@ -445,10 +578,23 @@ class PredictionService:
         sort after every confident one; candidates with no value at all
         (unknown link, abstaining predictor) rank last but are reported
         so a caller may explore them.
+
+        The spec is resolved once and every candidate's link state is
+        gathered in a single pass under the links lock before any
+        prediction runs; all candidates share one anchor time, so the
+        ranking is a consistent snapshot rather than a drifting one.
         """
+        spec = spec or self.default_spec
+        unique = list(dict.fromkeys(candidates))
+        if unique:
+            self._resolve(spec)  # memoize once, not once per candidate
+        anchor = self.clock() if now is None else now
+        with self._links_lock:
+            states = [(link, self._links.get(link)) for link in unique]
         predictions = [
-            (link, self.predict(link, size, spec=spec, now=now))
-            for link in dict.fromkeys(candidates)
+            (link, self._predict_on(state, link, size, spec, anchor,
+                                    time.perf_counter()))
+            for link, state in states
         ]
         order = sorted(
             predictions,

@@ -20,15 +20,25 @@ serialized by the per-link lock (the buffer itself holds no locks).
 :class:`~repro.data.frame.TransferFrame` folds in with one sorted merge
 instead of N appends, bumping the version by the record count so
 version-keyed caches stay exact.
+
+A :class:`~repro.core.streaming.StreamingBank` may ride along: in-order
+appends fold into it in O(1) under the same lock, bulk extends rebuild it
+once from the merged columns (vectorized), and the rare out-of-order
+insert — which invalidates every positional window — rebuilds it too,
+reported through the bank's ``on_rebuild`` hook.  The bank is how the
+serving layer answers warm queries without walking the arrays; see
+:mod:`repro.core.streaming`.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import Optional
 
 import numpy as np
 
 from repro.core.history import History
+from repro.core.streaming import StreamingBank
 from repro.data.buffer import ColumnBuffer
 from repro.data.frame import OP_READ, OP_WRITE, TransferFrame
 from repro.logs.record import Operation, TransferRecord
@@ -48,13 +58,15 @@ _DTYPES = (
 class LinkState:
     """Growable, versioned observation arrays for one (source, dest) link."""
 
-    def __init__(self, link: str):
+    def __init__(self, link: str, bank: Optional[StreamingBank] = None):
         if not link:
             raise ValueError("link name must be non-empty")
         self.link = link
         self.lock = threading.RLock()
+        self.bank = bank
         self._buffer = ColumnBuffer(_DTYPES, capacity=_INITIAL_CAPACITY)
         self._version = 0
+        self._last_time = -np.inf
 
     # ------------------------------------------------------------------
     # mutation
@@ -65,13 +77,25 @@ class LinkState:
         Records usually arrive in end-time order (O(1) amortized); the
         rare out-of-order record — two transfers can overlap — is
         inserted at its sorted position via a copy, which leaves
-        previously taken snapshots untouched.
+        previously taken snapshots untouched.  An in-order append also
+        folds into the streaming bank in O(1); out-of-order insertion
+        rebuilds the bank, since it shifts every positional window.
         """
         with self.lock:
             op = OP_READ if record.operation is Operation.READ else OP_WRITE
+            in_order = record.end_time >= self._last_time
             self._buffer.append(
                 (record.end_time, record.bandwidth, record.file_size, op)
             )
+            if self.bank is not None:
+                if in_order:
+                    self.bank.add(
+                        record.end_time, record.bandwidth, record.file_size, op
+                    )
+                else:
+                    self._rebuild_bank("out_of_order")
+            if in_order:
+                self._last_time = record.end_time
             self._version += 1
             return self._version
 
@@ -80,7 +104,9 @@ class LinkState:
 
         The version advances by ``len(frame)`` — exactly as if each record
         had been appended individually — so version-keyed cache entries
-        behave identically on either ingest path.
+        behave identically on either ingest path.  The streaming bank is
+        rebuilt once from the merged columns (array kernels, not N folds)
+        and resumes incrementally from there.
         """
         with self.lock:
             if len(frame):
@@ -93,8 +119,16 @@ class LinkState:
                         ordered.ops.astype(np.int8),
                     )
                 )
+                times, _, _, _ = self._buffer.views()
+                self._last_time = float(times[-1])
+                if self.bank is not None:
+                    self._rebuild_bank("bulk")
             self._version += len(frame)
             return self._version
+
+    def _rebuild_bank(self, reason: str) -> None:
+        times, values, sizes, ops = self._buffer.views()
+        self.bank.rebuild(times, values, sizes, ops, reason=reason)
 
     # ------------------------------------------------------------------
     # snapshots
@@ -103,6 +137,16 @@ class LinkState:
     def version(self) -> int:
         with self.lock:
             return self._version
+
+    def meta(self) -> "tuple[int, int]":
+        """``(version, length)`` under a single lock acquisition.
+
+        The serving hot path reads both on every query; one acquisition
+        instead of two property round-trips keeps the fixed per-predict
+        cost down.
+        """
+        with self.lock:
+            return self._version, len(self._buffer)
 
     def __len__(self) -> int:
         with self.lock:

@@ -1,0 +1,198 @@
+"""The streaming fast path answers exactly like the snapshot path.
+
+A service with the default streaming bank must be indistinguishable —
+answer for answer, abstention for abstention — from one with
+``streaming=False`` that recomputes every miss from the history arrays,
+while actually taking the fast path (asserted through the service's
+streaming counters).  Covers in-order walks over the shipped campaign
+logs for the full 30-spec battery, out-of-order arrivals (bank rebuild),
+bulk ingest (vectorized rebuild then incremental resume), non-battery
+specs (snapshot fallback), regressed temporal anchors (window fallback),
+and the MDS provider's bank-backed attribute path.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.predictors import ALL_PREDICTOR_NAMES
+from repro.logs import TransferLog
+from repro.net import Site
+from repro.service import PredictionService
+from repro.service.provider import ServicePerfProvider
+
+DATA_DIR = Path(__file__).resolve().parent.parent.parent / "data"
+
+SITE = Site(name="LBL", domain="lbl.gov", address="131.243.2.91",
+            hostname="dpsslx04.lbl.gov")
+URL = "gsiftp://dpsslx04.lbl.gov:61000"
+
+
+def walk_both(records, specs, mutate=None):
+    """Walk two services in lockstep; assert identical answers throughout.
+
+    ``mutate`` optionally reorders/edits the record list first (both
+    services see the same stream).  Returns the streaming service.
+    """
+    streaming = PredictionService()
+    snapshot = PredictionService(streaming=False)
+    records = list(records) if mutate is None else mutate(list(records))
+    for i, record in enumerate(records):
+        if i >= 5:
+            for spec in specs:
+                a = streaming.predict("walk", record.file_size, spec=spec,
+                                      now=record.start_time)
+                b = snapshot.predict("walk", record.file_size, spec=spec,
+                                     now=record.start_time)
+                assert a.version == b.version == i
+                if b.value is None:
+                    assert a.value is None, f"{spec}@{i}: {a.value} vs abstain"
+                else:
+                    assert a.value == pytest.approx(b.value, rel=1e-12), f"{spec}@{i}"
+        streaming.observe("walk", record)
+        snapshot.observe("walk", record)
+    return streaming
+
+
+def test_streaming_walk_matches_snapshot_walk_full_battery():
+    records = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm").records()
+    service = walk_both(records, ALL_PREDICTOR_NAMES)
+    # Every cache miss on a battery spec took the fast path.
+    assert service._m_streamed.value > 0
+    assert service._m_stream_fallbacks.value == 0
+    assert service._m_rebuilds.value == 0
+
+
+@pytest.mark.exhaustive
+@pytest.mark.parametrize("log_name", ["aug-ISI-ANL.ulm", "dec-LBL-ANL.ulm",
+                                      "dec-ISI-ANL.ulm"])
+def test_streaming_walk_matches_snapshot_walk_all_logs(log_name):
+    path = DATA_DIR / log_name
+    if not path.exists():
+        pytest.skip(f"{log_name} not shipped")
+    records = TransferLog.load(path).records()
+    service = walk_both(records, ALL_PREDICTOR_NAMES)
+    assert service._m_streamed.value > 0
+    assert service._m_stream_fallbacks.value == 0
+
+
+def test_out_of_order_arrivals_rebuild_the_bank_and_stay_identical():
+    records = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm").records()[:80]
+
+    def shuffle_some(rs):
+        # Swap a few adjacent pairs so end times regress at ingest.
+        for i in (10, 25, 40, 60):
+            rs[i], rs[i + 1] = rs[i + 1], rs[i]
+        return rs
+
+    service = walk_both(records, ("C-AVG15", "AVG", "MED", "AR5d"),
+                        mutate=shuffle_some)
+    assert service._m_rebuilds.value > 0
+    assert service._m_streamed.value > 0
+
+
+def test_bulk_ingest_rebuilds_then_resumes_incrementally():
+    records = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm").records()
+    streaming = PredictionService()
+    snapshot = PredictionService(streaming=False)
+    streaming.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+    snapshot.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+    assert streaming._m_rebuilds.value == 1  # one vectorized fold, not N
+
+    now = records[-1].end_time + 60.0
+    for spec in ALL_PREDICTOR_NAMES:
+        a = streaming.predict("L", 600_000_000, spec=spec, now=now)
+        b = snapshot.predict("L", 600_000_000, spec=spec, now=now)
+        assert not a.cached and a.streamed
+        if b.value is None:
+            assert a.value is None, spec
+        else:
+            assert a.value == pytest.approx(b.value, rel=1e-12), spec
+    assert streaming._m_stream_fallbacks.value == 0
+
+
+def test_non_battery_spec_falls_back_to_snapshot():
+    streaming = PredictionService()
+    streaming.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+    snapshot = PredictionService(streaming=False)
+    snapshot.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+
+    a = streaming.predict("L", 600_000_000, spec="SIZE")
+    b = snapshot.predict("L", 600_000_000, spec="SIZE")
+    assert not a.streamed
+    assert streaming._m_stream_fallbacks.value == 1
+    if b.value is None:
+        assert a.value is None
+    else:
+        assert a.value == pytest.approx(b.value, rel=1e-12)
+
+
+def test_regressed_anchor_falls_back_and_stays_correct():
+    records = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm").records()
+    streaming = PredictionService()
+    snapshot = PredictionService(streaming=False)
+    streaming.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+    snapshot.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+
+    late = records[-1].end_time + 60.0
+    early = records[len(records) // 2].end_time  # behind the expired boundary
+    a1 = streaming.predict("L", 600_000_000, spec="AVG5hr", now=late)
+    assert a1.streamed
+    a2 = streaming.predict("L", 600_000_000, spec="AVG5hr", now=early)
+    b2 = snapshot.predict("L", 600_000_000, spec="AVG5hr", now=early)
+    assert not a2.streamed  # lazy expiry cannot rewind; snapshot answered
+    assert streaming._m_stream_fallbacks.value >= 1
+    if b2.value is None:
+        assert a2.value is None
+    else:
+        assert a2.value == pytest.approx(b2.value, rel=1e-12)
+
+
+def test_empty_link_short_circuits_without_resolution():
+    service = PredictionService()
+    # An unknown spec on an unknown link answers None instead of raising:
+    # the empty-history short-circuit runs before predictor resolution.
+    p = service.predict("nowhere", 600_000_000, spec="NOT-A-SPEC")
+    assert p.value is None and p.version == 0 and p.history_length == 0
+    assert not p.streamed
+    # A known link with history still validates the spec.
+    log = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm")
+    service.ingest_records("L", log.records()[:3])
+    with pytest.raises(KeyError):
+        service.predict("L", 600_000_000, spec="NOT-A-SPEC")
+
+
+def test_mds_provider_bank_path_matches_column_path():
+    streaming = PredictionService()
+    snapshot = PredictionService(streaming=False)
+    streaming.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+    snapshot.ingest_ulm(DATA_DIR / "aug-LBL-ANL.ulm", link="L")
+    now = 1e9
+
+    banked = ServicePerfProvider(streaming, "L", SITE, URL).entries(now)
+    column = ServicePerfProvider(snapshot, "L", SITE, URL).entries(now)
+    assert len(banked) == len(column) == 1
+    # Same attributes, same values, same order — byte-identical LDIF.
+    assert list(banked[0].items()) == list(column[0].items())
+
+
+def test_rank_replicas_resolves_once_and_ranks_identically():
+    streaming = PredictionService()
+    snapshot = PredictionService(streaming=False)
+    records = TransferLog.load(DATA_DIR / "aug-LBL-ANL.ulm").records()
+    for i, record in enumerate(records[:60]):
+        link = f"link-{i % 3}"
+        streaming.observe(link, record)
+        snapshot.observe(link, record)
+
+    now = records[59].end_time + 30.0
+    candidates = ["link-0", "link-1", "link-2", "ghost", "link-0"]
+    a = streaming.rank_replicas(candidates, 600_000_000, now=now)
+    b = snapshot.rank_replicas(candidates, 600_000_000, now=now)
+    assert [r.site for r in a] == [r.site for r in b]
+    for ra, rb in zip(a, b):
+        if rb.predicted_bandwidth is None:
+            assert ra.predicted_bandwidth is None
+        else:
+            assert ra.predicted_bandwidth == pytest.approx(
+                rb.predicted_bandwidth, rel=1e-12)

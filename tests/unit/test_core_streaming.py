@@ -1,0 +1,209 @@
+"""Unit tests for the incremental streaming summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import paper_classification
+from repro.core.predictors.registry import ALL_PREDICTOR_NAMES, resolve
+from repro.core.streaming import (
+    RECENT_CAPACITY,
+    StreamingBank,
+    StreamingUnavailable,
+)
+from repro.units import GB, HOUR, MB
+
+CLS = paper_classification()
+
+
+def make_bank(times, values, sizes=None, ops=None):
+    bank = StreamingBank(CLS)
+    n = len(times)
+    sizes = sizes if sizes is not None else [100 * MB] * n
+    ops = ops if ops is not None else [0] * n
+    for t, v, s, op in zip(times, values, sizes, ops):
+        bank.add(float(t), float(v), int(s), int(op))
+    return bank
+
+
+def answer(bank, spec, size=100 * MB, now=None):
+    return bank.answer(resolve(spec, classification=CLS), size, now)
+
+
+class TestBasicSummaries:
+    def test_empty_bank_abstains_on_every_battery_spec(self):
+        bank = StreamingBank(CLS)
+        for name in ALL_PREDICTOR_NAMES:
+            assert answer(bank, name, now=1000.0) is None, name
+
+    def test_total_average_and_last_value(self):
+        bank = make_bank([1, 2, 3], [10.0, 20.0, 60.0])
+        assert answer(bank, "AVG") == pytest.approx(30.0)
+        assert answer(bank, "LV") == 60.0
+
+    def test_windowed_mean_and_median_use_ring_tail(self):
+        values = np.arange(1.0, 41.0)  # 1..40
+        bank = make_bank(np.arange(40.0), values)
+        assert answer(bank, "AVG5") == pytest.approx(values[-5:].mean())
+        assert answer(bank, "MED5") == float(np.median(values[-5:]))
+        assert answer(bank, "AVG25") == pytest.approx(values[-25:].mean())
+        assert answer(bank, "MED25") == float(np.median(values[-25:]))
+
+    def test_running_median_even_and_odd(self):
+        bank = make_bank([1, 2, 3], [5.0, 1.0, 9.0])
+        assert answer(bank, "MED") == 5.0
+        bank.add(4.0, 7.0, 100 * MB, 0)
+        assert answer(bank, "MED") == 6.0  # (5+7)/2
+
+    def test_unbanked_spec_raises_unavailable(self):
+        bank = make_bank([1, 2, 3], [1.0, 2.0, 3.0])
+        with pytest.raises(StreamingUnavailable):
+            answer(bank, "SIZE")
+        with pytest.raises(StreamingUnavailable):
+            bank.answer(resolve("AVG40"), 100 * MB, None)  # window > ring
+
+
+class TestTemporalWindows:
+    def test_temporal_mean_evicts_by_anchor(self):
+        bank = make_bank([0.0, 1 * HOUR, 6 * HOUR], [10.0, 20.0, 40.0])
+        # Anchored just after the last record: 5hr window spans (1hr, 6hr].
+        assert answer(bank, "AVG5hr", now=6 * HOUR) == pytest.approx(
+            (20.0 + 40.0) / 2
+        )
+
+    def test_window_boundary_is_inclusive(self):
+        # history.since uses side="left": an observation exactly at the
+        # cutoff is inside the window.
+        bank = make_bank([0.0, 5 * HOUR], [10.0, 30.0])
+        assert answer(bank, "AVG5hr", now=10 * HOUR) == 30.0
+        bank2 = make_bank([0.0, 5 * HOUR], [10.0, 30.0])
+        assert answer(bank2, "AVG5hr", now=5 * HOUR) == pytest.approx(20.0)
+
+    def test_empty_window_abstains(self):
+        bank = make_bank([0.0], [10.0])
+        assert answer(bank, "AVG5hr", now=100 * HOUR) is None
+
+    def test_regressed_anchor_raises_unavailable(self):
+        bank = make_bank([0.0, 10 * HOUR], [10.0, 20.0])
+        assert answer(bank, "AVG5hr", now=10 * HOUR) == 20.0  # expires t=0
+        with pytest.raises(StreamingUnavailable):
+            answer(bank, "AVG5hr", now=4 * HOUR)  # window starts before boundary
+
+    def test_anchor_defaults_to_last_observation(self):
+        bank = make_bank([0.0, 1 * HOUR, 2 * HOUR], [10.0, 20.0, 30.0])
+        assert answer(bank, "AVG5hr", now=None) == pytest.approx(20.0)
+
+
+class TestArSummaries:
+    def test_matches_generic_ar_fit(self):
+        from repro.core.history import History
+
+        times = np.arange(10.0)
+        values = np.array([5.0, 7.0, 6.0, 9.0, 8.0, 11.0, 10.0, 13.0, 12.0, 15.0])
+        history = History(times=times, values=values,
+                         sizes=np.full(10, 100 * MB, dtype=np.int64))
+        bank = make_bank(times, values)
+        for spec in ("AR", "AR5d", "AR10d"):
+            expected = resolve(spec).predict(history, now=times[-1])
+            got = answer(bank, spec, now=times[-1])
+            assert got == pytest.approx(expected, rel=1e-9), spec
+
+    def test_below_min_points_falls_back_to_mean(self):
+        bank = make_bank([1.0, 2.0], [10.0, 30.0])
+        assert answer(bank, "AR", now=2.0) == pytest.approx(20.0)
+
+    def test_constant_series_is_singular_falls_back_to_mean(self):
+        bank = make_bank(np.arange(6.0), [42.0] * 6)
+        assert answer(bank, "AR", now=5.0) == pytest.approx(42.0)
+
+    def test_windowed_ar_evicts_pairs_and_min(self):
+        from repro.core.history import History
+        from repro.units import DAY
+
+        times = np.array([0.0, 1.0, 2.0, 4.9, 5.0, 5.1, 5.2]) * DAY
+        values = np.array([1.0, 100.0, 2.0, 50.0, 60.0, 55.0, 65.0])
+        history = History(times=times, values=values,
+                         sizes=np.full(7, 100 * MB, dtype=np.int64))
+        bank = make_bank(times, values)
+        anchor = float(times[-1])
+        expected = resolve("AR5d").predict(history, now=anchor)
+        assert answer(bank, "AR5d", now=anchor) == pytest.approx(expected, rel=1e-9)
+
+
+class TestClassifiedVariants:
+    def test_per_class_series_are_independent(self):
+        sizes = [10 * MB, 1 * GB, 10 * MB, 1 * GB]
+        values = [10.0, 1000.0, 20.0, 2000.0]
+        bank = make_bank(np.arange(4.0), values, sizes=sizes)
+        assert answer(bank, "C-AVG", size=10 * MB) == pytest.approx(15.0)
+        assert answer(bank, "C-AVG", size=1 * GB) == pytest.approx(1500.0)
+        assert answer(bank, "AVG") == pytest.approx(757.5)
+
+    def test_unseen_class_abstains_without_fallback(self):
+        bank = make_bank([1.0], [10.0], sizes=[10 * MB])
+        assert answer(bank, "C-AVG", size=1 * GB) is None
+
+    def test_fallback_retries_unclassified(self):
+        bank = make_bank([1.0, 2.0], [10.0, 30.0], sizes=[10 * MB, 10 * MB])
+        predictor = resolve("C-AVG", classification=CLS, fallback=True)
+        assert bank.answer(predictor, 1 * GB, None) == pytest.approx(20.0)
+
+    def test_classification_mismatch_raises_unavailable(self):
+        bank = make_bank([1.0], [10.0])
+        foreign = resolve("C-AVG", classification=paper_classification())
+        with pytest.raises(StreamingUnavailable):
+            bank.answer(foreign, 100 * MB, None)
+
+
+class TestRebuild:
+    def test_rebuild_counts_and_reports_reason(self):
+        reasons = []
+        bank = StreamingBank(CLS, on_rebuild=reasons.append)
+        bank.rebuild(np.array([1.0]), np.array([5.0]),
+                     np.array([100 * MB]), np.array([0]), reason="out_of_order")
+        assert bank.rebuilds == 1
+        assert reasons == ["out_of_order"]
+
+    def test_rebuilt_bank_resumes_incrementally(self):
+        times = np.arange(50.0)
+        values = np.linspace(1.0, 50.0, 50)
+        sizes = np.full(50, 100 * MB, dtype=np.int64)
+        ops = np.zeros(50, dtype=np.int8)
+
+        rebuilt = StreamingBank(CLS)
+        rebuilt.rebuild(times[:40], values[:40], sizes[:40], ops[:40])
+        folded = make_bank(times[:40], values[:40])
+        for t, v in zip(times[40:], values[40:]):
+            rebuilt.add(t, v, 100 * MB, 0)
+            folded.add(t, v, 100 * MB, 0)
+        for spec in ("AVG", "LV", "AVG5", "MED", "MED25", "AR"):
+            a = answer(rebuilt, spec, now=times[-1])
+            b = answer(folded, spec, now=times[-1])
+            assert a == pytest.approx(b, rel=1e-12), spec
+
+
+class TestMdsAttributes:
+    def test_op_summaries_split_by_direction(self):
+        bank = make_bank([1, 2, 3, 4], [10.0, 99.0, 20.0, 77.0],
+                         ops=[0, 1, 0, 1])
+        reads = bank.op_summary(0)
+        writes = bank.op_summary(1)
+        assert reads.count == 2 and reads.mean == pytest.approx(15.0)
+        assert writes.count == 2 and writes.maximum == 99.0
+        assert bank.op_summary(7).count == 0
+
+    def test_class_read_means_only_count_reads(self):
+        bank = make_bank([1, 2, 3], [10.0, 30.0, 999.0],
+                         sizes=[10 * MB, 10 * MB, 10 * MB], ops=[0, 0, 1])
+        means = bank.class_read_means()
+        assert list(means.values()) == [pytest.approx(20.0)]
+
+    def test_recent_reads_tail_and_overflow(self):
+        n = RECENT_CAPACITY + 10
+        bank = make_bank(np.arange(float(n)), np.arange(1.0, n + 1.0))
+        assert bank.recent_reads(5) == [n - 4.0, n - 3.0, n - 2.0, n - 1.0, float(n)]
+        # More reads exist than the ring holds: the bank cannot answer.
+        assert bank.recent_reads(RECENT_CAPACITY + 5) is None
+
+    def test_recent_reads_short_history_returns_everything(self):
+        bank = make_bank([1, 2], [5.0, 6.0])
+        assert bank.recent_reads(10) == [5.0, 6.0]
