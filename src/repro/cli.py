@@ -9,6 +9,7 @@ Examples::
     repro evaluate logs/aug-LBL-ANL.ulm --predictors C-AVG15,C-MED,SIZE --json
     repro serve --socket /tmp/repro.sock data/*.ulm --follow
     repro query predict --socket /tmp/repro.sock --link aug-LBL-ANL --size 1GB
+    repro query batch --socket /tmp/repro.sock --batch items.json --binary
     repro query rank --logs data/aug-LBL-ANL.ulm,data/aug-ISI-ANL.ulm --size 100MB
 
 Conventions: predictor sets are always ``--predictors`` (comma-separated
@@ -335,7 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if not args.socket:
         raise SystemExit("serve needs --socket (or --oneshot)")
-    server = ServiceServer(service, args.socket)
+    server = ServiceServer(service, args.socket, legacy_errors=args.legacy_errors)
     print(f"serving {len(service.links())} links on {args.socket}", file=sys.stderr)
     if args.follow:
         import threading
@@ -379,6 +380,50 @@ def _dump_metrics_snapshot(service, path: str) -> None:
         handle.write(line + "\n")
 
 
+def _load_batch_items(path: str) -> List[Dict[str, object]]:
+    """Batch items from a JSON array file or a JSON-lines file.
+
+    Each item is ``{"link": ..., "size": ...}`` (plus optional
+    ``spec``/``now``) or a ``[link, size]`` / ``[link, size, spec]``
+    array; sizes accept the usual KB/MB/GB suffixes.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read batch file {path}: {exc}") from None
+    stripped = text.lstrip()
+    if not stripped:
+        raise SystemExit(f"batch file {path} is empty")
+    try:
+        if stripped.startswith("["):
+            entries = json.loads(text)
+        else:
+            entries = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+    except ValueError as exc:
+        raise SystemExit(f"bad JSON in batch file {path}: {exc}") from None
+    items: List[Dict[str, object]] = []
+    for pos, entry in enumerate(entries):
+        if isinstance(entry, dict):
+            item = dict(entry)
+        elif isinstance(entry, list) and 2 <= len(entry) <= 4:
+            item = {"link": entry[0], "size": entry[1]}
+            if len(entry) > 2 and entry[2] is not None:
+                item["spec"] = entry[2]
+            if len(entry) > 3 and entry[3] is not None:
+                item["now"] = entry[3]
+        else:
+            raise SystemExit(
+                f"batch file {path} item {pos}: expected an object or a "
+                f"[link, size(, spec(, now))] array"
+            )
+        if "size" in item and isinstance(item["size"], str):
+            item["size"] = _parse_size(item["size"])
+        items.append(item)
+    return items
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     req: Dict[str, object] = {"op": args.op}
     if args.kind and args.op in ("trace", "events"):
@@ -389,6 +434,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if not args.link or args.size is None:
             raise SystemExit("query predict needs --link and --size")
         req.update({"link": args.link, "size": _parse_size(args.size)})
+    elif args.op == "batch":
+        if not args.batch:
+            raise SystemExit("query batch needs --batch FILE")
+        req["op"] = "predict_batch"
+        req["items"] = _load_batch_items(args.batch)
     elif args.op == "rank":
         if not args.candidates or args.size is None:
             raise SystemExit("query rank needs --candidates and --size")
@@ -402,13 +452,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         req["now"] = args.now
 
     if args.socket:
-        from repro.service.server import request
+        from repro.client import ServiceClient
 
         try:
-            response = request(args.socket, req)
+            with ServiceClient(args.socket, binary=args.binary) as client:
+                response = client.request(req)
         except (OSError, ConnectionError) as exc:
             raise SystemExit(f"cannot reach server at {args.socket}: {exc}") from None
     elif args.logs:
+        if args.binary:
+            raise SystemExit("--binary needs a live server (--socket)")
         from repro.service.server import handle_request
 
         service = _build_service(
@@ -420,7 +473,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit("query needs --socket (live server) or --logs (in-process)")
 
     if not response.get("ok"):
-        raise SystemExit(f"query failed: {response.get('error', 'unknown error')}")
+        from repro.client import error_info
+
+        code, message = error_info(response)
+        detail = message if code == "error" else f"{code}: {message}"
+        raise SystemExit(f"query failed: {detail}")
 
     _emit(response, args.json, _render_query(args.op, response))
     return 0
@@ -429,6 +486,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _render_query(op: str, response: Dict) -> str:
     if op == "ping":
         return "pong"
+    if op == "batch":
+        lines = []
+        ok = 0
+        for i, item in enumerate(response["results"]):
+            if not item.get("ok"):
+                from repro.client import error_info
+
+                code, message = error_info(item)
+                lines.append(f"{i}. error [{code}] {message}")
+                continue
+            ok += 1
+            value = item["value"]
+            rendered = (
+                f"{value / 1e6:.3f} MB/s" if value is not None else "no prediction"
+            )
+            if item.get("degraded"):
+                rendered += " [degraded fallback]"
+            lines.append(
+                f"{i}. {item['link']} [{item['spec']}] size={item['size']}: "
+                f"{rendered} ({'cached' if item['cached'] else 'computed'})"
+            )
+        lines.append(f"{ok}/{response['count']} predictions answered")
+        return "\n".join(lines)
     if op == "predict":
         value = response["value"]
         rendered = f"{value / 1e6:.3f} MB/s" if value is not None else "no prediction"
@@ -567,15 +647,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds between --metrics-file snapshots")
     serve.add_argument("--metrics-file", default=None,
                        help="append periodic registry snapshots (JSONL) here")
+    serve.add_argument("--legacy-errors", action="store_true",
+                       help="emit deprecated bare-string errors to JSON "
+                            "clients (one-release compatibility bridge)")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query", help="query a prediction service")
     query.add_argument(
         "op",
-        choices=["ping", "predict", "rank", "status", "metrics", "spans",
-                 "events", "trace"],
+        choices=["ping", "predict", "batch", "rank", "status", "metrics",
+                 "spans", "events", "trace"],
     )
     query.add_argument("--socket", default=None, help="socket of a running server")
+    query.add_argument("--binary", action="store_true",
+                       help="speak the binary frame protocol (needs --socket)")
+    query.add_argument("--batch", default=None, metavar="FILE",
+                       help="batch items file (JSON array or JSON lines) "
+                            "for the batch op")
     query.add_argument("--logs", default=None,
                        help="comma-separated ULM logs for an in-process answer")
     query.add_argument("--link", default=None, help="link to predict for")

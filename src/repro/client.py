@@ -1,0 +1,322 @@
+"""ServiceClient — the one public way to talk to a prediction server.
+
+Every consumer of the socket protocol (the CLI, benchmarks, federation
+tiers, tests) goes through :class:`ServiceClient`; the historical
+``repro.service.server.request()`` helper survives only as a deprecated
+wrapper over it.  The client speaks both wire dialects over one reused
+connection:
+
+* **JSON-lines** (the default) — one JSON object per line, human-
+  debuggable with ``nc -U``;
+* **binary frames** (``binary=True``) — the length-prefixed
+  struct-packed protocol of :mod:`repro.wire`, the shape batch traffic
+  wants.
+
+Both dialects carry the same versioned request/response envelope: every
+request is stamped with the protocol schema version ``v`` (current: 1)
+and every response echoes one; errors arrive normalized as
+``{"ok": false, "error": {"code", "message"}}``.  The client also
+accepts the legacy bare-string ``error`` emitted by pre-envelope servers
+(and by servers running with the ``legacy_errors`` compatibility flag),
+so it can talk to either generation — :func:`error_info` is the one
+place both shapes are normalized.
+
+Connection lifecycle: lazy connect on first use, retried through server
+startup races under :data:`CONNECT_RETRY_POLICY` (the fault-injection
+site ``socket.connect`` fires per attempt); a request that fails on a
+*reused* connection reconnects and retries once, so a server restart
+between requests is invisible; a failure on a fresh connection
+propagates — the server really is unreachable.  When every connect
+attempt fails the underlying ``OSError`` is re-raised, so callers keep
+catching ``OSError``/``ConnectionError``.
+
+    with ServiceClient("/tmp/repro.sock") as client:
+        p = client.predict("LBL-ANL", 600_000_000)
+        batch = client.predict_batch([("LBL-ANL", 10**9)] * 1000)
+
+    with ServiceClient("/tmp/repro.sock", binary=True) as client:
+        ranking = client.rank(["LBL-ANL", "ISI-ANL"], 10**9)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import faults as _faults
+from repro import wire
+from repro.resilience import RetryError, RetryPolicy
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "CONNECT_RETRY_POLICY",
+    "error_info",
+]
+
+#: Default client-side policy for reaching a server that is still
+#: binding its socket (``repro serve`` startup race): a missing socket
+#: file or a refused/timed-out connect retries briefly with backoff.
+CONNECT_RETRY_POLICY = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=0.5, jitter=0.25
+)
+
+_CONNECT_RETRY_ON = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    FileNotFoundError,   # the socket path does not exist yet
+    socket.timeout,
+)
+
+#: One JSON response line may not exceed this.
+MAX_RESPONSE_BYTES = wire.MAX_FRAME_BYTES
+
+
+def error_info(response: Dict[str, Any]) -> Tuple[str, str]:
+    """``(code, message)`` from a failed response, either error shape.
+
+    The normalized envelope yields its ``code``/``message`` pair; the
+    legacy bare-string form yields ``("error", <the string>)``.
+    """
+    error = response.get("error")
+    if isinstance(error, dict):
+        return str(error.get("code", "error")), str(error.get("message", ""))
+    return "error", str(error)
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}" if code != "error" else message)
+        self.code = code
+        self.message = message
+
+    @classmethod
+    def from_response(cls, response: Dict[str, Any]) -> "ServiceError":
+        return cls(*error_info(response))
+
+
+class ServiceClient:
+    """A reusable connection to a :class:`~repro.service.server.ServiceServer`.
+
+    Parameters
+    ----------
+    socket_path:
+        The server's Unix socket.
+    binary:
+        Speak the :mod:`repro.wire` binary frame protocol instead of
+        JSON-lines.  Same requests, same responses — the server
+        autodetects per connection.
+    timeout:
+        Per-operation socket timeout (seconds).
+    retry:
+        Connect retry policy (default :data:`CONNECT_RETRY_POLICY`);
+        pass ``RetryPolicy(max_attempts=1)`` to fail fast.
+
+    Thread safety: one client, one connection, one request in flight —
+    share a server between threads by giving each thread its own client.
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path],
+        *,
+        binary: bool = False,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self.socket_path = str(socket_path)
+        self.binary = binary
+        self.timeout = timeout
+        self._retry = CONNECT_RETRY_POLICY if retry is None else retry
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._writer = wire.FrameWriter() if binary else None
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "ServiceClient":
+        """Connect now (otherwise the first request connects lazily).
+
+        Refused/timed-out connects and a socket path that does not exist
+        *yet* retry under the policy; when every attempt fails the
+        underlying ``OSError`` is re-raised.
+        """
+        if self._sock is not None:
+            return self
+        try:
+            self._retry.call(
+                self._connect_once,
+                retry_on=_CONNECT_RETRY_ON,
+                label=f"connect[{self.socket_path}]",
+            )
+        except RetryError as exc:
+            cause = exc.__cause__
+            if isinstance(cause, OSError):
+                raise cause
+            raise
+        return self
+
+    def _connect_once(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.timeout)
+            _faults.check("socket.connect", path=self.socket_path)
+            sock.connect(self.socket_path)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request dict, return the raw response envelope.
+
+        The request is stamped with the protocol version (``v``) if the
+        caller did not set one.  ``ok: false`` responses come back as
+        dicts — use the typed helpers (:meth:`predict`, :meth:`rank`,
+        ...) to get raising behavior instead.
+        """
+        if "v" not in req:
+            req = {**req, "v": wire.PROTOCOL_VERSION}
+        fresh = self._sock is None
+        if fresh:
+            self.connect()
+        try:
+            return self._roundtrip(req)
+        except (OSError, ConnectionError, wire.FrameError):
+            self.close()
+            if fresh:
+                raise
+            # The reused connection went stale (server restart, idle
+            # timeout): reconnect and retry exactly once.
+            self.connect()
+            return self._roundtrip(req)
+
+    def _roundtrip(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        if self.binary:
+            self._sock.sendall(self._writer.encode_request(req))
+            result = wire.read_frame(self._rfile)
+            if result is None:
+                raise ConnectionError(f"no response from {self.socket_path}")
+            op, payload = result
+            return wire.decode_response(op, payload)
+        self._sock.sendall(json.dumps(req).encode("utf-8") + b"\n")
+        line = self._rfile.readline(MAX_RESPONSE_BYTES)
+        if not line:
+            raise ConnectionError(f"no response from {self.socket_path}")
+        return json.loads(line.decode("utf-8"))
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """A request that raises :class:`ServiceError` on ``ok: false``."""
+        response = self.request({"op": op, **fields})
+        if not response.get("ok"):
+            raise ServiceError.from_response(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # the public API
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def predict(
+        self,
+        link: str,
+        size: int,
+        spec: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One prediction payload (``link``/``spec``/``value``/...)."""
+        req: Dict[str, Any] = {"link": link, "size": int(size)}
+        if spec is not None:
+            req["spec"] = spec
+        if now is not None:
+            req["now"] = now
+        return self.call("predict", **req)
+
+    def predict_batch(
+        self,
+        items: Sequence,
+        spec: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Per-item result dicts for a batch of ``(link, size)`` pairs.
+
+        ``items`` may be ``(link, size[, spec[, now]])`` tuples or
+        ``{"link", "size", "spec"?, "now"?}`` dicts; ``spec``/``now``
+        are batch-wide defaults.  Each result is either a prediction
+        payload with ``ok: true`` or a per-item ``{"ok": false,
+        "error": {...}}`` — a bad item never fails the batch.
+        """
+        wire_items = []
+        for item in items:
+            if isinstance(item, dict):
+                wire_items.append(item)
+            else:
+                entry: Dict[str, Any] = {"link": item[0], "size": int(item[1])}
+                if len(item) > 2 and item[2] is not None:
+                    entry["spec"] = item[2]
+                if len(item) > 3 and item[3] is not None:
+                    entry["now"] = item[3]
+                wire_items.append(entry)
+        req: Dict[str, Any] = {"items": wire_items}
+        if spec is not None:
+            req["spec"] = spec
+        if now is not None:
+            req["now"] = now
+        return self.call("predict_batch", **req)["results"]
+
+    def rank(
+        self,
+        candidates: Sequence[str],
+        size: int,
+        spec: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """The ordered replica ranking for a transfer of ``size`` bytes."""
+        req: Dict[str, Any] = {"candidates": list(candidates), "size": int(size)}
+        if spec is not None:
+            req["spec"] = spec
+        if now is not None:
+            req["now"] = now
+        return self.call("rank", **req)["ranking"]
+
+    def status(self) -> Dict[str, Any]:
+        return self.call("status")
+
+    def __repr__(self) -> str:
+        proto = "binary" if self.binary else "json"
+        state = "connected" if self.connected else "idle"
+        return f"<ServiceClient {self.socket_path} proto={proto} {state}>"

@@ -20,8 +20,8 @@ serve → MDS):
   self-overhead benchmark can measure exactly what this layer costs
   (<5% on the ingest and evaluate claims, by assertion).
 
-``repro.service.metrics`` remains as a deprecated shim re-exporting the
-names that used to live there.
+The historical ``repro.service.metrics`` shim is gone; import these
+names from here.
 """
 
 from repro.obs.config import disabled, enabled, set_enabled

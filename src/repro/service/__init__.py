@@ -5,16 +5,19 @@ serves predictions *live*, the deployment posture of Sections 5–6:
 
 * :mod:`repro.service.state` — per-link versioned observation arrays;
 * :mod:`repro.service.service` — :class:`PredictionService`: incremental
-  ingest, version-keyed LRU-cached ``predict``/``rank_replicas``;
+  ingest, version-keyed LRU-cached ``predict``/``rank_replicas``, and
+  the vectorized ``predict_batch`` sweep;
 * :mod:`repro.service.tail` — follow a growing ULM log file;
-* :mod:`repro.service.server` — Unix-socket JSON-lines front end
+* :mod:`repro.service.server` — Unix-socket front end speaking
+  JSON-lines and the :mod:`repro.wire` binary frame protocol
   (``repro serve`` / ``repro query``);
 * :mod:`repro.service.provider` — a ``GridFTPPerf`` MDS provider
   rendered from warm state.
 
-Metrics/tracing/events live in :mod:`repro.obs` (the instrument names
-below re-export from there; :mod:`repro.service.metrics` remains as a
-deprecated shim).
+Talk to a server through :class:`repro.client.ServiceClient` — the
+``server.request()`` helper survives one release as a deprecated
+wrapper.  Metrics/tracing/events live in :mod:`repro.obs` (the
+instrument names below re-export from there).
 """
 
 from repro.obs.events import TraceEvent, TraceLog

@@ -1,36 +1,54 @@
-"""A JSON-lines query front end for the prediction service.
+"""The dual-protocol query front end for the prediction service.
 
 The paper's GRIS answers LDAP inquiries; this module is the equivalent
-local transport for the reproduction: a Unix-domain socket speaking one
-JSON object per line.  ``repro serve`` runs it; ``repro query`` is the
-client.  Each request names an ``op``:
+local transport for the reproduction: a Unix-domain socket speaking
+**two dialects**, autodetected per connection from the first byte:
 
-========== ======================================== =====================
-op          request fields                           response payload
-========== ======================================== =====================
-``ping``    —                                        ``{"pong": true}``
-``predict`` ``link``, ``size``, [``spec``, ``now``]  the Prediction fields
-``rank``    ``candidates``, ``size``, [``spec``]     ordered replica list
-``status``  —                                        service status dict
-``metrics`` [``format``]                             merged registry snapshot
-``spans``   [``name``, ``limit``]                    finished spans
-``events``  [``kind``, ``limit``, ``scope``]         structured events
-``trace``   [``kind``]                               recent trace events
-========== ======================================== =====================
+* **JSON-lines** — one JSON object per line (a leading ``{`` or
+  whitespace);
+* **binary frames** — the length-prefixed struct-packed protocol of
+  :mod:`repro.wire` (a leading ``0xA5`` magic byte), the shape batch
+  traffic and the future federation tier want.
+
+``repro serve`` runs the server; :class:`repro.client.ServiceClient` is
+the client for both dialects.  Each request names an ``op``:
+
+=================  ======================================= =====================
+op                  request fields                          response payload
+=================  ======================================= =====================
+``ping``            —                                       ``{"pong": true}``
+``predict``         ``link``, ``size``, [``spec``, ``now``] the Prediction fields
+``predict_batch``   ``items``, [``spec``, ``now``]          per-item ``results``
+``rank``            ``candidates``, ``size``, [``spec``]    ordered replica list
+``status``          —                                       service status dict
+``metrics``         [``format``]                            merged registry snapshot
+``spans``           [``name``, ``limit``]                   finished spans
+``events``          [``kind``, ``limit``, ``scope``]        structured events
+``trace``           [``kind``]                              recent trace events
+=================  ======================================= =====================
+
+**Envelope.**  Every request may carry ``v`` — the protocol schema
+version (default 1); every response carries ``v`` and ``ok``.  Errors
+are normalized: ``{"ok": false, "v": 1, "error": {"code", "message"}}``.
+For one release the legacy bare-string ``error`` shape is still
+available to old JSON clients via ``ServiceServer(...,
+legacy_errors=True)`` / ``repro serve --legacy-errors``; see
+``docs/wire-protocol.md`` for the schedule.  A request with a ``v``
+above what the server speaks answers ``unsupported_version`` in-band.
+
+``predict_batch`` answers thousands of ``(link, size)`` pairs in one
+round trip through :meth:`PredictionService.predict_batch`'s vectorized
+bank sweep; a malformed item (missing field, unknown spec) yields a
+per-item ``{"ok": false, "error": ...}`` entry without failing the rest
+of the batch, and the per-request deadline is checked between link
+groups.
 
 ``metrics`` merges the service's own registry with the process-wide
-:func:`repro.obs.get_registry` (ingest/evaluate/MDS instrumentation);
-``format: "text"`` returns the Prometheus exposition instead of JSON.
-``spans`` reads the process-wide span exporter.  ``events`` reads the
-service's event bus by default; ``scope: "global"`` reads the
-process-wide bus, ``scope: "all"`` merges both by time.  ``trace`` is
-the historical alias for service-scope events.
-
-Every response carries ``"ok": true`` or ``"ok": false`` plus
-``"error"``.  The dispatch lives in :func:`handle_request`, a pure
-``dict -> dict`` function, so the CLI can answer one-shot queries
-in-process without a socket — and tests can exercise every op without
-binding one.
+:func:`repro.obs.get_registry`; ``format: "text"`` returns the
+Prometheus exposition.  The dispatch lives in :func:`handle_request`, a
+pure ``dict -> dict`` function, so the CLI can answer one-shot queries
+in-process without a socket — and tests can exercise every op (on
+either protocol) without binding one.
 """
 
 from __future__ import annotations
@@ -39,16 +57,19 @@ import json
 import socket
 import socketserver
 import threading
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro import faults as _faults
+from repro import wire
+from repro.client import CONNECT_RETRY_POLICY  # noqa: F401  (compat re-export)
+from repro.core.predictors.registry import resolve as _resolve_spec
 from repro.obs.config import enabled as _obs_enabled
 from repro.obs.events import get_event_bus
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import get_span_exporter
-from repro.resilience import Deadline, DeadlineExceeded, RetryError, RetryPolicy
-from repro.service.service import PredictionService
+from repro.resilience import Deadline, DeadlineExceeded, RetryPolicy
+from repro.service.service import Prediction, PredictionService
 
 __all__ = [
     "handle_request",
@@ -56,30 +77,24 @@ __all__ = [
     "request",
     "CONNECT_RETRY_POLICY",
     "MAX_REQUEST_BYTES",
+    "PROTOCOL_VERSION",
 ]
 
 #: One JSON request line may not exceed this (a malicious or confused
-#: client must not balloon the handler's memory).
+#: client must not balloon the handler's memory).  Binary frames carry
+#: their own bound, :data:`repro.wire.MAX_FRAME_BYTES`.
 MAX_REQUEST_BYTES = 1 << 20
 
-#: Default client-side policy for reaching a server that is still
-#: binding its socket (``repro serve`` startup race): a missing socket
-#: file or a refused/timed-out connect retries briefly with backoff.
-CONNECT_RETRY_POLICY = RetryPolicy(
-    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=0.5, jitter=0.25
-)
+#: The request/response schema version this server speaks (re-exported
+#: from :mod:`repro.wire`, where the envelope is defined).
+PROTOCOL_VERSION = wire.PROTOCOL_VERSION
 
-_CONNECT_RETRY_ON = (
-    ConnectionRefusedError,
-    ConnectionResetError,
-    FileNotFoundError,   # the socket path does not exist yet
-    socket.timeout,
-)
-
-# Process-wide server instrumentation (see docs/resilience.md).
+# Process-wide server instrumentation (see docs/resilience.md).  The
+# request/bad-request counters carry a ``protocol`` label so the two
+# dialects are separable in one scrape.
 _REG = get_registry()
 _M_REQUESTS = _REG.counter(
-    "server_requests", "JSON requests answered by the socket server")
+    "server_requests", "requests answered by the socket server")
 _M_BAD = _REG.counter(
     "server_bad_requests", "malformed or oversized requests answered in-band")
 _M_DEADLINES = _REG.counter(
@@ -118,6 +133,20 @@ def _events_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str
     return {"events": [e.as_dict() for e in events]}
 
 
+def _prediction_fields(p: Prediction) -> Dict[str, Any]:
+    return {
+        "link": p.link,
+        "spec": p.spec,
+        "size": p.target_size,
+        "value": p.value,
+        "cached": p.cached,
+        "version": p.version,
+        "history_length": p.history_length,
+        "latency_seconds": p.latency_seconds,
+        "degraded": p.degraded,
+    }
+
+
 def _predict_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
     prediction = service.predict(
         str(req["link"]),
@@ -125,17 +154,63 @@ def _predict_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[st
         spec=req.get("spec"),
         now=req.get("now"),
     )
-    return {
-        "link": prediction.link,
-        "spec": prediction.spec,
-        "size": prediction.target_size,
-        "value": prediction.value,
-        "cached": prediction.cached,
-        "version": prediction.version,
-        "history_length": prediction.history_length,
-        "latency_seconds": prediction.latency_seconds,
-        "degraded": prediction.degraded,
-    }
+    return _prediction_fields(prediction)
+
+
+def _batch_payload(
+    service: PredictionService, req: Dict[str, Any], deadline: Deadline
+) -> Dict[str, Any]:
+    """Per-item results for a ``predict_batch`` request.
+
+    Item validation is per item: a malformed entry (missing field, bad
+    type, unknown spec) becomes an in-band ``{"ok": false, "error":
+    {...}}`` at its position — the rest of the batch still answers.
+    Per-item errors are always the normalized shape; the legacy
+    compatibility flag covers only the top-level envelope.
+    """
+    items = req["items"]
+    if not isinstance(items, (list, tuple)):
+        raise ValueError("items must be a list of {link, size} objects")
+    spec_default = req.get("spec")
+    if spec_default is not None:
+        _resolve_spec(str(spec_default))  # a bad default fails the batch
+    now_default = req.get("now")
+    entries: List[Optional[Dict[str, Any]]] = [None] * len(items)
+    valid: List[Tuple[int, Tuple[str, int, Optional[str], Optional[float]]]] = []
+    known_specs = set()
+    for pos, item in enumerate(items):
+        try:
+            if not isinstance(item, dict):
+                raise ValueError("batch item must be an object")
+            link = str(item["link"])
+            size = int(item["size"])
+            spec_i = item.get("spec")
+            if spec_i is not None:
+                spec_i = str(spec_i)
+                if spec_i not in known_specs:
+                    _resolve_spec(spec_i)  # KeyError -> this item only
+                    known_specs.add(spec_i)
+            now_i = item.get("now", now_default)
+            now_i = None if now_i is None else float(now_i)
+        except (KeyError, TypeError, ValueError) as exc:
+            entries[pos] = {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": f"item {pos}: {type(exc).__name__}: {exc}",
+                },
+            }
+            continue
+        valid.append((pos, (link, size, spec_i, now_i)))
+    predictions = service.predict_batch(
+        [item for _, item in valid],
+        spec=spec_default,
+        now=None if now_default is None else float(now_default),
+        deadline=deadline,
+    )
+    for (pos, _), prediction in zip(valid, predictions):
+        entries[pos] = {"ok": True, **_prediction_fields(prediction)}
+    return {"count": len(items), "results": entries}
 
 
 def _rank_payload(
@@ -164,22 +239,38 @@ def handle_request(
     service: PredictionService,
     req: Dict[str, Any],
     deadline: Optional[Deadline] = None,
+    legacy_errors: bool = False,
 ) -> Dict[str, Any]:
     """Answer one request dict; never raises (errors come back in-band).
 
     ``deadline``, when given, bounds the whole request: it is checked
     before dispatch and propagated into multi-step operations (``rank``
-    checks it between candidates' predictions), so one slow request can
-    never hold a connection thread indefinitely.
+    checks it between candidates' predictions, ``predict_batch`` between
+    link groups), so one slow request can never hold a connection thread
+    indefinitely.  ``legacy_errors`` emits failures as the deprecated
+    bare-string ``error`` instead of the normalized ``{code, message}``
+    object — a one-release compatibility bridge for old JSON clients.
     """
     deadline = deadline or Deadline.unbounded()
     try:
+        v = req.get("v", PROTOCOL_VERSION)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+            raise ValueError(f"bad protocol version {v!r}")
+        if v > PROTOCOL_VERSION:
+            return wire.error_response(
+                "unsupported_version",
+                f"protocol version {v} not supported (this server speaks "
+                f"{PROTOCOL_VERSION})",
+                legacy=legacy_errors,
+            )
         deadline.check("request")
         op = req.get("op")
         if op == "ping":
             payload: Dict[str, Any] = {"pong": True}
         elif op == "predict":
             payload = _predict_payload(service, req)
+        elif op == "predict_batch":
+            payload = _batch_payload(service, req, deadline)
         elif op == "rank":
             payload = _rank_payload(service, req, deadline)
         elif op == "status":
@@ -202,31 +293,100 @@ def handle_request(
             events = service.trace.events(kind=req.get("kind"))
             payload = {"events": [e.as_dict() for e in events]}
         else:
-            return {"ok": False, "error": f"unknown op {op!r}"}
+            return wire.error_response(
+                "unknown_op", f"unknown op {op!r}", legacy=legacy_errors
+            )
         deadline.check("request")
-        return {"ok": True, **payload}
+        return {"ok": True, "v": PROTOCOL_VERSION, **payload}
     except DeadlineExceeded as exc:
         if _obs_enabled():
             _M_DEADLINES.inc()
-        return {"ok": False, "error": f"DeadlineExceeded: {exc}"}
+        return wire.error_response(
+            "deadline_exceeded", f"DeadlineExceeded: {exc}", legacy=legacy_errors
+        )
     except (KeyError, TypeError, ValueError) as exc:
-        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return wire.error_response(
+            "bad_request", f"{type(exc).__name__}: {exc}", legacy=legacy_errors
+        )
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: read a line, answer a line, survive everything.
+    """One connection: answer requests in-band, survive everything.
 
-    A malformed line, an oversized line, or an unexpected handler
-    exception all answer in-band and keep the connection thread alive —
-    only transport failure (the peer going away) or an unrecoverably
-    desynchronized stream (an oversized request we cannot resync past)
-    ends the loop.
+    The first byte decides the dialect: the binary magic (``0xA5``, not
+    a valid JSON/UTF-8 lead byte) selects the framed loop, anything else
+    the JSON-lines loop.  A malformed line/frame, an oversized request,
+    or an unexpected handler exception all answer in-band and keep the
+    connection thread alive — only transport failure (the peer going
+    away) or an unrecoverably desynchronized stream (an oversized
+    JSON line or a corrupt frame header we cannot resync past) ends the
+    loop, and even those answer in-band first when the pipe allows it.
     """
 
     def handle(self) -> None:
         server = self.server
         service = server.service  # type: ignore[attr-defined]
         timeout = getattr(server, "request_timeout", None)
+        legacy = getattr(server, "legacy_errors", False)
+        try:
+            first = self.rfile.peek(1)[:1]
+        except OSError:
+            return
+        if first == wire.MAGIC[:1]:
+            self._handle_binary(service, timeout)
+        else:
+            self._handle_json(service, timeout, legacy)
+
+    # -- shared ---------------------------------------------------------
+    def _deadline(self, timeout: Optional[float]) -> Deadline:
+        return Deadline.after(timeout) if timeout else Deadline.unbounded()
+
+    def _dispatch(
+        self,
+        service: PredictionService,
+        req: Dict[str, Any],
+        timeout: Optional[float],
+        legacy: bool,
+    ) -> Dict[str, Any]:
+        try:
+            return handle_request(
+                service, req, deadline=self._deadline(timeout),
+                legacy_errors=legacy,
+            )
+        except Exception as exc:  # defense in depth: never drop the thread
+            if _obs_enabled():
+                _M_INTERNAL.inc()
+            return wire.error_response(
+                "internal",
+                f"internal error: {type(exc).__name__}: {exc}",
+                legacy=legacy,
+            )
+
+    def _count(self, protocol: str) -> None:
+        if _obs_enabled():
+            _M_REQUESTS.inc()
+            _M_REQUESTS.labels(protocol=protocol).inc()
+
+    def _count_bad(self, protocol: str) -> None:
+        if _obs_enabled():
+            _M_BAD.inc()
+            _M_BAD.labels(protocol=protocol).inc()
+
+    def _write(self, data) -> bool:
+        try:
+            self.wfile.write(data)
+            self.wfile.flush()
+            return True
+        except OSError:
+            return False
+
+    # -- JSON-lines loop ------------------------------------------------
+    def _handle_json(
+        self,
+        service: PredictionService,
+        timeout: Optional[float],
+        legacy: bool,
+    ) -> None:
         while True:
             try:
                 raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
@@ -237,12 +397,12 @@ class _Handler(socketserver.StreamRequestHandler):
             if len(raw) > MAX_REQUEST_BYTES:
                 # The rest of this oversized line is still in the pipe;
                 # answering and closing is the only way to stay in sync.
-                if _obs_enabled():
-                    _M_BAD.inc()
-                self._respond({
-                    "ok": False,
-                    "error": f"request exceeds {MAX_REQUEST_BYTES} bytes",
-                })
+                self._count_bad("json")
+                self._respond_json(wire.error_response(
+                    "oversized_request",
+                    f"request exceeds {MAX_REQUEST_BYTES} bytes",
+                    legacy=legacy,
+                ))
                 return
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
@@ -252,34 +412,79 @@ class _Handler(socketserver.StreamRequestHandler):
                 if not isinstance(req, dict):
                     raise ValueError("request must be a JSON object")
             except ValueError as exc:
-                if _obs_enabled():
-                    _M_BAD.inc()
-                response = {"ok": False, "error": f"bad request: {exc}"}
-            else:
-                deadline = (
-                    Deadline.after(timeout) if timeout else Deadline.unbounded()
+                self._count_bad("json")
+                response = wire.error_response(
+                    "bad_request", f"bad request: {exc}", legacy=legacy
                 )
-                try:
-                    response = handle_request(service, req, deadline=deadline)
-                except Exception as exc:  # defense in depth: never drop the thread
-                    if _obs_enabled():
-                        _M_INTERNAL.inc()
-                    response = {
-                        "ok": False,
-                        "error": f"internal error: {type(exc).__name__}: {exc}",
-                    }
-            if _obs_enabled():
-                _M_REQUESTS.inc()
-            if not self._respond(response):
+            else:
+                response = self._dispatch(service, req, timeout, legacy)
+            self._count("json")
+            if not self._respond_json(response):
                 return
 
-    def _respond(self, response: Dict[str, Any]) -> bool:
-        try:
-            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
-            self.wfile.flush()
-            return True
-        except OSError:
-            return False
+    def _respond_json(self, response: Dict[str, Any]) -> bool:
+        return self._write(json.dumps(response).encode("utf-8") + b"\n")
+
+    # -- binary frame loop ----------------------------------------------
+    def _handle_binary(
+        self, service: PredictionService, timeout: Optional[float]
+    ) -> None:
+        # One writer per connection: encoding reuses its buffer, so a
+        # steady request stream allocates nothing per frame.  The
+        # legacy-error flag never applies here — binary clients are new
+        # API and always get the normalized error shape.
+        writer = wire.FrameWriter()
+        while True:
+            try:
+                frame = wire.read_frame(self.rfile)
+            except wire.OversizedFrame as exc:
+                # The declared length is beyond the bound; refusing to
+                # read it leaves the stream desynchronized, so answer
+                # in-band and close.
+                self._count_bad("binary")
+                self._write_error(writer, "oversized_request", str(exc))
+                return
+            except wire.TruncatedFrame as exc:
+                # The peer half-closed mid-frame; tell it what happened
+                # if the write side still works, then finish.
+                self._count_bad("binary")
+                self._write_error(writer, "bad_frame", str(exc))
+                return
+            except wire.FrameError as exc:
+                # Bad magic or frame version: no way to find the next
+                # frame boundary.  Answer and close.
+                self._count_bad("binary")
+                self._write_error(writer, "bad_frame", str(exc))
+                return
+            except OSError:
+                return
+            if frame is None:
+                return  # clean EOF
+            op, payload = frame
+            try:
+                req = wire.decode_request(op, payload)
+            except wire.FrameError as exc:
+                # The frame boundary held; only this payload is bad.
+                # Answer in-band and keep serving the connection.
+                self._count_bad("binary")
+                if not self._write_error(writer, "bad_frame", str(exc)):
+                    return
+                continue
+            response = self._dispatch(service, req, timeout, legacy=False)
+            self._count("binary")
+            try:
+                out = writer.encode_response(op, response)
+            except wire.FrameError as exc:
+                out = writer.encode_response(op, wire.error_response(
+                    "internal", f"unencodable response: {exc}"
+                ))
+            if not self._write(out):
+                return
+
+    def _write_error(self, writer: wire.FrameWriter, code: str, message: str) -> bool:
+        return self._write(
+            writer.encode_response(wire.OP_ERROR, wire.error_response(code, message))
+        )
 
 
 class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
@@ -291,8 +496,12 @@ class ServiceServer:
     """Serve a :class:`PredictionService` on a Unix-domain socket.
 
     Connections are handled on daemon threads — the service's per-link
-    locks and snapshot semantics make concurrent queries safe.  Use as a
-    context manager or call :meth:`start`/:meth:`stop`.
+    locks and snapshot semantics make concurrent queries safe.  Each
+    connection speaks JSON-lines or binary frames, autodetected from its
+    first byte.  ``legacy_errors=True`` restores the deprecated
+    bare-string ``error`` field for old JSON clients (one release only;
+    see ``docs/wire-protocol.md``).  Use as a context manager or call
+    :meth:`start`/:meth:`stop`.
     """
 
     def __init__(
@@ -300,22 +509,29 @@ class ServiceServer:
         service: PredictionService,
         socket_path: Union[str, Path],
         request_timeout: Optional[float] = 30.0,
+        legacy_errors: bool = False,
     ):
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
             raise OSError("unix domain sockets are not available on this platform")
         self.service = service
         self.socket_path = Path(socket_path)
         self.request_timeout = request_timeout
+        self.legacy_errors = legacy_errors
         self._server: Optional[_ThreadingUnixServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    def _make_server(self) -> _ThreadingUnixServer:
+        self.socket_path.unlink(missing_ok=True)
+        server = _ThreadingUnixServer(str(self.socket_path), _Handler)
+        server.service = self.service  # type: ignore[attr-defined]
+        server.request_timeout = self.request_timeout  # type: ignore[attr-defined]
+        server.legacy_errors = self.legacy_errors  # type: ignore[attr-defined]
+        return server
 
     def start(self) -> "ServiceServer":
         if self._server is not None:
             raise RuntimeError("server already started")
-        self.socket_path.unlink(missing_ok=True)
-        self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
-        self._server.service = self.service  # type: ignore[attr-defined]
-        self._server.request_timeout = self.request_timeout  # type: ignore[attr-defined]
+        self._server = self._make_server()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"repro-serve[{self.socket_path.name}]",
@@ -339,10 +555,7 @@ class ServiceServer:
         """Run the accept loop on the calling thread (the CLI path)."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self.socket_path.unlink(missing_ok=True)
-        self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
-        self._server.service = self.service  # type: ignore[attr-defined]
-        self._server.request_timeout = self.request_timeout  # type: ignore[attr-defined]
+        self._server = self._make_server()
         try:
             self._server.serve_forever()
         finally:
@@ -357,50 +570,28 @@ class ServiceServer:
         self.stop()
 
 
-def _request_once(socket_path: str, payload: bytes, timeout: float) -> bytes:
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
-        _faults.check("socket.connect", path=socket_path)
-        sock.connect(socket_path)
-        sock.sendall(payload)
-        buf = b""
-        while not buf.endswith(b"\n"):
-            chunk = sock.recv(65536)
-            if not chunk:
-                break
-            buf += chunk
-    return buf
-
-
 def request(
     socket_path: Union[str, Path],
     req: Dict[str, Any],
     timeout: float = 10.0,
     retry: Optional[RetryPolicy] = None,
 ) -> Dict[str, Any]:
-    """Send one request to a running server and return its response.
+    """Deprecated: one-shot request helper; use
+    :class:`repro.client.ServiceClient` instead.
 
-    A refused or timed-out connect — and a socket path that does not
-    exist *yet* — is retried under ``retry`` (default
-    :data:`CONNECT_RETRY_POLICY`), so ``repro query`` works through a
-    server startup race.  Pass ``retry=RetryPolicy(max_attempts=1)`` to
-    fail fast.  When every attempt fails the *underlying* error is
-    re-raised, so callers keep catching ``OSError``/``ConnectionError``
-    as before.
+    Kept for one release as a thin wrapper: same signature, same
+    return-the-raw-dict behavior, same ``OSError``/``ConnectionError``
+    failure modes — but every call opens and closes a connection, which
+    is exactly the per-query overhead the client (and the batch API)
+    exists to amortize.
     """
-    policy = CONNECT_RETRY_POLICY if retry is None else retry
-    payload = json.dumps(req).encode("utf-8") + b"\n"
-    try:
-        buf = policy.call(
-            lambda: _request_once(str(socket_path), payload, timeout),
-            retry_on=_CONNECT_RETRY_ON,
-            label=f"request[{socket_path}]",
-        )
-    except RetryError as exc:
-        cause = exc.__cause__
-        if isinstance(cause, OSError):
-            raise cause
-        raise
-    if not buf:
-        raise ConnectionError(f"no response from {socket_path}")
-    return json.loads(buf.decode("utf-8"))
+    warnings.warn(
+        "repro.service.server.request() is deprecated; "
+        "use repro.client.ServiceClient",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.client import ServiceClient
+
+    with ServiceClient(socket_path, timeout=timeout, retry=retry) as client:
+        return client.request(dict(req))

@@ -1,0 +1,598 @@
+"""The length-prefixed binary wire protocol (frame layout and codecs).
+
+JSON-lines is the service's lingua franca, but one JSON object per
+prediction is the wrong shape for replica selection at Grid scale —
+*Replica Selection in the Globus Data Grid* ranks every candidate source
+per request, and a federation tier fanning a batch across shards cannot
+afford a JSON parse per (link, size) pair.  This module defines the
+compact alternative the socket server speaks alongside JSON (the server
+autodetects per connection by the first byte):
+
+Frame layout (network byte order)::
+
+    offset  size  field
+    0       2     magic   0xA5 0x57
+    2       1     frame version (currently 1)
+    3       1     op code
+    4       4     payload length N (unsigned)
+    8       N     payload
+
+The magic's first byte (``0xA5``) can never begin a JSON-lines request
+(it is not valid UTF-8 as a leading byte), which is what makes
+per-connection autodetection unambiguous.
+
+Op table::
+
+    0x01  ping           0x04  predict_batch
+    0x02  predict        0x05  status
+    0x03  rank           0x10  json (any other op, JSON payload)
+                         0x7F  error (responses only)
+
+``predict``, ``rank`` and ``predict_batch`` payloads are struct-packed
+(codecs below); ``status`` and every op outside the hot path ride as
+UTF-8 JSON inside a binary frame — framing still amortizes, and the
+decoded dict is exactly what the JSON protocol would have produced.
+Error responses are their own frame (``0x7F``) carrying the normalized
+``(code, message)`` pair of the versioned envelope.
+
+Every request and response payload leads with the **envelope version**
+``v`` (one byte here, a ``"v"`` key on the JSON side) — the schema
+version of the request/response dicts, negotiated per request: a server
+answers ``unsupported_version`` for a ``v`` above what it speaks.  The
+frame version in the header is the byte-layout version and changes
+independently.
+
+Encoding reuses one growable buffer per connection
+(:class:`FrameWriter`): steady-state encode does zero allocation beyond
+the string encodes, which is what keeps a thousand-item batch cheap.
+Decoding (:func:`decode_request` / :func:`decode_response`) returns
+plain dicts in exactly the JSON protocol's shapes, so one dispatcher
+serves both protocols and cross-protocol tests can assert payload
+identity.  See ``docs/wire-protocol.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO, Dict, Optional, Tuple
+
+__all__ = [
+    "MAGIC",
+    "FRAME_VERSION",
+    "PROTOCOL_VERSION",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "OP_PING",
+    "OP_PREDICT",
+    "OP_RANK",
+    "OP_BATCH",
+    "OP_STATUS",
+    "OP_JSON",
+    "OP_ERROR",
+    "REQUEST_OPS",
+    "FrameError",
+    "OversizedFrame",
+    "TruncatedFrame",
+    "FrameWriter",
+    "read_frame",
+    "decode_request",
+    "decode_response",
+    "error_response",
+]
+
+MAGIC = b"\xa5\x57"
+
+#: Byte-layout version of the frame header and struct codecs.
+FRAME_VERSION = 1
+
+#: Schema version of the request/response envelope (the ``v`` field).
+PROTOCOL_VERSION = 1
+
+#: magic(2) + frame version(1) + op(1) + payload length(4).
+HEADER = struct.Struct("!2sBBI")
+
+#: One frame's payload may not exceed this (mirrors the JSON server's
+#: request bound, scaled for thousand-item batches and their responses).
+MAX_FRAME_BYTES = 8 << 20
+
+OP_PING = 0x01
+OP_PREDICT = 0x02
+OP_RANK = 0x03
+OP_BATCH = 0x04
+OP_STATUS = 0x05
+OP_JSON = 0x10
+OP_ERROR = 0x7F
+
+#: JSON-op name -> struct-packed op code; anything else rides as OP_JSON.
+REQUEST_OPS = {
+    "ping": OP_PING,
+    "predict": OP_PREDICT,
+    "rank": OP_RANK,
+    "predict_batch": OP_BATCH,
+    "status": OP_STATUS,
+}
+
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_F64 = struct.Struct("!d")
+
+# Fused per-prediction layouts (flags, size, version, history_length,
+# latency[, value]) — one pack/unpack per item instead of six keeps a
+# thousand-item batch's encode cost flat.  The TAIL variants decode the
+# same layout after the flags byte has been read to pick between them.
+_PRED_VAL = struct.Struct("!BQQQdd")
+_PRED_NOVAL = struct.Struct("!BQQQd")
+_PRED_VAL_TAIL = struct.Struct("!QQQdd")
+_PRED_NOVAL_TAIL = struct.Struct("!QQQd")
+
+# predict request/response flag bits
+_HAS_SPEC = 0x01
+_HAS_NOW = 0x02
+_HAS_VALUE = 0x01
+_CACHED = 0x02
+_DEGRADED = 0x04
+_ITEM_OK = 0x08
+_HAS_BW = 0x01
+
+
+class FrameError(ValueError):
+    """A frame (or its payload) violates the wire protocol."""
+
+
+class OversizedFrame(FrameError):
+    """The declared payload length exceeds the frame bound."""
+
+
+class TruncatedFrame(FrameError):
+    """The stream ended mid-frame (header or payload cut short)."""
+
+
+# ----------------------------------------------------------------------
+# writer: one reusable buffer per connection
+# ----------------------------------------------------------------------
+class FrameWriter:
+    """Encode frames into one growable, reused buffer.
+
+    ``encode_request``/``encode_response`` return a :class:`memoryview`
+    over the internal buffer — valid until the next encode, which is
+    exactly the send-then-reuse lifecycle of a connection loop.  The
+    buffer only ever grows, so a steady request mix settles into zero
+    per-frame allocation.
+    """
+
+    __slots__ = ("_buf", "_end")
+
+    def __init__(self, capacity: int = 4096):
+        self._buf = bytearray(capacity)
+        self._end = 0
+
+    # -- low-level appends ---------------------------------------------
+    def _ensure(self, need: int) -> None:
+        short = self._end + need - len(self._buf)
+        if short > 0:
+            self._buf.extend(b"\x00" * max(short, len(self._buf)))
+
+    def _pack(self, st: struct.Struct, *values: Any) -> None:
+        self._ensure(st.size)
+        try:
+            st.pack_into(self._buf, self._end, *values)
+        except struct.error as exc:
+            raise FrameError(f"unencodable field {values!r}: {exc}") from None
+        self._end += st.size
+
+    def _put_str(self, text: str) -> None:
+        raw = text.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise FrameError(f"string field exceeds 65535 bytes: {len(raw)}")
+        self._pack(_U16, len(raw))
+        self._ensure(len(raw))
+        self._buf[self._end : self._end + len(raw)] = raw
+        self._end += len(raw)
+
+    def _put_bytes(self, raw: bytes) -> None:
+        self._ensure(len(raw))
+        self._buf[self._end : self._end + len(raw)] = raw
+        self._end += len(raw)
+
+    def _begin(self) -> None:
+        self._end = HEADER.size
+
+    def _finish(self, op: int) -> memoryview:
+        payload_len = self._end - HEADER.size
+        if payload_len > MAX_FRAME_BYTES:
+            raise OversizedFrame(
+                f"payload of {payload_len} bytes exceeds {MAX_FRAME_BYTES}"
+            )
+        HEADER.pack_into(self._buf, 0, MAGIC, FRAME_VERSION, op, payload_len)
+        return memoryview(self._buf)[: self._end]
+
+    # -- requests ------------------------------------------------------
+    def encode_request(self, req: Dict[str, Any]) -> memoryview:
+        """One request dict (JSON-protocol shape) as a binary frame.
+
+        A hot-path op the struct codec cannot express (a field missing
+        or of the wrong type) falls back to an ``OP_JSON`` frame: the
+        server still answers its ``bad_request`` in-band, exactly as the
+        JSON dialect would — malformedness is the server's to judge.
+        """
+        op = REQUEST_OPS.get(req.get("op"), OP_JSON)
+        if op != OP_JSON:
+            self._begin()
+            try:
+                v = int(req.get("v", PROTOCOL_VERSION))
+                if op in (OP_PING, OP_STATUS):
+                    self._pack(_U8, v)
+                elif op == OP_PREDICT:
+                    self._encode_predict_req(v, req)
+                elif op == OP_RANK:
+                    self._encode_rank_req(v, req)
+                elif op == OP_BATCH:
+                    self._encode_batch_req(v, req)
+                return self._finish(op)
+            except FrameError:
+                raise  # protocol bounds (overlong strings) stay hard errors
+            except (KeyError, TypeError, ValueError, AttributeError):
+                pass
+        self._begin()
+        self._put_bytes(json.dumps(req).encode("utf-8"))
+        return self._finish(OP_JSON)
+
+    def _encode_predict_req(self, v: int, req: Dict[str, Any]) -> None:
+        spec, now = req.get("spec"), req.get("now")
+        flags = (_HAS_SPEC if spec is not None else 0) | (
+            _HAS_NOW if now is not None else 0
+        )
+        self._pack(_U8, v)
+        self._pack(_U8, flags)
+        self._pack(_U64, int(req["size"]))
+        if now is not None:
+            self._pack(_F64, float(now))
+        self._put_str(str(req["link"]))
+        if spec is not None:
+            self._put_str(str(spec))
+
+    def _encode_rank_req(self, v: int, req: Dict[str, Any]) -> None:
+        spec, now = req.get("spec"), req.get("now")
+        flags = (_HAS_SPEC if spec is not None else 0) | (
+            _HAS_NOW if now is not None else 0
+        )
+        self._pack(_U8, v)
+        self._pack(_U8, flags)
+        self._pack(_U64, int(req["size"]))
+        if now is not None:
+            self._pack(_F64, float(now))
+        if spec is not None:
+            self._put_str(str(spec))
+        candidates = req["candidates"]
+        self._pack(_U32, len(candidates))
+        for candidate in candidates:
+            self._put_str(str(candidate))
+
+    def _encode_batch_req(self, v: int, req: Dict[str, Any]) -> None:
+        spec, now = req.get("spec"), req.get("now")
+        flags = (_HAS_SPEC if spec is not None else 0) | (
+            _HAS_NOW if now is not None else 0
+        )
+        self._pack(_U8, v)
+        self._pack(_U8, flags)
+        if now is not None:
+            self._pack(_F64, float(now))
+        if spec is not None:
+            self._put_str(str(spec))
+        items = req["items"]
+        self._pack(_U32, len(items))
+        for item in items:
+            ispec, inow = item.get("spec"), item.get("now")
+            iflags = (_HAS_SPEC if ispec is not None else 0) | (
+                _HAS_NOW if inow is not None else 0
+            )
+            self._pack(_U8, iflags)
+            self._pack(_U64, int(item["size"]))
+            if inow is not None:
+                self._pack(_F64, float(inow))
+            self._put_str(str(item["link"]))
+            if ispec is not None:
+                self._put_str(str(ispec))
+
+    # -- responses -----------------------------------------------------
+    def encode_response(self, request_op: int, resp: Dict[str, Any]) -> memoryview:
+        """One response dict as a binary frame, shaped by the request op.
+
+        ``ok: false`` responses become ``OP_ERROR`` frames regardless of
+        the request op; both error shapes (the normalized dict and the
+        legacy bare string) encode to the same frame.
+        """
+        if not resp.get("ok"):
+            code, message = _error_fields(resp)
+            self._begin()
+            self._pack(_U8, int(resp.get("v", PROTOCOL_VERSION)))
+            self._put_str(code)
+            self._put_str(message)
+            return self._finish(OP_ERROR)
+        self._begin()
+        v = int(resp.get("v", PROTOCOL_VERSION))
+        if request_op == OP_PING:
+            self._pack(_U8, v)
+        elif request_op == OP_PREDICT:
+            self._pack(_U8, v)
+            self._encode_prediction(resp)
+        elif request_op == OP_RANK:
+            self._pack(_U8, v)
+            ranking = resp["ranking"]
+            self._pack(_U32, len(ranking))
+            for entry in ranking:
+                bw = entry["predicted_bandwidth"]
+                self._pack(_U8, _HAS_BW if bw is not None else 0)
+                if bw is not None:
+                    self._pack(_F64, float(bw))
+                self._pack(_U64, int(entry["history_length"]))
+                self._put_str(entry["site"])
+        elif request_op == OP_BATCH:
+            self._pack(_U8, v)
+            results = resp["results"]
+            self._pack(_U32, len(results))
+            for entry in results:
+                if entry.get("ok"):
+                    self._pack(_U8, _ITEM_OK)
+                    self._encode_prediction(entry)
+                else:
+                    code, message = _error_fields(entry)
+                    self._pack(_U8, 0)
+                    self._put_str(code)
+                    self._put_str(message)
+        else:  # OP_STATUS and every OP_JSON op: the whole dict as JSON
+            self._put_bytes(json.dumps(resp).encode("utf-8"))
+            return self._finish(OP_JSON if request_op == OP_JSON else request_op)
+        return self._finish(request_op)
+
+    def _encode_prediction(self, p: Dict[str, Any]) -> None:
+        value = p["value"]
+        flags = (
+            (_HAS_VALUE if value is not None else 0)
+            | (_CACHED if p["cached"] else 0)
+            | (_DEGRADED if p.get("degraded") else 0)
+        )
+        fixed = (flags, int(p["size"]), int(p["version"]),
+                 int(p["history_length"]), float(p["latency_seconds"]))
+        if value is not None:
+            self._pack(_PRED_VAL, *fixed, float(value))
+        else:
+            self._pack(_PRED_NOVAL, *fixed)
+        self._put_str(p["link"])
+        self._put_str(p["spec"])
+
+
+def _error_fields(resp: Dict[str, Any]) -> Tuple[str, str]:
+    """``(code, message)`` from either error shape (dict or bare string)."""
+    error = resp.get("error")
+    if isinstance(error, dict):
+        return str(error.get("code", "error")), str(error.get("message", ""))
+    return "error", str(error)
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+class _Reader:
+    """Cursor over one payload; truncation surfaces as FrameError."""
+
+    __slots__ = ("_buf", "_pos")
+
+    def __init__(self, payload: bytes):
+        self._buf = payload
+        self._pos = 0
+
+    def _unpack(self, st: struct.Struct) -> Any:
+        try:
+            (value,) = st.unpack_from(self._buf, self._pos)
+        except struct.error as exc:
+            raise FrameError(f"truncated payload: {exc}") from None
+        self._pos += st.size
+        return value
+
+    def multi(self, st: struct.Struct) -> tuple:
+        """Unpack a fused multi-field layout in one call."""
+        try:
+            values = st.unpack_from(self._buf, self._pos)
+        except struct.error as exc:
+            raise FrameError(f"truncated payload: {exc}") from None
+        self._pos += st.size
+        return values
+
+    def u8(self) -> int:
+        return self._unpack(_U8)
+
+    def u32(self) -> int:
+        return self._unpack(_U32)
+
+    def u64(self) -> int:
+        return self._unpack(_U64)
+
+    def f64(self) -> float:
+        return self._unpack(_F64)
+
+    def str_(self) -> str:
+        n = self._unpack(_U16)
+        end = self._pos + n
+        if end > len(self._buf):
+            raise FrameError("truncated payload: string runs past the frame")
+        raw = self._buf[self._pos : end]
+        self._pos = end
+        return raw.decode("utf-8", errors="replace")
+
+
+def _decode_json(payload: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"bad JSON payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise FrameError("JSON payload must be an object")
+    return obj
+
+
+def decode_request(op: int, payload: bytes) -> Dict[str, Any]:
+    """A request frame's payload back into the JSON-protocol dict."""
+    if op == OP_JSON:
+        return _decode_json(payload)
+    r = _Reader(payload)
+    if op == OP_PING:
+        return {"op": "ping", "v": r.u8()}
+    if op == OP_STATUS:
+        return {"op": "status", "v": r.u8()}
+    if op == OP_PREDICT:
+        v, flags = r.u8(), r.u8()
+        size = r.u64()
+        req: Dict[str, Any] = {"op": "predict", "v": v, "size": size}
+        if flags & _HAS_NOW:
+            req["now"] = r.f64()
+        req["link"] = r.str_()
+        if flags & _HAS_SPEC:
+            req["spec"] = r.str_()
+        return req
+    if op == OP_RANK:
+        v, flags = r.u8(), r.u8()
+        size = r.u64()
+        req = {"op": "rank", "v": v, "size": size}
+        if flags & _HAS_NOW:
+            req["now"] = r.f64()
+        if flags & _HAS_SPEC:
+            req["spec"] = r.str_()
+        req["candidates"] = [r.str_() for _ in range(r.u32())]
+        return req
+    if op == OP_BATCH:
+        v, flags = r.u8(), r.u8()
+        req = {"op": "predict_batch", "v": v}
+        if flags & _HAS_NOW:
+            req["now"] = r.f64()
+        if flags & _HAS_SPEC:
+            req["spec"] = r.str_()
+        items = []
+        for _ in range(r.u32()):
+            iflags = r.u8()
+            item: Dict[str, Any] = {"size": r.u64()}
+            if iflags & _HAS_NOW:
+                item["now"] = r.f64()
+            item["link"] = r.str_()
+            if iflags & _HAS_SPEC:
+                item["spec"] = r.str_()
+            items.append(item)
+        req["items"] = items
+        return req
+    raise FrameError(f"unknown request op 0x{op:02x}")
+
+
+def _decode_prediction(r: _Reader) -> Dict[str, Any]:
+    flags = r.u8()
+    if flags & _HAS_VALUE:
+        size, version, length, latency, value = r.multi(_PRED_VAL_TAIL)
+    else:
+        size, version, length, latency = r.multi(_PRED_NOVAL_TAIL)
+        value = None
+    link, spec = r.str_(), r.str_()
+    return {
+        "link": link,
+        "spec": spec,
+        "size": size,
+        "value": value,
+        "cached": bool(flags & _CACHED),
+        "version": version,
+        "history_length": length,
+        "latency_seconds": latency,
+        "degraded": bool(flags & _DEGRADED),
+    }
+
+
+def decode_response(op: int, payload: bytes) -> Dict[str, Any]:
+    """A response frame's payload back into the JSON-protocol dict."""
+    if op == OP_JSON or op == OP_STATUS:
+        return _decode_json(payload)
+    r = _Reader(payload)
+    if op == OP_ERROR:
+        v = r.u8()
+        code, message = r.str_(), r.str_()
+        if code == "error":
+            # A legacy bare-string error round-trips as one.
+            return {"ok": False, "v": v, "error": message}
+        return {"ok": False, "v": v, "error": {"code": code, "message": message}}
+    if op == OP_PING:
+        return {"ok": True, "v": r.u8(), "pong": True}
+    if op == OP_PREDICT:
+        v = r.u8()
+        return {"ok": True, "v": v, **_decode_prediction(r)}
+    if op == OP_RANK:
+        v = r.u8()
+        ranking = []
+        for _ in range(r.u32()):
+            flags = r.u8()
+            bw = r.f64() if flags & _HAS_BW else None
+            length = r.u64()
+            site = r.str_()
+            ranking.append({
+                "site": site,
+                "predicted_bandwidth": bw,
+                "history_length": length,
+            })
+        return {"ok": True, "v": v, "ranking": ranking}
+    if op == OP_BATCH:
+        v = r.u8()
+        results = []
+        for _ in range(r.u32()):
+            flags = r.u8()
+            if flags & _ITEM_OK:
+                results.append({"ok": True, **_decode_prediction(r)})
+            else:
+                code, message = r.str_(), r.str_()
+                results.append({
+                    "ok": False,
+                    "error": {"code": code, "message": message},
+                })
+        return {"ok": True, "v": v, "count": len(results), "results": results}
+    raise FrameError(f"unknown response op 0x{op:02x}")
+
+
+def error_response(code: str, message: str, legacy: bool = False) -> Dict[str, Any]:
+    """The versioned error envelope (or its legacy bare-string form)."""
+    if legacy:
+        return {"ok": False, "v": PROTOCOL_VERSION, "error": message}
+    return {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message},
+    }
+
+
+def read_frame(
+    stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Tuple[int, bytes]]:
+    """Read one ``(op, payload)`` frame; ``None`` on clean EOF.
+
+    Raises :class:`TruncatedFrame` when the stream ends mid-frame,
+    :class:`OversizedFrame` when the declared length exceeds
+    ``max_bytes`` (the frame body is left unread), and plain
+    :class:`FrameError` on a bad magic or frame version.
+    """
+    header = stream.read(HEADER.size)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        raise TruncatedFrame(f"frame header cut short at {len(header)} bytes")
+    magic, version, op, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise FrameError(
+            f"unsupported frame version {version} (this side speaks "
+            f"{FRAME_VERSION})"
+        )
+    if length > max_bytes:
+        raise OversizedFrame(f"frame payload of {length} bytes exceeds {max_bytes}")
+    payload = stream.read(length) if length else b""
+    if len(payload) < length:
+        raise TruncatedFrame(
+            f"frame payload cut short: {len(payload)} of {length} bytes"
+        )
+    return op, payload

@@ -29,7 +29,7 @@ from repro.faults import FaultInjector
 from repro.mds import GIIS, Entry
 from repro.obs import get_registry
 from repro.service import LogFollower, PredictionService, ServiceServer
-from repro.service.server import request
+from repro.client import ServiceClient
 from repro.units import MB
 
 pytestmark = pytest.mark.skipif(
@@ -126,11 +126,12 @@ def _replay(workdir, injector):
 
         # 3. Queries over the socket (site: socket.connect).
         answers = []
-        with ServiceServer(service, workdir / "repro.sock") as server:
+        with ServiceServer(service, workdir / "repro.sock") as server, \
+                ServiceClient(server.socket_path) as client:
             for link in sorted(service.links()):
                 for spec in SPECS:
                     for size in SIZES:
-                        response = request(server.socket_path, {
+                        response = client.request({
                             "op": "predict", "link": link, "size": size,
                             "spec": spec, "now": NOW,
                         })

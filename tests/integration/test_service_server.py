@@ -1,11 +1,15 @@
-"""The Unix-socket JSON-lines server, end to end."""
+"""The Unix-socket server, end to end (JSON-lines dialect).
+
+The binary dialect and the cross-protocol battery live in
+``test_wire_protocol.py``.
+"""
 
 import socket
 
 import pytest
 
+from repro.client import ServiceClient, ServiceError
 from repro.service import PredictionService, ServiceServer, handle_request
-from repro.service.server import request
 from repro.units import MB
 from tests.conftest import make_record
 
@@ -29,54 +33,53 @@ def server(service, tmp_path):
         yield server
 
 
-def test_ping_roundtrip(server):
-    assert request(server.socket_path, {"op": "ping"}) == {"ok": True, "pong": True}
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.socket_path) as client:
+        yield client
 
 
-def test_predict_over_socket_matches_direct_call(server, service):
-    response = request(
-        server.socket_path,
-        {"op": "predict", "link": "LBL-ANL", "size": 100 * MB, "now": 5000.0},
-    )
-    assert response["ok"]
+def test_ping_roundtrip(client):
+    assert client.request({"op": "ping"}) == {"ok": True, "v": 1, "pong": True}
+    assert client.ping() is True
+
+
+def test_predict_over_socket_matches_direct_call(client, service):
+    response = client.predict("LBL-ANL", 100 * MB, now=5000.0)
+    assert response["ok"] and response["v"] == 1
     direct = service.predict("LBL-ANL", 100 * MB, now=5000.0)
     assert response["value"] == direct.value
     assert response["version"] == direct.version
 
 
-def test_rank_over_socket(server):
-    response = request(
-        server.socket_path,
-        {"op": "rank", "candidates": ["LBL-ANL", "NOWHERE"], "size": 100 * MB},
-    )
-    assert [r["site"] for r in response["ranking"]] == ["LBL-ANL", "NOWHERE"]
+def test_rank_over_socket(client):
+    ranking = client.rank(["LBL-ANL", "NOWHERE"], 100 * MB)
+    assert [r["site"] for r in ranking] == ["LBL-ANL", "NOWHERE"]
 
 
-def test_status_metrics_trace_over_socket(server):
-    status = request(server.socket_path, {"op": "status"})
+def test_status_metrics_trace_over_socket(client):
+    status = client.status()
     assert status["links"]["LBL-ANL"]["records"] == 30
-    metrics = request(server.socket_path, {"op": "metrics"})
+    metrics = client.request({"op": "metrics"})
     assert metrics["metrics"]["service_ingested_records"]["value"] == 30
-    trace = request(server.socket_path, {"op": "trace", "kind": "observe"})
+    trace = client.request({"op": "trace", "kind": "observe"})
     assert all(e["kind"] == "observe" for e in trace["events"])
 
 
-def test_metrics_text_format_over_socket(server):
-    response = request(server.socket_path, {"op": "metrics", "format": "text"})
+def test_metrics_text_format_over_socket(client):
+    response = client.request({"op": "metrics", "format": "text"})
     assert response["ok"]
     text = response["text"]
     assert "# TYPE service_ingested_records counter" in text
     assert "service_ingested_records 30" in text
 
 
-def test_spans_op_serves_the_process_exporter(server):
+def test_spans_op_serves_the_process_exporter(client):
     from repro.obs.tracing import span
 
     with span("server.test", link="LBL-ANL"):
         pass
-    response = request(
-        server.socket_path, {"op": "spans", "name": "server.test", "limit": 1}
-    )
+    response = client.request({"op": "spans", "name": "server.test", "limit": 1})
     assert response["ok"]
     (exported,) = response["spans"]
     assert exported["name"] == "server.test"
@@ -85,28 +88,27 @@ def test_spans_op_serves_the_process_exporter(server):
     assert exported["duration"] >= 0
 
 
-def test_events_op_scopes(server):
+def test_events_op_scopes(client):
     from repro.obs.events import get_event_bus
 
     get_event_bus().emit("server.test.global", probe=1)
-    service_events = request(server.socket_path, {"op": "events", "kind": "observe"})
+    service_events = client.request({"op": "events", "kind": "observe"})
     assert service_events["ok"]
     assert len(service_events["events"]) > 0
     assert all(e["kind"] == "observe" for e in service_events["events"])
 
-    global_events = request(
-        server.socket_path,
-        {"op": "events", "scope": "global", "kind": "server.test.global"},
+    global_events = client.request(
+        {"op": "events", "scope": "global", "kind": "server.test.global"}
     )
     assert [e["probe"] for e in global_events["events"]] == [1]
 
-    merged = request(server.socket_path, {"op": "events", "scope": "all", "limit": 5})
+    merged = client.request({"op": "events", "scope": "all", "limit": 5})
     assert merged["ok"] and len(merged["events"]) == 5
     times = [e["time"] for e in merged["events"]]
     assert times == sorted(times)
 
-    bad = request(server.socket_path, {"op": "events", "scope": "sideways"})
-    assert not bad["ok"] and "scope" in bad["error"]
+    bad = client.request({"op": "events", "scope": "sideways"})
+    assert not bad["ok"] and "scope" in bad["error"]["message"]
 
 
 def test_concurrent_clients(server):
@@ -115,15 +117,13 @@ def test_concurrent_clients(server):
     results = []
     lock = threading.Lock()
 
-    def client():
-        response = request(
-            server.socket_path, {"op": "predict", "link": "LBL-ANL",
-                                 "size": 100 * MB, "now": 5000.0}
-        )
+    def run_client():
+        with ServiceClient(server.socket_path) as client:
+            response = client.predict("LBL-ANL", 100 * MB, now=5000.0)
         with lock:
             results.append(response["value"])
 
-    threads = [threading.Thread(target=client) for _ in range(10)]
+    threads = [threading.Thread(target=run_client) for _ in range(10)]
     for t in threads:
         t.start()
     for t in threads:
@@ -131,14 +131,58 @@ def test_concurrent_clients(server):
     assert len(set(results)) == 1
 
 
-def test_errors_come_back_in_band(server, service):
-    assert request(server.socket_path, {"op": "warp"}) == {
-        "ok": False, "error": "unknown op 'warp'",
+# ----------------------------------------------------------------------
+# the versioned envelope and normalized errors
+# ----------------------------------------------------------------------
+def test_errors_come_back_in_band_and_normalized(client, service):
+    response = client.request({"op": "warp"})
+    assert response == {
+        "ok": False, "v": 1,
+        "error": {"code": "unknown_op", "message": "unknown op 'warp'"},
     }
-    response = request(server.socket_path, {"op": "predict", "link": "LBL-ANL"})
-    assert not response["ok"] and "size" in response["error"]
+    response = client.request({"op": "predict", "link": "LBL-ANL"})
+    assert not response["ok"]
+    assert response["error"]["code"] == "bad_request"
+    assert "size" in response["error"]["message"]
     # handle_request is the same dispatch the socket uses.
     assert handle_request(service, {"op": "warp"})["ok"] is False
+
+
+def test_typed_helpers_raise_service_error(client):
+    with pytest.raises(ServiceError) as err:
+        client.call("warp")
+    assert err.value.code == "unknown_op"
+
+
+def test_future_protocol_version_is_refused_in_band(client):
+    response = client.request({"op": "ping", "v": 2})
+    assert not response["ok"]
+    assert response["error"]["code"] == "unsupported_version"
+    # The connection is still usable afterwards.
+    assert client.ping() is True
+
+
+def test_bad_protocol_version_is_a_bad_request(client):
+    for v in (0, -1, True, "one"):
+        response = client.request({"op": "ping", "v": v})
+        assert not response["ok"], v
+        assert response["error"]["code"] == "bad_request", v
+
+
+def test_legacy_errors_flag_restores_bare_strings(service, tmp_path):
+    with ServiceServer(service, tmp_path / "legacy.sock",
+                       legacy_errors=True) as server:
+        with ServiceClient(server.socket_path) as client:
+            response = client.request({"op": "warp"})
+    assert response == {"ok": False, "v": 1, "error": "unknown op 'warp'"}
+
+
+def test_server_request_helper_is_deprecated_but_works(server):
+    from repro.service.server import request
+
+    with pytest.warns(DeprecationWarning):
+        response = request(server.socket_path, {"op": "ping"})
+    assert response == {"ok": True, "v": 1, "pong": True}
 
 
 def test_stop_removes_the_socket(service, tmp_path):
@@ -162,11 +206,11 @@ def test_malformed_json_keeps_the_connection_alive(server):
         fh.write(b"{this is not json}\n")
         fh.flush()
         bad = jsonlib.loads(fh.readline())
-        assert not bad["ok"] and "bad request" in bad["error"]
+        assert not bad["ok"] and bad["error"]["code"] == "bad_request"
         # Same connection, same thread: a valid request still answers.
         fh.write(b'{"op": "ping"}\n')
         fh.flush()
-        assert jsonlib.loads(fh.readline()) == {"ok": True, "pong": True}
+        assert jsonlib.loads(fh.readline()) == {"ok": True, "v": 1, "pong": True}
 
 
 def test_oversized_request_answers_in_band_then_closes(server):
@@ -181,12 +225,12 @@ def test_oversized_request_answers_in_band_then_closes(server):
         fh.write(b'{"op": "ping", "pad": "' + b"x" * MAX_REQUEST_BYTES + b'"}\n')
         fh.flush()
         response = jsonlib.loads(fh.readline())
-        assert not response["ok"] and "exceeds" in response["error"]
+        assert not response["ok"]
+        assert response["error"]["code"] == "oversized_request"
 
 
-def test_request_retries_through_a_startup_race(service, tmp_path):
+def test_client_retries_through_a_startup_race(service, tmp_path):
     import threading
-    import time as timelib
 
     socket_path = tmp_path / "late.sock"
     server = ServiceServer(service, socket_path)
@@ -195,19 +239,20 @@ def test_request_retries_through_a_startup_race(service, tmp_path):
     try:
         # The socket file does not exist yet; the default connect retry
         # policy bridges the gap.
-        response = request(socket_path, {"op": "ping"})
-        assert response == {"ok": True, "pong": True}
+        with ServiceClient(socket_path) as client:
+            assert client.ping() is True
     finally:
         starter.join()
         server.stop()
 
 
-def test_request_fail_fast_policy_still_raises(tmp_path):
+def test_client_fail_fast_policy_still_raises(tmp_path):
     from repro.resilience import RetryPolicy
 
-    with pytest.raises(OSError):
-        request(tmp_path / "never.sock", {"op": "ping"},
-                retry=RetryPolicy(max_attempts=1))
+    with ServiceClient(tmp_path / "never.sock",
+                       retry=RetryPolicy(max_attempts=1)) as client:
+        with pytest.raises(OSError):
+            client.ping()
 
 
 def test_injected_connect_refusals_are_retried(server):
@@ -217,9 +262,23 @@ def test_injected_connect_refusals_are_retried(server):
     injector = FaultInjector().inject(
         "socket.connect", error=ConnectionRefusedError, times=2)
     with faults.injected(injector):
-        response = request(server.socket_path, {"op": "ping"})
-    assert response == {"ok": True, "pong": True}
+        with ServiceClient(server.socket_path) as client:
+            assert client.ping() is True
     assert injector.fired["socket.connect"] == 2
+
+
+def test_client_survives_a_server_restart_between_requests(service, tmp_path):
+    path = tmp_path / "restart.sock"
+    server = ServiceServer(service, path).start()
+    try:
+        with ServiceClient(path) as client:
+            assert client.ping() is True
+            server.stop()
+            server = ServiceServer(service, path).start()
+            # The reused connection is stale; the client reconnects once.
+            assert client.ping() is True
+    finally:
+        server.stop()
 
 
 def test_expired_deadline_answers_in_band(service):
@@ -228,11 +287,14 @@ def test_expired_deadline_answers_in_band(service):
     clock = iter([0.0, 100.0, 200.0, 300.0]).__next__
     deadline = Deadline(10.0, clock=clock)  # expires before the first check
     response = handle_request(service, {"op": "status"}, deadline=deadline)
-    assert not response["ok"] and "Deadline" in response["error"]
+    assert not response["ok"]
+    assert response["error"]["code"] == "deadline_exceeded"
 
 
 def test_tiny_request_timeout_cuts_requests_over_the_socket(service, tmp_path):
     with ServiceServer(service, tmp_path / "t.sock",
                        request_timeout=1e-9) as server:
-        response = request(server.socket_path, {"op": "status"})
-    assert not response["ok"] and "Deadline" in response["error"]
+        with ServiceClient(server.socket_path) as client:
+            response = client.request({"op": "status"})
+    assert not response["ok"]
+    assert response["error"]["code"] == "deadline_exceeded"

@@ -1,0 +1,266 @@
+"""Cross-protocol battery: JSON-lines and binary frames, one server.
+
+The redesign's contract: the two dialects are *the same API* — same
+requests, same responses, byte-for-byte identical payloads (modulo the
+measured ``latency_seconds``) — and a broken binary client gets its
+errors in-band without taking the connection thread down.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro import wire
+from repro.client import ServiceClient
+from repro.service import PredictionService, ServiceServer
+from repro.units import MB
+from tests.conftest import make_record
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="unix domain sockets unavailable"
+)
+
+NOW = 10_000_000.0
+
+
+@pytest.fixture
+def service():
+    service = PredictionService(clock=lambda: NOW)
+    for j, link in enumerate(("LBL-ANL", "ISI-ANL")):
+        service.ingest_records(
+            link,
+            [make_record(start=1000.0 + 100 * i + j, size=(50 + 7 * i) * MB)
+             for i in range(30)],
+        )
+    return service
+
+
+@pytest.fixture
+def server(service, tmp_path):
+    with ServiceServer(service, tmp_path / "repro.sock") as server:
+        yield server
+
+
+BATTERY = [
+    {"op": "ping"},
+    {"op": "predict", "link": "LBL-ANL", "size": 100 * MB, "now": NOW},
+    {"op": "predict", "link": "LBL-ANL", "size": 600 * MB,
+     "spec": "SIZE", "now": NOW},
+    {"op": "predict", "link": "NOWHERE", "size": 100 * MB},
+    {"op": "rank", "candidates": ["LBL-ANL", "ISI-ANL", "NOWHERE"],
+     "size": 1000 * MB, "now": NOW},
+    {"op": "predict_batch", "now": NOW, "items": [
+        {"link": "LBL-ANL", "size": 10 * MB},
+        {"link": "ISI-ANL", "size": 500 * MB, "spec": "C-MED"},
+        {"link": "NOWHERE", "size": 100 * MB},
+    ]},
+    {"op": "status"},
+    {"op": "predict", "link": "LBL-ANL"},           # bad_request
+    {"op": "warp"},                                 # unknown_op
+    {"op": "ping", "v": 99},                        # unsupported_version
+]
+
+
+def normalize(obj):
+    """Strip the measured timing so payloads compare deterministically."""
+    if isinstance(obj, dict):
+        return {
+            k: ("<t>" if k == "latency_seconds" else normalize(v))
+            for k, v in obj.items()
+        }
+    if isinstance(obj, list):
+        return [normalize(v) for v in obj]
+    return obj
+
+
+def test_json_and_binary_answer_identical_payloads(server):
+    # Two fresh services would dodge cache effects; instead run the
+    # battery twice on the *same* server so both passes see identical
+    # (warmed) cache state — the second pass is the comparison.
+    with ServiceClient(server.socket_path) as client:
+        for req in BATTERY:
+            client.request(dict(req))
+    with ServiceClient(server.socket_path) as json_client, \
+            ServiceClient(server.socket_path, binary=True) as bin_client:
+        for req in BATTERY:
+            via_json = json_client.request(dict(req))
+            via_binary = bin_client.request(dict(req))
+            assert normalize(via_json) == normalize(via_binary), req
+
+
+def test_both_protocols_interleave_on_one_server(server):
+    with ServiceClient(server.socket_path) as json_client, \
+            ServiceClient(server.socket_path, binary=True) as bin_client:
+        for _ in range(3):
+            assert json_client.ping() is True
+            assert bin_client.ping() is True
+        a = json_client.predict("LBL-ANL", 100 * MB, now=NOW)
+        b = bin_client.predict("LBL-ANL", 100 * MB, now=NOW)
+        assert a["value"] == b["value"]
+
+
+def test_binary_client_full_helper_surface(server, service):
+    with ServiceClient(server.socket_path, binary=True) as client:
+        assert client.ping() is True
+        p = client.predict("LBL-ANL", 100 * MB, now=NOW)
+        assert p["value"] == service.predict("LBL-ANL", 100 * MB, now=NOW).value
+        results = client.predict_batch(
+            [("LBL-ANL", 10 * MB), ("ISI-ANL", 500 * MB)], now=NOW
+        )
+        assert len(results) == 2 and all(r["ok"] for r in results)
+        ranking = client.rank(["LBL-ANL", "ISI-ANL"], 1000 * MB, now=NOW)
+        assert len(ranking) == 2
+        assert client.status()["links"]["LBL-ANL"]["records"] == 30
+
+
+def test_batch_mid_batch_errors_are_per_item(server):
+    with ServiceClient(server.socket_path, binary=True) as client:
+        response = client.request({"op": "predict_batch", "now": NOW, "items": [
+            {"link": "LBL-ANL", "size": 100 * MB},
+            {"link": "LBL-ANL"},                          # missing size
+            {"link": "LBL-ANL", "size": 1, "spec": "WARP"},  # unknown spec
+            {"link": "NOWHERE", "size": 100 * MB},        # unknown link
+            {"link": "ISI-ANL", "size": 100 * MB},
+        ]})
+    assert response["ok"] and response["count"] == 5
+    ok0, bad1, bad2, unknown3, ok4 = response["results"]
+    assert ok0["ok"] and ok0["value"] is not None
+    assert not bad1["ok"] and bad1["error"]["code"] == "bad_request"
+    assert "item 1" in bad1["error"]["message"]
+    assert not bad2["ok"] and "item 2" in bad2["error"]["message"]
+    # An unknown link is an *answer* (no prediction), not an error —
+    # exactly what a single predict for it returns.
+    assert unknown3["ok"] and unknown3["value"] is None
+    assert unknown3["history_length"] == 0
+    assert ok4["ok"] and ok4["value"] is not None
+
+
+# ----------------------------------------------------------------------
+# broken binary clients: errors in-band, connection thread survives
+# ----------------------------------------------------------------------
+def _raw_binary(server):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(5.0)
+    sock.connect(str(server.socket_path))
+    return sock, sock.makefile("rb")
+
+
+def test_corrupt_payload_answers_in_band_and_keeps_the_connection(server):
+    sock, rfile = _raw_binary(server)
+    writer = wire.FrameWriter()
+    try:
+        good = bytes(writer.encode_request(
+            {"op": "predict", "link": "LBL-ANL", "size": 100 * MB, "now": NOW}
+        ))
+        # Rewrite the header to truncate the payload mid-string: the
+        # frame boundary holds, only the payload is garbage.
+        cut = good[: wire.HEADER.size + 5]
+        header = wire.HEADER.pack(
+            wire.MAGIC, wire.FRAME_VERSION, wire.OP_PREDICT, 5)
+        sock.sendall(header + cut[wire.HEADER.size:])
+        op, payload = wire.read_frame(rfile)
+        assert op == wire.OP_ERROR
+        error = wire.decode_response(op, payload)
+        assert error["error"]["code"] == "bad_frame"
+        # Same connection: a well-formed frame still answers.
+        sock.sendall(writer.encode_request({"op": "ping"}))
+        op, payload = wire.read_frame(rfile)
+        assert wire.decode_response(op, payload) == {
+            "ok": True, "v": 1, "pong": True,
+        }
+    finally:
+        sock.close()
+
+
+def test_bad_magic_answers_in_band_then_closes(server):
+    sock, rfile = _raw_binary(server)
+    try:
+        # First byte 0xA5 routes to the binary loop; the *second* frame
+        # starts with garbage the loop cannot resync past.
+        writer = wire.FrameWriter()
+        sock.sendall(writer.encode_request({"op": "ping"}))
+        op, payload = wire.read_frame(rfile)
+        assert wire.decode_response(op, payload)["ok"]
+        sock.sendall(b"\xa5\x00garbagegarbage")
+        op, payload = wire.read_frame(rfile)
+        error = wire.decode_response(op, payload)
+        assert not error["ok"] and error["error"]["code"] == "bad_frame"
+        assert rfile.read(1) == b""  # server closed after answering
+    finally:
+        sock.close()
+
+
+def test_truncated_frame_answers_in_band_when_possible(server):
+    sock, rfile = _raw_binary(server)
+    try:
+        frame = bytes(wire.FrameWriter().encode_request({"op": "ping"}))
+        sock.sendall(frame[:-2])
+        sock.shutdown(socket.SHUT_WR)  # half-close mid-frame
+        op, payload = wire.read_frame(rfile)
+        error = wire.decode_response(op, payload)
+        assert not error["ok"] and error["error"]["code"] == "bad_frame"
+        assert rfile.read(1) == b""
+    finally:
+        sock.close()
+
+
+def test_oversized_frame_is_refused_in_band(server):
+    sock, rfile = _raw_binary(server)
+    try:
+        header = wire.HEADER.pack(wire.MAGIC, wire.FRAME_VERSION,
+                                  wire.OP_PING, wire.MAX_FRAME_BYTES + 1)
+        sock.sendall(header)
+        op, payload = wire.read_frame(rfile)
+        error = wire.decode_response(op, payload)
+        assert not error["ok"]
+        assert error["error"]["code"] == "oversized_request"
+        assert rfile.read(1) == b""
+    finally:
+        sock.close()
+
+
+def test_unknown_frame_op_answers_in_band_and_survives(server):
+    sock, rfile = _raw_binary(server)
+    try:
+        sock.sendall(wire.HEADER.pack(wire.MAGIC, wire.FRAME_VERSION, 0x66, 0))
+        op, payload = wire.read_frame(rfile)
+        error = wire.decode_response(op, payload)
+        assert not error["ok"] and error["error"]["code"] == "bad_frame"
+        # The payload decoded cleanly as "no such op"; the stream is
+        # still framed, so the connection keeps serving.
+        sock.sendall(wire.FrameWriter().encode_request({"op": "ping"}))
+        op, payload = wire.read_frame(rfile)
+        assert wire.decode_response(op, payload)["ok"]
+    finally:
+        sock.close()
+
+
+def test_server_errors_on_binary_are_always_normalized(service, tmp_path):
+    # legacy_errors only bends the JSON dialect; binary clients are new
+    # API and never see bare-string errors.
+    with ServiceServer(service, tmp_path / "legacy.sock",
+                       legacy_errors=True) as server:
+        with ServiceClient(server.socket_path, binary=True) as client:
+            response = client.request({"op": "warp"})
+        assert response["error"] == {
+            "code": "unknown_op", "message": "unknown op 'warp'",
+        }
+        with ServiceClient(server.socket_path) as client:
+            response = client.request({"op": "warp"})
+        assert response["error"] == "unknown op 'warp'"
+
+
+def test_batch_over_socket_matches_per_query_over_socket(server):
+    items = [
+        (link, size)
+        for link in ("LBL-ANL", "ISI-ANL")
+        for size in (10 * MB, 100 * MB, 500 * MB, 1000 * MB)
+    ]
+    with ServiceClient(server.socket_path, binary=True) as client:
+        batched = client.predict_batch(items, now=NOW)
+        singles = [client.predict(link, size, now=NOW) for link, size in items]
+    for b, s in zip(batched, singles):
+        assert (b["link"], b["value"], b["version"], b["history_length"]) == (
+            s["link"], s["value"], s["version"], s["history_length"]
+        )

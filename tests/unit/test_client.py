@@ -1,0 +1,105 @@
+"""ServiceClient behavior that doesn't need a live socket server."""
+
+import pytest
+
+from repro.client import ServiceClient, ServiceError, error_info
+
+
+def test_error_info_normalizes_both_shapes():
+    assert error_info(
+        {"ok": False, "error": {"code": "bad_request", "message": "no size"}}
+    ) == ("bad_request", "no size")
+    assert error_info({"ok": False, "error": "boom"}) == ("error", "boom")
+
+
+def test_service_error_from_response_carries_code_and_message():
+    err = ServiceError.from_response(
+        {"ok": False, "error": {"code": "unknown_op", "message": "op 'warp'"}}
+    )
+    assert err.code == "unknown_op"
+    assert err.message == "op 'warp'"
+    assert "unknown_op" in str(err)
+    legacy = ServiceError.from_response({"ok": False, "error": "boom"})
+    assert legacy.code == "error" and str(legacy) == "boom"
+
+
+def test_client_is_idle_until_used(tmp_path):
+    client = ServiceClient(tmp_path / "nowhere.sock")
+    assert not client.connected
+    assert "idle" in repr(client) and "json" in repr(client)
+    client.close()  # closing an unconnected client is a no-op
+
+
+def test_binary_flag_shows_in_repr(tmp_path):
+    assert "binary" in repr(ServiceClient(tmp_path / "x.sock", binary=True))
+
+
+def test_context_manager_closes(tmp_path):
+    with ServiceClient(tmp_path / "x.sock") as client:
+        pass
+    assert not client.connected
+
+
+def test_unreachable_server_raises_oserror_fail_fast(tmp_path):
+    from repro.resilience import RetryPolicy
+
+    client = ServiceClient(tmp_path / "never.sock",
+                           retry=RetryPolicy(max_attempts=1))
+    with pytest.raises(OSError):
+        client.request({"op": "ping"})
+    assert not client.connected  # a failed connect leaves no half-open state
+
+
+def test_predict_batch_normalizes_tuple_items():
+    sent = {}
+
+    class Probe(ServiceClient):
+        def request(self, req):
+            sent.update(req)
+            return {"ok": True, "v": 1, "count": len(req["items"]),
+                    "results": [{"ok": True}] * len(req["items"])}
+
+    client = Probe("unused.sock")
+    results = client.predict_batch(
+        [("LBL-ANL", 100), ("ISI-ANL", 200, "SIZE"), ("LBL-ANL", 300, None, 5.0),
+         {"link": "X", "size": 1}],
+        spec="C-AVG15",
+    )
+    assert len(results) == 4
+    assert sent["spec"] == "C-AVG15"
+    assert sent["items"] == [
+        {"link": "LBL-ANL", "size": 100},
+        {"link": "ISI-ANL", "size": 200, "spec": "SIZE"},
+        {"link": "LBL-ANL", "size": 300, "now": 5.0},
+        {"link": "X", "size": 1},
+    ]
+
+
+def test_call_raises_service_error_on_not_ok():
+    class Probe(ServiceClient):
+        def request(self, req):
+            return {"ok": False, "v": 1,
+                    "error": {"code": "unknown_op", "message": "nope"}}
+
+    with pytest.raises(ServiceError) as err:
+        Probe("unused.sock").call("warp")
+    assert err.value.code == "unknown_op"
+
+
+def test_request_stamps_the_protocol_version():
+    seen = {}
+
+    class Probe(ServiceClient):
+        def _roundtrip(self, req):
+            seen.update(req)
+            return {"ok": True, "v": 1, "pong": True}
+
+        def connect(self):
+            self._sock = object()  # pretend; _roundtrip never touches it
+            return self
+
+    client = Probe("unused.sock")
+    client.request({"op": "ping"})
+    assert seen["v"] == 1
+    client.request({"op": "ping", "v": 1})
+    assert seen["v"] == 1

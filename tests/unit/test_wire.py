@@ -1,0 +1,234 @@
+"""The binary frame protocol: codecs, framing, and failure shapes."""
+
+import io
+import struct
+
+import pytest
+
+from repro import wire
+
+
+def roundtrip_request(req):
+    frame = wire.FrameWriter().encode_request(req)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    return op, wire.decode_request(op, payload)
+
+
+def roundtrip_response(request_op, resp):
+    frame = wire.FrameWriter().encode_response(request_op, resp)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    return op, wire.decode_response(op, payload)
+
+
+# ----------------------------------------------------------------------
+# request codecs
+# ----------------------------------------------------------------------
+def test_ping_and_status_requests_roundtrip():
+    for name, code in (("ping", wire.OP_PING), ("status", wire.OP_STATUS)):
+        op, req = roundtrip_request({"op": name})
+        assert op == code
+        assert req == {"op": name, "v": 1}
+
+
+def test_predict_request_roundtrips_every_optional_field():
+    base = {"op": "predict", "link": "LBL-ANL", "size": 600_000_000}
+    for extra in ({}, {"spec": "C-AVG15"}, {"now": 5000.0},
+                  {"spec": "SIZE", "now": 123.5}):
+        _, req = roundtrip_request({**base, **extra})
+        assert req == {**base, "v": 1, **extra}
+
+
+def test_rank_request_roundtrips():
+    _, req = roundtrip_request({
+        "op": "rank", "candidates": ["LBL-ANL", "ISI-ANL"],
+        "size": 10**9, "spec": "C-MED",
+    })
+    assert req == {
+        "op": "rank", "v": 1, "size": 10**9, "spec": "C-MED",
+        "candidates": ["LBL-ANL", "ISI-ANL"],
+    }
+
+
+def test_batch_request_roundtrips_per_item_overrides():
+    _, req = roundtrip_request({
+        "op": "predict_batch", "spec": "C-AVG15", "now": 99.0,
+        "items": [
+            {"link": "LBL-ANL", "size": 100},
+            {"link": "ISI-ANL", "size": 200, "spec": "SIZE", "now": 7.0},
+        ],
+    })
+    assert req == {
+        "op": "predict_batch", "v": 1, "spec": "C-AVG15", "now": 99.0,
+        "items": [
+            {"link": "LBL-ANL", "size": 100},
+            {"link": "ISI-ANL", "size": 200, "spec": "SIZE", "now": 7.0},
+        ],
+    }
+
+
+def test_unlisted_op_rides_as_json_frame():
+    op, req = roundtrip_request({"op": "metrics", "format": "text", "v": 1})
+    assert op == wire.OP_JSON
+    assert req == {"op": "metrics", "format": "text", "v": 1}
+
+
+def test_unicode_link_names_survive():
+    _, req = roundtrip_request(
+        {"op": "predict", "link": "LBL-ANL-ü", "size": 1}
+    )
+    assert req["link"] == "LBL-ANL-ü"
+
+
+# ----------------------------------------------------------------------
+# response codecs
+# ----------------------------------------------------------------------
+PREDICTION = {
+    "link": "LBL-ANL", "spec": "C-AVG15", "size": 600_000_000,
+    "value": 4.25e6, "cached": True, "version": 30,
+    "history_length": 30, "latency_seconds": 1.5e-5, "degraded": False,
+}
+
+
+def test_predict_response_roundtrips():
+    _, resp = roundtrip_response(
+        wire.OP_PREDICT, {"ok": True, "v": 1, **PREDICTION}
+    )
+    assert resp == {"ok": True, "v": 1, **PREDICTION}
+
+
+def test_predict_response_none_value_and_flags():
+    payload = {**PREDICTION, "value": None, "cached": False, "degraded": True}
+    _, resp = roundtrip_response(wire.OP_PREDICT, {"ok": True, "v": 1, **payload})
+    assert resp["value"] is None
+    assert resp["cached"] is False and resp["degraded"] is True
+
+
+def test_rank_response_roundtrips():
+    ranking = [
+        {"site": "LBL-ANL", "predicted_bandwidth": 4.5e6, "history_length": 30},
+        {"site": "NOWHERE", "predicted_bandwidth": None, "history_length": 0},
+    ]
+    _, resp = roundtrip_response(
+        wire.OP_RANK, {"ok": True, "v": 1, "ranking": ranking}
+    )
+    assert resp == {"ok": True, "v": 1, "ranking": ranking}
+
+
+def test_batch_response_mixes_items_and_errors():
+    results = [
+        {"ok": True, **PREDICTION},
+        {"ok": False, "error": {"code": "bad_request", "message": "item 1: no"}},
+    ]
+    _, resp = roundtrip_response(
+        wire.OP_BATCH, {"ok": True, "v": 1, "count": 2, "results": results}
+    )
+    assert resp == {"ok": True, "v": 1, "count": 2, "results": results}
+
+
+def test_error_response_roundtrips_both_shapes():
+    _, resp = roundtrip_response(
+        wire.OP_PREDICT, wire.error_response("unknown_op", "unknown op 'warp'")
+    )
+    assert resp == {
+        "ok": False, "v": 1,
+        "error": {"code": "unknown_op", "message": "unknown op 'warp'"},
+    }
+    # A legacy bare-string error survives the binary hop as one.
+    _, legacy = roundtrip_response(
+        wire.OP_PREDICT, {"ok": False, "v": 1, "error": "boom"}
+    )
+    assert legacy == {"ok": False, "v": 1, "error": "boom"}
+
+
+def test_status_response_rides_as_json():
+    status = {"ok": True, "v": 1, "links": {"LBL-ANL": {"records": 30}}}
+    op, resp = roundtrip_response(wire.OP_STATUS, status)
+    assert op == wire.OP_STATUS
+    assert resp == status
+
+
+# ----------------------------------------------------------------------
+# framing failure shapes
+# ----------------------------------------------------------------------
+def test_read_frame_none_on_clean_eof():
+    assert wire.read_frame(io.BytesIO(b"")) is None
+
+
+def test_truncated_header_raises():
+    with pytest.raises(wire.TruncatedFrame):
+        wire.read_frame(io.BytesIO(wire.MAGIC + b"\x01"))
+
+
+def test_truncated_payload_raises():
+    frame = bytes(wire.FrameWriter().encode_request({"op": "ping"}))
+    with pytest.raises(wire.TruncatedFrame):
+        wire.read_frame(io.BytesIO(frame[:-1]))
+
+
+def test_bad_magic_raises():
+    frame = bytearray(wire.FrameWriter().encode_request({"op": "ping"}))
+    frame[0] = 0x7B  # '{' — a JSON client on a binary read path
+    with pytest.raises(wire.FrameError) as err:
+        wire.read_frame(io.BytesIO(bytes(frame)))
+    assert "magic" in str(err.value)
+
+
+def test_unsupported_frame_version_raises():
+    frame = bytearray(wire.FrameWriter().encode_request({"op": "ping"}))
+    frame[2] = 99
+    with pytest.raises(wire.FrameError) as err:
+        wire.read_frame(io.BytesIO(bytes(frame)))
+    assert "version" in str(err.value)
+
+
+def test_oversized_declared_length_raises_without_reading_body():
+    header = wire.HEADER.pack(wire.MAGIC, wire.FRAME_VERSION, wire.OP_PING,
+                              wire.MAX_FRAME_BYTES + 1)
+    stream = io.BytesIO(header + b"x" * 16)
+    with pytest.raises(wire.OversizedFrame):
+        wire.read_frame(stream)
+    assert stream.tell() == wire.HEADER.size  # the body was left unread
+
+
+def test_corrupt_payload_is_a_frame_error_not_a_crash():
+    # A predict frame whose payload stops mid-string.
+    good = bytes(wire.FrameWriter().encode_request(
+        {"op": "predict", "link": "LBL-ANL", "size": 1}
+    ))
+    _, payload = wire.read_frame(io.BytesIO(good))
+    with pytest.raises(wire.FrameError):
+        wire.decode_request(wire.OP_PREDICT, payload[:-3])
+
+
+def test_unknown_op_codes_raise_frame_errors():
+    with pytest.raises(wire.FrameError):
+        wire.decode_request(0x66, b"")
+    with pytest.raises(wire.FrameError):
+        wire.decode_response(0x66, b"")
+
+
+def test_overlong_string_field_is_refused_at_encode_time():
+    with pytest.raises(wire.FrameError):
+        wire.FrameWriter().encode_request(
+            {"op": "predict", "link": "x" * 70_000, "size": 1}
+        )
+
+
+def test_writer_buffer_is_reused_across_encodes():
+    writer = wire.FrameWriter()
+    first = writer.encode_request({"op": "ping"})
+    first_bytes = bytes(first)
+    second = writer.encode_request({"op": "status"})
+    # Same underlying buffer, new contents — the memoryview lifecycle.
+    assert bytes(second) != first_bytes
+    op, payload = wire.read_frame(io.BytesIO(bytes(second)))
+    assert wire.decode_request(op, payload) == {"op": "status", "v": 1}
+
+
+def test_header_layout_is_the_documented_eight_bytes():
+    frame = bytes(wire.FrameWriter().encode_request({"op": "ping"}))
+    magic, version, op, length = struct.unpack("!2sBBI", frame[:8])
+    assert magic == b"\xa5\x57"
+    assert version == wire.FRAME_VERSION
+    assert op == wire.OP_PING
+    assert length == len(frame) - 8
