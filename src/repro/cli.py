@@ -8,6 +8,8 @@ Examples::
     repro report relative --link LBL-ANL --class 100MB --predictors C-AVG15,C-LV
     repro evaluate logs/aug-LBL-ANL.ulm --predictors C-AVG15,C-MED,SIZE --json
     repro serve --socket /tmp/repro.sock data/*.ulm --follow
+    repro serve --socket /tmp/repro.sock data/*.ulm --follow \
+        --state-dir state/ --max-resident 1024
     repro query predict --socket /tmp/repro.sock --link aug-LBL-ANL --size 1GB
     repro query batch --socket /tmp/repro.sock --batch items.json --binary
     repro query rank --logs data/aug-LBL-ANL.ulm,data/aug-ISI-ANL.ulm --size 100MB
@@ -292,16 +294,27 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 # serve / query
 # ----------------------------------------------------------------------
 def _build_service(log_paths: List[str], spec: str, cache_size: int,
-                   link: Optional[str] = None, degraded_fallback: bool = False):
+                   link: Optional[str] = None, degraded_fallback: bool = False,
+                   store=None, max_resident: Optional[int] = None):
     from repro.service import PredictionService
 
     service = PredictionService(default_spec=spec, cache_size=cache_size,
-                                degraded_fallback=degraded_fallback)
+                                degraded_fallback=degraded_fallback,
+                                store=store, max_resident=max_resident)
     if link is not None and len(log_paths) > 1:
         raise SystemExit("--link only applies to a single log file")
     for path in log_paths:
         if not Path(path).exists():
             raise SystemExit(f"no such log file: {path}")
+        name = link or Path(path).stem
+        if store is not None and store.durable_rows(name) > 0:
+            # Warm restart: the store already holds this link's history
+            # (it revives on first touch); re-ingesting the file would
+            # duplicate every record.  The follower resumes from the
+            # durable offset instead.
+            print(f"{name}: warm ({store.durable_rows(name)} durable records, "
+                  f"resume offset {store.resume_offset(name)})", file=sys.stderr)
+            continue
         name, count = service.ingest_ulm(path, link=link)
         print(f"{name}: ingested {count} records from {path}", file=sys.stderr)
     return service
@@ -314,46 +327,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         resolve(args.spec)
     except KeyError:
         raise SystemExit(f"unknown predictor {args.spec!r}") from None
+
+    store = None
+    if args.state_dir:
+        from repro.store import LinkStore
+
+        store = LinkStore(args.state_dir, fsync=args.fsync)
+    elif args.max_resident is not None:
+        raise SystemExit("--max-resident needs --state-dir (nowhere to evict to)")
     service = _build_service(args.logs, args.spec, args.cache_size, args.link,
-                             degraded_fallback=args.fallback)
+                             degraded_fallback=args.fallback,
+                             store=store, max_resident=args.max_resident)
 
     followers = []
     if args.follow:
         followers = [
-            LogFollower(path, service.observe, link=args.link)
+            LogFollower(path, service.observe, link=args.link,
+                        deliver_offsets=store is not None)
             for path in args.logs
         ]
         for follower in followers:
-            # The logs were just bulk-ingested; only future appends
-            # should flow through the follower.
-            follower.seek_to_end()
+            resume = store.resume_offset(follower.link) if store else 0
+            if resume:
+                # Warm restart: deliver only what durability missed.
+                follower.seek_to(resume)
+            else:
+                # The logs were just bulk-ingested; only future appends
+                # should flow through the follower.
+                follower.seek_to_end()
+
+    def _flush_store() -> None:
+        if store is None:
+            return
+        written = service.checkpoint_all(seal=True)
+        store.close()
+        print(f"checkpointed {written} links to {args.state_dir}",
+              file=sys.stderr)
 
     if args.oneshot:
+        if args.follow:
+            for follower in followers:
+                follower.poll()
         if args.metrics_file:
             _dump_metrics_snapshot(service, args.metrics_file)
         print(json.dumps(service.status(), indent=2))
+        _flush_store()
         return 0
 
     if not args.socket:
         raise SystemExit("serve needs --socket (or --oneshot)")
     server = ServiceServer(service, args.socket, legacy_errors=args.legacy_errors)
     print(f"serving {len(service.links())} links on {args.socket}", file=sys.stderr)
+
+    import signal
+    import threading
+
+    stopping = threading.Event()
+
+    def _graceful(signum, frame) -> None:
+        # First signal: drain and flush (the accept loop exits, the
+        # finally below checkpoints).  A second SIGINT still kills.
+        if not stopping.is_set():
+            stopping.set()
+            server.request_stop()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
+    poll_thread = None
     if args.follow:
-        import threading
 
         def _poll_loop() -> None:
-            while True:
+            while not stopping.is_set():
                 for follower in followers:
                     follower.poll()
-                time.sleep(args.interval)
+                stopping.wait(args.interval)
 
-        threading.Thread(target=_poll_loop, name="repro-tail", daemon=True).start()
+        poll_thread = threading.Thread(
+            target=_poll_loop, name="repro-tail", daemon=True)
+        poll_thread.start()
     if args.metrics_file:
-        import threading
 
         def _metrics_loop() -> None:
-            while True:
-                time.sleep(args.metrics_interval)
+            while not stopping.is_set():
+                stopping.wait(args.metrics_interval)
                 try:
                     _dump_metrics_snapshot(service, args.metrics_file)
                 except OSError:
@@ -366,6 +423,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        stopping.set()
+        if poll_thread is not None:
+            # Let in-flight deliveries finish so the final checkpoint
+            # covers them; a wedged poll must not block shutdown forever.
+            poll_thread.join(timeout=5.0)
+        _flush_store()
     return 0
 
 
@@ -650,6 +714,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--legacy-errors", action="store_true",
                        help="emit deprecated bare-string errors to JSON "
                             "clients (one-release compatibility bridge)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="durable tiered store directory: write-through "
+                            "history, checkpoint on shutdown, warm restart")
+    serve.add_argument("--max-resident", type=int, default=None, metavar="N",
+                       help="evict least-recently-used links to the state "
+                            "dir past N resident links (needs --state-dir)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync store writes (power-loss durability; "
+                            "default covers process death only)")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query", help="query a prediction service")

@@ -113,6 +113,13 @@ class _RunningMean:
             return None
         return float(self._sum / self.count)
 
+    def state(self) -> dict:
+        return {"count": self.count, "sum": self._sum}
+
+    def load_state(self, state: dict) -> None:
+        self.count = int(state["count"])
+        self._sum = np.longdouble(state["sum"])
+
 
 class _RunningMedian:
     """``MED``: dual-heap running median, O(log n) per add, O(1) per query."""
@@ -143,6 +150,15 @@ class _RunningMedian:
         if len(self._lower) > len(self._upper):
             return float(-self._lower[0])
         return float((-self._lower[0] + self._upper[0]) / 2.0)
+
+    def state(self) -> dict:
+        # Heap arrays round-trip verbatim: the heap invariant is a
+        # property of the list ordering, which the pools preserve.
+        return {"lower": list(self._lower), "upper": list(self._upper)}
+
+    def load_state(self, state: dict) -> None:
+        self._lower = [float(v) for v in state["lower"]]
+        self._upper = [float(v) for v in state["upper"]]
 
 
 class _TemporalMean:
@@ -178,6 +194,19 @@ class _TemporalMean:
         if not entries:
             return None
         return float(self._sum / len(entries))
+
+    def state(self) -> dict:
+        return {
+            "times": [t for t, _ in self._entries],
+            "values": [v for _, v in self._entries],
+            "sum": self._sum,
+            "expired_to": float(self._expired_to),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._entries = deque(zip(state["times"], state["values"]))
+        self._sum = np.longdouble(state["sum"])
+        self._expired_to = float(state["expired_to"])
 
 
 class _ArSummary:
@@ -306,6 +335,41 @@ class _ArSummary:
         floor = clamp * (self._min if self.seconds is None else self._mins[0][1])
         return max(prediction, float(floor))
 
+    def state(self) -> dict:
+        state = {
+            "count": self.count,
+            "sum": self._sum,
+            "last": float(self._last),
+            "min": float(self._min),
+            "m": self._m,
+            "sx": self._sx,
+            "sy": self._sy,
+            "sxx": self._sxx,
+            "sxy": self._sxy,
+            "expired_to": float(self._expired_to),
+        }
+        if self.seconds is not None:
+            state["entries_t"] = [t for t, _ in self._entries]
+            state["entries_v"] = [v for _, v in self._entries]
+            state["mins_t"] = [t for t, _ in self._mins]
+            state["mins_v"] = [v for _, v in self._mins]
+        return state
+
+    def load_state(self, state: dict) -> None:
+        self.count = int(state["count"])
+        self._sum = np.longdouble(state["sum"])
+        self._last = float(state["last"])
+        self._min = float(state["min"])
+        self._m = int(state["m"])
+        self._sx = np.longdouble(state["sx"])
+        self._sy = np.longdouble(state["sy"])
+        self._sxx = np.longdouble(state["sxx"])
+        self._sxy = np.longdouble(state["sxy"])
+        self._expired_to = float(state["expired_to"])
+        if self.seconds is not None:
+            self._entries = deque(zip(state["entries_t"], state["entries_v"]))
+            self._mins = deque(zip(state["mins_t"], state["mins_v"]))
+
 
 class SeriesSummaries:
     """All banked summaries for one observation series.
@@ -382,6 +446,31 @@ class SeriesSummaries:
     def ar(self, window_days: Optional[float], anchor: float,
            min_points: int, clamp: float) -> Optional[float]:
         return self._ar[window_days].value(anchor, min_points, clamp)
+
+    # -- checkpoint state ----------------------------------------------
+    def state(self) -> dict:
+        return {
+            "count": self.count,
+            "last": self.last,
+            "ring": list(self._ring),
+            "mean": self._mean.state(),
+            "median": self._median.state(),
+            "temporal": {f"{h:g}": s.state() for h, s in self._temporal.items()},
+            "ar": {("all" if d is None else f"{d:g}"): s.state()
+                   for d, s in self._ar.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.count = int(state["count"])
+        last = state["last"]
+        self.last = None if last is None else float(last)
+        self._ring = deque(state["ring"], maxlen=RING_CAPACITY)
+        self._mean.load_state(state["mean"])
+        self._median.load_state(state["median"])
+        for h, summary in self._temporal.items():
+            summary.load_state(state["temporal"][f"{h:g}"])
+        for d, summary in self._ar.items():
+            summary.load_state(state["ar"]["all" if d is None else f"{d:g}"])
 
 
 # ----------------------------------------------------------------------
@@ -513,6 +602,55 @@ class StreamingBank:
         self.rebuilds += 1
         if self.on_rebuild is not None:
             self.on_rebuild(reason)
+
+    # ------------------------------------------------------------------
+    # checkpoint state
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Serializable snapshot of every accumulator.
+
+        Longdouble sums and heap orderings are preserved verbatim, so a
+        bank restored with :meth:`load_state` answers every query
+        bit-identically to the original — the property the evict→revive
+        parity gate in the durable store rests on.  The classification
+        itself is *not* captured (it is identity-compared in
+        :meth:`answer`); callers must pair the state with a fingerprint
+        of the classification it was built against.
+        """
+        return {
+            "count": self.count,
+            "rebuilds": self.rebuilds,
+            "read_op": self.read_op,
+            "global": self._global.state(),
+            "classes": {label: s.state() for label, s in self._classes.items()},
+            "op_stats": {str(op): s.state() for op, s in self._op_stats.items()},
+            "class_read": {
+                label: {"sum": total, "count": count}
+                for label, (total, count) in self._class_read.items()
+            },
+            "recent_reads": list(self._recent_reads),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.count = int(state["count"])
+        self.rebuilds = int(state["rebuilds"])
+        self.read_op = int(state["read_op"])
+        self._global = SeriesSummaries()
+        self._global.load_state(state["global"])
+        self._classes = {}
+        for label, sub in state["classes"].items():
+            series = self._classes[label] = SeriesSummaries()
+            series.load_state(sub)
+        self._op_stats = {
+            int(op): RunningSummary.from_state(sub)
+            for op, sub in state["op_stats"].items()
+        }
+        self._class_read = {
+            label: [np.longdouble(sub["sum"]), int(sub["count"])]
+            for label, sub in state["class_read"].items()
+        }
+        self._recent_reads = deque(state["recent_reads"], maxlen=RECENT_CAPACITY)
+        self._label_cache = {}
 
     # ------------------------------------------------------------------
     # predictor queries

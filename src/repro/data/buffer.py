@@ -50,12 +50,44 @@ class ColumnBuffer:
         self._columns = [np.empty(capacity, dtype=dt) for _, dt in dtypes]
         self._n = 0
 
+    @classmethod
+    def from_columns(
+        cls,
+        dtypes: Sequence[Tuple[str, np.dtype]],
+        columns: Sequence[np.ndarray],
+    ) -> "ColumnBuffer":
+        """Load a buffer from materialized columns (the spill/load seam).
+
+        The durable store spills a link's history as raw columns and
+        hands them back here on revival; rows must already be sorted by
+        the key column.  Same snapshot semantics as a buffer grown by
+        appends: the columns are copied into fresh backing arrays.
+        """
+        if len(columns) != len(dtypes):
+            raise ValueError(f"expected {len(dtypes)} columns, got {len(columns)}")
+        n = len(columns[0])
+        buffer = cls(dtypes, capacity=max(n, _INITIAL_CAPACITY))
+        for target, values in zip(buffer._columns, columns):
+            if len(values) != n:
+                raise ValueError("columns must be parallel")
+            target[:n] = values
+        if n > 1 and (np.diff(buffer._columns[0][:n].astype(np.float64)) < 0).any():
+            raise ValueError("key column must be non-decreasing")
+        buffer._n = n
+        return buffer
+
     def __len__(self) -> int:
         return self._n
 
     @property
     def capacity(self) -> int:
         return len(self._columns[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the backing arrays (capacity, not just n) —
+        what eviction actually frees."""
+        return sum(column.nbytes for column in self._columns)
 
     # ------------------------------------------------------------------
     # mutation

@@ -92,6 +92,35 @@ class RunningSummary:
         summary._upper = ordered[k:].tolist()
         return summary
 
+    def state(self) -> dict:
+        """Serializable snapshot; :meth:`from_state` restores it exactly.
+
+        The heap lists round-trip verbatim (the heap invariant is an
+        ordering property, preserved by serialization), so a restored
+        summary continues Welford's recurrence bit-identically.
+        """
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self._min,
+            "max": self._max,
+            "lower": list(self._lower),
+            "upper": list(self._upper),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningSummary":
+        summary = cls()
+        summary._count = int(state["count"])
+        summary._mean = float(state["mean"])
+        summary._m2 = float(state["m2"])
+        summary._min = float(state["min"])
+        summary._max = float(state["max"])
+        summary._lower = [float(v) for v in state["lower"]]
+        summary._upper = [float(v) for v in state["upper"]]
+        return summary
+
     def add(self, value: float) -> None:
         """Fold one bandwidth observation in."""
         self._count += 1

@@ -551,6 +551,21 @@ class ServiceServer:
         self._server = None
         self._thread = None
 
+    def request_stop(self) -> None:
+        """Ask a running :meth:`serve_forever` loop to exit.
+
+        Safe from a signal handler: ``shutdown()`` blocks until the
+        accept loop notices, and the loop runs on the very thread the
+        handler interrupted — so the call is made from a helper thread
+        and this returns immediately.  Socket cleanup happens where the
+        loop was started (``serve_forever``'s finally, or :meth:`stop`).
+        """
+        server = self._server
+        if server is not None:
+            threading.Thread(
+                target=server.shutdown, name="repro-stop", daemon=True
+            ).start()
+
     def serve_forever(self) -> None:
         """Run the accept loop on the calling thread (the CLI path)."""
         if self._server is not None:

@@ -25,6 +25,15 @@ serving path:
 * **Concurrency** — a lock per link serializes mutation; predictions run
   on immutable snapshots outside any lock, so queries on different links
   (or even the same link) proceed in parallel with ingest.
+* **Durability** — with a :class:`~repro.store.LinkStore` attached,
+  every fold writes through to an append-only tail log, cold links
+  revive transparently on first touch (checkpoint restore in O(1), or
+  a rebuild from the durable columns), and an LRU ``max_resident``
+  ceiling bounds RAM no matter how many links the store holds.
+  Revival preserves version continuity — cache keys survive an
+  evict→revive cycle — and revived answers are trace-identical to an
+  always-resident run (the durable-store parity suite asserts this on
+  the shipped logs).
 * **Observability** — every ingest and query updates the service's
   :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges, a
   predict-latency histogram with per-spec labeled children) and the
@@ -42,10 +51,13 @@ campaign logs).
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -59,8 +71,11 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience import Deadline
+    from repro.store import LinkStore
 
 from repro.core.classification import Classification, paper_classification
 from repro.core.history import History
@@ -211,6 +226,21 @@ class PredictionService:
         expired window) recompute from a snapshot exactly as before;
         answers are numerically identical either way (the parity suite
         walks every prefix of the shipped logs on both paths).
+    store:
+        A :class:`~repro.store.LinkStore` for durable tiered history.
+        When set, every fold is written through to disk, queries for
+        links the store knows but RAM does not revive transparently
+        (checkpoint restore when possible, rebuild from the durable
+        columns otherwise), and :meth:`checkpoint_all` spills every
+        resident bank for a warm restart.  Revival preserves **version
+        continuity** — cache keys survive an evict→revive cycle — and
+        revived answers are trace-identical to an always-resident run.
+    max_resident:
+        Resident-link ceiling.  When the store is set and the resident
+        count would exceed this, the least-recently-used links are
+        checkpointed and dropped from RAM, bounding the service's
+        footprint no matter how many links the store holds.  ``None``
+        (the default) never evicts.
     """
 
     def __init__(
@@ -223,8 +253,13 @@ class PredictionService:
         trace_capacity: int = 256,
         degraded_fallback: bool = False,
         streaming: bool = True,
+        store: Optional["LinkStore"] = None,
+        max_resident: Optional[int] = None,
     ):
         resolve(default_spec)  # fail fast on a bad default
+        if max_resident is not None and max_resident <= 0:
+            raise ValueError(
+                f"max_resident must be positive, got {max_resident}")
         self.default_spec = default_spec
         self.degraded_fallback = degraded_fallback
         self.streaming = streaming
@@ -232,6 +267,21 @@ class PredictionService:
         self.clock = clock
         self.metrics = metrics or MetricsRegistry()
         self.trace = TraceLog(trace_capacity, clock=clock)
+        self.store = store
+        self.max_resident = max_resident
+        # The classification identity a checkpointed bank is keyed by;
+        # revival rejects checkpoints written against a different one.
+        self._fingerprint = "{}|{}".format(
+            ",".join(str(e) for e in self.classification.edges),
+            ",".join(self.classification.labels),
+        )
+        self._touch = itertools.count()  # LRU recency stamps
+        # Lazy eviction heap of (touch, link) entries: pushed on insert,
+        # re-pushed with the current stamp when a popped entry is stale.
+        # Keeps victim selection O(log resident) instead of an O(resident)
+        # scan per eviction (the scan dominated revival latency at 100k
+        # links).  Guarded by _links_lock.
+        self._lru_heap: List[Tuple[int, str]] = []
 
         self._links: Dict[str, LinkState] = {}
         self._links_lock = threading.Lock()
@@ -275,28 +325,269 @@ class PredictionService:
             "service_batch_size", "items per predict_batch() call")
         self._m_batch_latency = m.histogram(
             "service_batch_seconds", "predict_batch() wall-clock latency")
+        self._m_evictions = m.counter(
+            "service_link_evictions",
+            "resident links checkpointed and dropped from RAM")
+        self._m_revivals = m.counter(
+            "service_link_revivals",
+            "cold links revived from the durable store")
+        self._m_revival_latency = m.histogram(
+            "service_revival_seconds", "cold-link revival wall-clock latency")
 
     # ------------------------------------------------------------------
     # link state
     # ------------------------------------------------------------------
     def _state(self, link: str, create: bool = False) -> Optional[LinkState]:
-        # Lock-free fast path: a plain dict read is GIL-atomic, and link
-        # states are only ever added, never replaced or removed.
+        # Lock-free fast path: a plain dict read is GIL-atomic.  With no
+        # store, states are only ever added, never removed; with one,
+        # eviction removes entries — but a stale reference stays valid
+        # (write-through keeps its appends durable, so a later revival
+        # recovers them) and revival preserves the version counter, so
+        # nothing a racing reader computed or cached goes wrong.
         state = self._links.get(link)
-        if state is not None or not create:
+        if state is not None:
+            state.touch = next(self._touch)
             return state
+        if not create and (self.store is None or not self.store.has(link)):
+            return None
         with self._links_lock:
             state = self._links.get(link)
             if state is None:
-                bank = None
-                if self.streaming:
-                    bank = StreamingBank(
-                        self.classification, on_rebuild=self._on_bank_rebuild
+                if self.store is not None and self.store.has(link):
+                    state = self._revive_locked(link)
+                if state is None:
+                    if not create:
+                        return None
+                    state = LinkState(
+                        link, bank=self._new_bank(),
+                        persist=self._persist_for(link),
                     )
-                state = LinkState(link, bank=bank)
                 self._links[link] = state
                 self._m_links.set(len(self._links))
+                state.touch = next(self._touch)
+                heapq.heappush(self._lru_heap, (state.touch, link))
+                self._evict_overflow_locked(keep=state)
+                return state
+            state.touch = next(self._touch)
             return state
+
+    def _new_bank(self) -> Optional[StreamingBank]:
+        if not self.streaming:
+            return None
+        return StreamingBank(self.classification, on_rebuild=self._on_bank_rebuild)
+
+    def _persist_for(self, link: str):
+        if self.store is None:
+            return None
+        return partial(self.store.append_rows, link)
+
+    # ------------------------------------------------------------------
+    # tiered storage: evict and revive
+    # ------------------------------------------------------------------
+    def _revive_locked(self, link: str) -> Optional[LinkState]:
+        """Rebuild a cold link's state from the durable store.
+
+        Checkpoint restore is O(1) in history length: the bank's
+        sufficient statistics come back exactly, rows appended after the
+        checkpoint fold in incrementally, and the history columns stay
+        on disk until something actually needs them.  Anything that
+        makes the checkpoint untrustworthy — fingerprint mismatch, a
+        degraded link, row counts that no longer reconcile, a
+        non-monotone post-checkpoint suffix — falls back to a full
+        rebuild from the surviving columns: slower, never wrong.
+        Returns None when the store holds no rows at all.
+        """
+        t0 = time.perf_counter()
+        state = self._restore_from_checkpoint(link)
+        how = "checkpoint"
+        if state is None:
+            state = self._rebuild_from_columns(link)
+            how = "rebuild"
+        if state is None:
+            return None
+        latency = time.perf_counter() - t0
+        self._m_revivals.inc()
+        self._m_revival_latency.observe(latency)
+        if _obs_enabled():
+            self._m_revivals.labels(how=how).inc()
+        self.trace.emit("revive", link=link, how=how,
+                        version=state.version, records=len(state))
+        return state
+
+    def _restore_from_checkpoint(self, link: str) -> Optional[LinkState]:
+        store = self.store
+        ckpt = store.read_checkpoint(link)
+        if ckpt is None:
+            return None
+        meta = ckpt.get("meta")
+        if not isinstance(meta, dict):
+            return None
+        if meta.get("classification") != self._fingerprint:
+            return None
+        if bool(meta.get("streaming")) != self.streaming:
+            return None
+        if store.degraded(link):
+            # A quarantine broke row accounting; the checkpoint's n can
+            # no longer be reconciled against what survives on disk.
+            return None
+        n = int(meta.get("n", -1))
+        version = int(meta.get("version", -1))
+        durable = store.durable_rows(link)
+        if n < 0 or version < n or n > durable:
+            return None
+        last_time = float(meta.get("last_time", -float("inf")))
+        bank = self._new_bank()
+        if bank is not None:
+            try:
+                bank.load_state(ckpt["bank"])
+            except Exception:
+                return None
+        delta = durable - n
+        if delta:
+            # Rows made durable after the checkpoint (the write-through
+            # of appends the evicted state folded before it died, or a
+            # crash took the process).  Fold them exactly as the live
+            # path would have: one in-order bank.add per row.  A
+            # non-monotone suffix means the live path would have
+            # rebuilt positional windows — fall back to the rebuild.
+            times, values, sizes, ops = store.load_columns(link, start_row=n)
+            if len(times) != delta:
+                return None
+            if times[0] < last_time or (np.diff(times) < 0).any():
+                return None
+            if bank is not None:
+                for i in range(delta):
+                    bank.add(float(times[i]), float(values[i]),
+                             int(sizes[i]), int(ops[i]))
+            last_time = float(times[-1])
+            version += delta
+        state = LinkState.revive(
+            link, bank, version, durable, last_time,
+            loader=partial(store.load_columns, link),
+            persist=self._persist_for(link),
+        )
+        # The checkpoint on disk covers the pre-delta version; if no
+        # delta rows folded in, the state is clean and eviction can
+        # skip re-serializing it.
+        state.ckpt_version = version - delta
+        return state
+
+    def _rebuild_from_columns(self, link: str) -> Optional[LinkState]:
+        """Checkpointless revival: reload, re-sort, re-fold everything."""
+        store = self.store
+        times, values, sizes, ops = store.load_columns(link)
+        n = len(times)
+        if n == 0:
+            return None
+        order = np.argsort(times, kind="stable")
+        columns = (times[order], values[order], sizes[order], ops[order])
+        bank = self._new_bank()
+        if bank is not None:
+            bank.rebuild(*columns, reason="revive")
+        return LinkState.from_columns(
+            link, bank, n, columns, persist=self._persist_for(link))
+
+    def _evict_overflow_locked(self, keep: Optional[LinkState] = None) -> None:
+        """Checkpoint and drop LRU links past the resident ceiling."""
+        if self.store is None or self.max_resident is None:
+            return
+        while len(self._links) > self.max_resident:
+            victim = self._pop_lru_locked(keep)
+            if victim is None:
+                return
+            if not self._evict_locked(victim):
+                # Refused (write-through deficit): the victim must stay
+                # resident and findable for a later attempt.  Stop here —
+                # it is still the LRU, so retrying now would spin.
+                heapq.heappush(self._lru_heap, (victim.touch, victim.link))
+                return
+
+    def _pop_lru_locked(self, keep: Optional[LinkState]) -> Optional[LinkState]:
+        """The least-recently-touched resident state, via the lazy heap.
+
+        Entries whose stamp is older than the state's current ``touch``
+        (the lock-free fast path bumps stamps without heap writes) are
+        re-pushed at their true position; entries for links no longer
+        resident are dropped.  Touches only grow, so each pop either
+        discards, corrects, or terminates — amortized O(log resident).
+        """
+        skipped = []
+        victim = None
+        while self._lru_heap:
+            touch, link = heapq.heappop(self._lru_heap)
+            state = self._links.get(link)
+            if state is None or state.evicted:
+                continue
+            if state.touch != touch:
+                heapq.heappush(self._lru_heap, (state.touch, link))
+                continue
+            if state is keep:
+                skipped.append((touch, link))
+                continue
+            victim = state
+            break
+        for entry in skipped:
+            heapq.heappush(self._lru_heap, entry)
+        return victim
+
+    def _evict_locked(self, state: LinkState) -> bool:
+        """Spill one resident link to the store and drop it from RAM.
+
+        Refuses (returns False) when the store holds fewer rows than
+        RAM does — a write-through failure left rows only in memory,
+        and evicting would silently stop serving them.
+        """
+        with state.lock:
+            n = len(state)
+            if self.store.durable_rows(state.link) < n:
+                return False
+            state.evicted = True
+            # Read-mostly churn optimization: a link revived from its
+            # checkpoint and never appended to is still covered by the
+            # checkpoint on disk — re-serializing the bank would buy
+            # nothing.
+            if state.version != state.ckpt_version:
+                if self.store.write_checkpoint(
+                        state.link, state.checkpoint_state(self._fingerprint)):
+                    state.ckpt_version = state.version
+        del self._links[state.link]
+        self._m_links.set(len(self._links))
+        self._m_evictions.inc()
+        self.trace.emit("evict", link=state.link, records=n,
+                        version=state.version)
+        return True
+
+    def checkpoint_all(self, seal: bool = False) -> int:
+        """Checkpoint every resident link to the store (warm-restart spill).
+
+        With ``seal=True`` each link's tail is also sealed into a
+        column segment, so the next process reads columns instead of
+        scanning WAL records.  Links whose on-disk checkpoint is already
+        current are counted but not re-serialized.  Returns how many
+        links have a current checkpoint.  No-op (0) without a store.
+        """
+        if self.store is None:
+            return 0
+        with self._links_lock:
+            states = list(self._links.values())
+        written = 0
+        for state in states:
+            with state.lock:
+                if len(state) == 0:
+                    continue
+                if state.version == state.ckpt_version:
+                    ok = True  # on-disk checkpoint is already current
+                else:
+                    ok = self.store.write_checkpoint(
+                        state.link, state.checkpoint_state(self._fingerprint))
+                    if ok:
+                        state.ckpt_version = state.version
+            if ok:
+                written += 1
+            if seal:
+                self.store.seal(state.link)
+        self.trace.emit("checkpoint_all", links=written, seal=seal)
+        return written
 
     def _on_bank_rebuild(self, reason: str) -> None:
         self._m_rebuilds.inc()
@@ -304,8 +595,12 @@ class PredictionService:
             self._m_rebuilds.labels(reason=reason).inc()
 
     def links(self) -> List[str]:
+        """Every link the service can answer for — resident or spilled."""
         with self._links_lock:
-            return sorted(self._links)
+            names = set(self._links)
+        if self.store is not None:
+            names.update(self.store.link_names())
+        return sorted(names)
 
     def version(self, link: str) -> int:
         """Current history version of a link (0 = never observed)."""
@@ -331,10 +626,18 @@ class PredictionService:
     def unsubscribe(self, listener: Callable[[str, TransferRecord], None]) -> None:
         self._listeners.remove(listener)
 
-    def observe(self, link: str, record: TransferRecord) -> int:
-        """Fold one completed transfer into a link; returns the new version."""
+    def observe(
+        self, link: str, record: TransferRecord, source_offset: int = 0
+    ) -> int:
+        """Fold one completed transfer into a link; returns the new version.
+
+        ``source_offset`` — the followed log's byte position after this
+        record, when log-driven — rides through to the durable store so
+        a warm restart resumes the follower exactly where durability
+        actually reached.
+        """
         state = self._state(link, create=True)
-        version = state.append(record)
+        version = state.append(record, source_offset=source_offset)
         self._m_ingested.inc()
         self.trace.emit("observe", link=link, version=version,
                         size=record.file_size, bandwidth=record.bandwidth)
@@ -350,7 +653,9 @@ class PredictionService:
             count += 1
         return count
 
-    def ingest_frame(self, link: str, frame: TransferFrame) -> int:
+    def ingest_frame(
+        self, link: str, frame: TransferFrame, source_offset: int = 0
+    ) -> int:
         """Bulk-fold a columnar frame into a link; returns how many records.
 
         With no subscribed listeners the frame lands through
@@ -366,7 +671,7 @@ class PredictionService:
         if self._listeners:
             return self.ingest_records(link, frame.to_records())
         state = self._state(link, create=True)
-        version = state.extend(frame)
+        version = state.extend(frame, source_offset=source_offset)
         self._m_ingested.inc(n)
         self.trace.emit("ingest", link=link, version=version, records=n)
         return n
@@ -386,7 +691,18 @@ class PredictionService:
         """
         path = Path(path)
         name = link or path.stem
-        count = self.ingest_frame(name, load_ulm(path, cache=cache))
+        offset = 0
+        if self.store is not None:
+            # Stamp the file size (taken before the read) as the durable
+            # resume offset: a warm restart's follower starts here
+            # instead of re-delivering the whole file.  Lines appended
+            # after this stat land beyond the offset and still flow.
+            try:
+                offset = path.stat().st_size
+            except OSError:
+                offset = 0
+        count = self.ingest_frame(
+            name, load_ulm(path, cache=cache), source_offset=offset)
         self.trace.emit("ingest_ulm", link=name, path=str(path), records=count)
         return name, count
 
@@ -809,17 +1125,19 @@ class PredictionService:
         so a caller may explore them.
 
         The spec is resolved once and every candidate's link state is
-        gathered in a single pass under the links lock before any
-        prediction runs; all candidates share one anchor time, so the
-        ranking is a consistent snapshot rather than a drifting one.
+        gathered (reviving spilled links from the durable store) before
+        any prediction runs; all candidates share one anchor time, so
+        the ranking is a consistent snapshot rather than a drifting one.
         """
         spec = spec or self.default_spec
         unique = list(dict.fromkeys(candidates))
         if unique:
             self._resolve(spec)  # memoize once, not once per candidate
         anchor = self.clock() if now is None else now
-        with self._links_lock:
-            states = [(link, self._links.get(link)) for link in unique]
+        # _state (not a raw dict read) so a candidate the store knows
+        # but RAM does not revives transparently — a broker ranking a
+        # cold link gets its real history, not an unknown-link shrug.
+        states = [(link, self._state(link)) for link in unique]
         predictions = [
             (link, self._predict_on(state, link, size, spec, anchor,
                                     time.perf_counter()))
@@ -858,16 +1176,41 @@ class PredictionService:
         }
 
     def status(self) -> Dict[str, object]:
-        """One JSON-ready structure describing the whole service."""
+        """One JSON-ready structure describing the whole service.
+
+        Per-link detail is elided past 1000 resident links (a fleet
+        status answer should not serialize a 100k-entry map); the
+        counts always appear.
+        """
         with self._links_lock:
+            resident = dict(self._links)
+        links: Dict[str, object] = {}
+        if len(resident) <= 1000:
             links = {
                 name: {"records": len(state), "version": state.version}
-                for name, state in sorted(self._links.items())
+                for name, state in sorted(resident.items())
             }
-        return {
+        status: Dict[str, object] = {
             "default_spec": self.default_spec,
             "links": links,
+            "link_count": len(resident),
             "cache": self.cache_stats(),
             "ingested": self._m_ingested.value,
             "predicts": self._m_predicts.value,
         }
+        if self.store is not None:
+            stored = self.store.link_count()
+            evicted = len(
+                set(self.store.link_names()).difference(resident)
+            )
+            status["store"] = {
+                "root": str(self.store.root),
+                "resident_links": len(resident),
+                "evicted_links": evicted,
+                "stored_links": stored,
+                "bytes_on_disk": self.store.bytes_on_disk(),
+                "evictions": self._m_evictions.value,
+                "revivals": self._m_revivals.value,
+                "max_resident": self.max_resident,
+            }
+        return status

@@ -28,12 +28,29 @@ insert — which invalidates every positional window — rebuilds it too,
 reported through the bank's ``on_rebuild`` hook.  The bank is how the
 serving layer answers warm queries without walking the arrays; see
 :mod:`repro.core.streaming`.
+
+Tiered storage (:mod:`repro.store`) hooks in at two seams:
+
+* **Write-through** — a ``persist`` callable receives every appended
+  row (under the link lock, after the in-memory fold) so history is
+  durable the moment :meth:`append`/:meth:`extend` return.  Persist
+  failures degrade durability, never serving; the store counts them.
+* **Evict/revive** — :meth:`revive` rebuilds a state from a checkpoint
+  with **version continuity**: the version picks up exactly where the
+  evicted state left off, so version-keyed cache entries stay exact
+  across an evict→revive cycle.  History columns stay on disk until
+  something actually needs them (:meth:`history`, :meth:`snapshot`, an
+  out-of-order insert, a bulk extend); in-order appends and bank
+  answers never touch them.  Hydration loads the spilled columns and
+  stable-sorts them by end time — bit-identical row order, including
+  tie-breaks, to the always-resident buffer, because the buffer's own
+  merge discipline *is* a stable sort by (end time, arrival order).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -54,24 +71,127 @@ _DTYPES = (
     ("ops", np.dtype(np.int8)),
 )
 
+#: ``persist(times, values, sizes, ops, source_offset)`` — called under
+#: the link lock with the rows just folded in, in arrival order.
+PersistFn = Callable[..., bool]
+
+#: ``loader()`` -> (times, values, sizes, ops) in arrival order.
+LoaderFn = Callable[[], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+
 
 class LinkState:
     """Growable, versioned observation arrays for one (source, dest) link."""
 
-    def __init__(self, link: str, bank: Optional[StreamingBank] = None):
+    def __init__(
+        self,
+        link: str,
+        bank: Optional[StreamingBank] = None,
+        persist: Optional[PersistFn] = None,
+    ):
         if not link:
             raise ValueError("link name must be non-empty")
         self.link = link
         self.lock = threading.RLock()
         self.bank = bank
+        self.evicted = False       # set (under lock) when spilled to disk
+        self.touch = 0             # LRU recency stamp, service-managed
+        self.ckpt_version = -1     # version the on-disk checkpoint covers
+        self._persist = persist
         self._buffer = ColumnBuffer(_DTYPES, capacity=_INITIAL_CAPACITY)
         self._version = 0
         self._last_time = -np.inf
+        self._base_n = 0                 # spilled rows not yet hydrated
+        self._base_loader: Optional[LoaderFn] = None
+
+    # ------------------------------------------------------------------
+    # revival (the durable store's load seam)
+    # ------------------------------------------------------------------
+    @classmethod
+    def revive(
+        cls,
+        link: str,
+        bank: Optional[StreamingBank],
+        version: int,
+        base_n: int,
+        last_time: float,
+        loader: LoaderFn,
+        persist: Optional[PersistFn] = None,
+    ) -> "LinkState":
+        """An O(1) cold revival: framing numbers now, columns on demand.
+
+        ``version`` continues the evicted state's counter (cache-key
+        continuity); ``base_n`` rows stay on disk behind ``loader``
+        until hydration; ``bank`` must already hold their fold.
+        """
+        state = cls(link, bank=bank, persist=persist)
+        state._version = int(version)
+        state._base_n = int(base_n)
+        state._base_loader = loader if base_n else None
+        state._last_time = float(last_time) if base_n else -np.inf
+        return state
+
+    @classmethod
+    def from_columns(
+        cls,
+        link: str,
+        bank: Optional[StreamingBank],
+        version: int,
+        columns: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        persist: Optional[PersistFn] = None,
+    ) -> "LinkState":
+        """A fully hydrated state from end-time-sorted columns.
+
+        The checkpointless revival path: the caller already loaded and
+        sorted the columns (and rebuilt ``bank`` from them).
+        """
+        state = cls(link, bank=bank, persist=persist)
+        state._buffer = ColumnBuffer.from_columns(_DTYPES, columns)
+        state._version = int(version)
+        if len(columns[0]):
+            state._last_time = float(columns[0][-1])
+        return state
+
+    def _hydrate_locked(self) -> None:
+        """Load spilled base rows under the current buffer, once.
+
+        Arrival-order rows from the store are stable-argsorted by end
+        time — exactly the order the always-resident buffer would hold
+        them in — and rows appended since revival merge on top (they are
+        in-order by construction; anything out-of-order hydrates first).
+        """
+        if self._base_loader is None:
+            return
+        loader, base_n = self._base_loader, self._base_n
+        self._base_loader = None
+        self._base_n = 0
+        times, values, sizes, ops = loader()
+        times = np.asarray(times, dtype=np.float64)[:base_n]
+        values = np.asarray(values, dtype=np.float64)[:base_n]
+        sizes = np.asarray(sizes, dtype=np.int64)[:base_n]
+        ops = np.asarray(ops, dtype=np.int8)[:base_n]
+        order = np.argsort(times, kind="stable")
+        base = ColumnBuffer.from_columns(
+            _DTYPES, (times[order], values[order], sizes[order], ops[order])
+        )
+        live = self._buffer.views()
+        if len(live[0]):
+            base.extend_sorted(live)
+        self._buffer = base
+
+    @property
+    def hydrated(self) -> bool:
+        with self.lock:
+            return self._base_loader is None
+
+    def resident_nbytes(self) -> int:
+        """RAM held by the history columns (what eviction frees)."""
+        with self.lock:
+            return self._buffer.nbytes
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def append(self, record: TransferRecord) -> int:
+    def append(self, record: TransferRecord, source_offset: int = 0) -> int:
         """Fold one completed transfer; returns the new version.
 
         Records usually arrive in end-time order (O(1) amortized); the
@@ -79,11 +199,16 @@ class LinkState:
         inserted at its sorted position via a copy, which leaves
         previously taken snapshots untouched.  An in-order append also
         folds into the streaming bank in O(1); out-of-order insertion
-        rebuilds the bank, since it shifts every positional window.
+        rebuilds the bank, since it shifts every positional window (and
+        hydrates a revived state first — position is meaningless against
+        spilled rows).  ``source_offset`` is threaded to the persist
+        hook for crash-consistent log-follower resume.
         """
         with self.lock:
             op = OP_READ if record.operation is Operation.READ else OP_WRITE
             in_order = record.end_time >= self._last_time
+            if not in_order:
+                self._hydrate_locked()
             self._buffer.append(
                 (record.end_time, record.bandwidth, record.file_size, op)
             )
@@ -97,9 +222,14 @@ class LinkState:
             if in_order:
                 self._last_time = record.end_time
             self._version += 1
+            if self._persist is not None:
+                self._persist(
+                    (record.end_time,), (record.bandwidth,),
+                    (record.file_size,), (op,), source_offset,
+                )
             return self._version
 
-    def extend(self, frame: TransferFrame) -> int:
+    def extend(self, frame: TransferFrame, source_offset: int = 0) -> int:
         """Fold a whole frame in one sorted merge; returns the new version.
 
         The version advances by ``len(frame)`` — exactly as if each record
@@ -110,19 +240,21 @@ class LinkState:
         """
         with self.lock:
             if len(frame):
+                self._hydrate_locked()
                 ordered = frame if frame.is_sorted else frame.sort_by_end_time()
+                ops = ordered.ops.astype(np.int8)
                 self._buffer.extend_sorted(
-                    (
-                        ordered.end_times,
-                        ordered.bandwidths,
-                        ordered.sizes,
-                        ordered.ops.astype(np.int8),
-                    )
+                    (ordered.end_times, ordered.bandwidths, ordered.sizes, ops)
                 )
                 times, _, _, _ = self._buffer.views()
                 self._last_time = float(times[-1])
                 if self.bank is not None:
                     self._rebuild_bank("bulk")
+                if self._persist is not None:
+                    self._persist(
+                        ordered.end_times, ordered.bandwidths,
+                        ordered.sizes, ops, source_offset,
+                    )
             self._version += len(frame)
             return self._version
 
@@ -138,31 +270,63 @@ class LinkState:
         with self.lock:
             return self._version
 
+    @property
+    def last_time(self) -> float:
+        with self.lock:
+            return self._last_time
+
     def meta(self) -> "tuple[int, int]":
         """``(version, length)`` under a single lock acquisition.
 
         The serving hot path reads both on every query; one acquisition
         instead of two property round-trips keeps the fixed per-predict
-        cost down.
+        cost down.  Length counts spilled base rows without hydrating.
         """
         with self.lock:
-            return self._version, len(self._buffer)
+            return self._version, self._base_n + len(self._buffer)
 
     def __len__(self) -> int:
         with self.lock:
-            return len(self._buffer)
+            return self._base_n + len(self._buffer)
 
     def history(self) -> History:
         """Zero-copy :class:`History` view of the current observations."""
         with self.lock:
+            self._hydrate_locked()
             times, values, sizes, _ = self._buffer.views()
             return History(times, values, sizes)
 
     def snapshot(self):
         """``(times, values, sizes, ops, version)`` views, for providers."""
         with self.lock:
+            self._hydrate_locked()
             times, values, sizes, ops = self._buffer.views()
             return (times, values, sizes, ops, self._version)
+
+    # ------------------------------------------------------------------
+    # checkpointing (the durable store's spill seam)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self, fingerprint: str) -> dict:
+        """The serializable state an eviction writes (under the lock).
+
+        ``fingerprint`` identifies the classification the bank's class
+        series are keyed by; revival rejects a checkpoint whose
+        fingerprint differs from the serving classification.
+        """
+        with self.lock:
+            state = {
+                "meta": {
+                    "link": self.link,
+                    "version": self._version,
+                    "n": self._base_n + len(self._buffer),
+                    "last_time": float(self._last_time),
+                    "classification": fingerprint,
+                    "streaming": self.bank is not None,
+                }
+            }
+            if self.bank is not None:
+                state["bank"] = self.bank.state()
+            return state
 
     def __repr__(self) -> str:
         return f"<LinkState {self.link} n={len(self)} v={self.version}>"

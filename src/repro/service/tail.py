@@ -60,17 +60,25 @@ class LogFollower:
     ``sink(link, record)`` is called once per newly appended record —
     pass ``service.observe`` directly.  ``link`` defaults to the file
     stem, matching ``PredictionService.ingest_ulm``.
+
+    With ``deliver_offsets=True`` the sink is called as ``sink(link,
+    record, source_offset=pos)`` where ``pos`` is the file offset just
+    past the record's line — the resume point a durable store needs to
+    stamp on each row so a crashed process can restart the follower
+    exactly where durability reached (see :meth:`seek_to`).
     """
 
     def __init__(
         self,
         path: Union[str, Path],
-        sink: Callable[[str, TransferRecord], None],
+        sink: Callable[..., None],
         link: Optional[str] = None,
+        deliver_offsets: bool = False,
     ):
         self.path = Path(path)
         self.sink = sink
         self.link = link or self.path.stem
+        self.deliver_offsets = deliver_offsets
         self.offset = 0          # bytes consumed so far
         self._partial = b""      # trailing incomplete line (raw bytes)
         self._inode: Optional[int] = None  # identity of the file last read
@@ -95,6 +103,24 @@ class LogFollower:
         else:
             self.offset = stat.st_size
             self._inode = stat.st_ino
+        self._partial = b""
+
+    def seek_to(self, offset: int) -> None:
+        """Resume from a known byte offset (a durable store's resume point).
+
+        The next poll delivers only records *past* ``offset`` — the
+        warm-restart path, where everything before it is already in the
+        store and re-delivering would duplicate history.  An offset
+        beyond the current file size is treated as a rotation on the
+        next poll (restart from zero), same as a live shrink.
+        """
+        try:
+            stat = self.path.stat()
+        except OSError:
+            self._inode = None
+        else:
+            self._inode = stat.st_ino
+        self.offset = int(offset)
         self._partial = b""
 
     def _rotated(self) -> None:
@@ -152,7 +178,11 @@ class LogFollower:
         self._partial = lines.pop()
 
         delivered = 0
+        # File position just past each delivered line: data ends at the
+        # new offset, so it begins len(data) bytes before it.
+        pos = new_offset - len(data)
         for raw in lines:
+            pos += len(raw) + 1
             # A complete line with broken encoding must not raise; the
             # replacement characters surface as a counted parse error.
             stripped = raw.decode("utf-8", errors="replace").strip()
@@ -165,7 +195,10 @@ class LogFollower:
                 if _obs_enabled():
                     _M_PARSE_ERRORS.inc()
                 continue
-            self.sink(self.link, record)
+            if self.deliver_offsets:
+                self.sink(self.link, record, source_offset=pos)
+            else:
+                self.sink(self.link, record)
             delivered += 1
         self.records += delivered
         if delivered and _obs_enabled():

@@ -1,0 +1,185 @@
+"""Sealed, digest-verified ``.npz`` column segments.
+
+A segment is an immutable slab of link history in arrival order: four
+parallel columns (``times``/``values``/``sizes``/``ops``) plus framing
+metadata, written once with the same atomic temp-file + ``os.replace``
+idiom as the ingest sidecar cache and verified on every read against a
+SHA-256 over the column bytes.  Numbered segments cover consecutive row
+ranges (``seg-<start_row>.npz``); a compaction writes the special
+``seg-full.npz``, which supersedes every numbered segment whose rows it
+covers.
+
+Reads pass through the ``store.segment`` fault site so the chaos suite
+can corrupt or truncate them; anything that fails to deserialize or
+match its digest raises :class:`CorruptSegment` and the store
+quarantines the file (``*.quarantined``), exactly like a corrupt ingest
+sidecar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import faults as _faults
+
+__all__ = [
+    "SEGMENT_VERSION",
+    "FULL_NAME",
+    "CorruptSegment",
+    "SegmentData",
+    "segment_name",
+    "parse_start_row",
+    "write_segment",
+    "read_segment",
+]
+
+#: Bump when the segment layout changes; readers reject other versions.
+SEGMENT_VERSION = "1"
+
+#: The compacted whole-history segment; supersedes covered numbered ones.
+FULL_NAME = "seg-full.npz"
+
+_PREFIX = "seg-"
+_SUFFIX = ".npz"
+
+
+class CorruptSegment(Exception):
+    """The segment cannot be trusted (bad digest, layout, or read)."""
+
+
+@dataclass
+class SegmentData:
+    """One decoded segment: framing metadata plus the four columns."""
+
+    start_row: int
+    rows: int
+    max_offset: int
+    times: np.ndarray
+    values: np.ndarray
+    sizes: np.ndarray
+    ops: np.ndarray
+
+
+def segment_name(start_row: int) -> str:
+    """Numbered segment file name; sorts in row order."""
+    return f"{_PREFIX}{start_row:012d}{_SUFFIX}"
+
+
+def parse_start_row(name: str) -> int:
+    """Inverse of :func:`segment_name`; raises ``ValueError`` otherwise."""
+    if not name.startswith(_PREFIX) or not name.endswith(_SUFFIX):
+        raise ValueError(f"not a segment name: {name!r}")
+    return int(name[len(_PREFIX):-len(_SUFFIX)])
+
+
+def _digest(start_row: int, times, values, sizes, ops) -> str:
+    sha = hashlib.sha256()
+    sha.update(f"{SEGMENT_VERSION}:{start_row}:{len(times)}".encode())
+    for column in (times, values, sizes, ops):
+        sha.update(column.tobytes())
+    return sha.hexdigest()
+
+
+def write_segment(
+    path: Path,
+    start_row: int,
+    times: np.ndarray,
+    values: np.ndarray,
+    sizes: np.ndarray,
+    ops: np.ndarray,
+    max_offset: int = 0,
+    fsync: bool = True,
+) -> None:
+    """Atomically write a segment (temp file, optional fsync, rename).
+
+    Raises ``OSError`` on filesystem refusal; the caller decides whether
+    that degrades (rows stay in the tail) or aborts (compaction).
+    """
+    times = np.ascontiguousarray(times, dtype=np.float64)
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+    ops = np.ascontiguousarray(ops, dtype=np.int8)
+    _faults.check("store.segment", path=str(path), op="write")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(
+                handle,
+                __version__=np.str_(SEGMENT_VERSION),
+                __digest__=np.str_(_digest(start_row, times, values, sizes, ops)),
+                __start_row__=np.int64(start_row),
+                __rows__=np.int64(len(times)),
+                __max_offset__=np.int64(max_offset),
+                times=times,
+                values=values,
+                sizes=sizes,
+                ops=ops,
+            )
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make a rename durable; best-effort (not all filesystems allow it)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_segment(path: Path) -> SegmentData:
+    """Read and digest-verify one segment.
+
+    Raises :class:`CorruptSegment` on anything untrustworthy and
+    ``FileNotFoundError`` when the file is simply absent.
+    """
+    _faults.check("store.segment", path=str(path), op="read")
+    raw = path.read_bytes()
+    raw = _faults.filter_bytes("store.segment", raw, path=str(path))
+    try:
+        with np.load(io.BytesIO(raw), allow_pickle=False) as payload:
+            if str(payload["__version__"]) != SEGMENT_VERSION:
+                raise CorruptSegment(f"unknown segment version in {path}")
+            start_row = int(payload["__start_row__"])
+            rows = int(payload["__rows__"])
+            max_offset = int(payload["__max_offset__"])
+            times = np.asarray(payload["times"], dtype=np.float64)
+            values = np.asarray(payload["values"], dtype=np.float64)
+            sizes = np.asarray(payload["sizes"], dtype=np.int64)
+            ops = np.asarray(payload["ops"], dtype=np.int8)
+            stored = str(payload["__digest__"])
+    except CorruptSegment:
+        raise
+    except Exception as exc:
+        raise CorruptSegment(f"undecodable segment {path}: {exc}") from None
+    if rows != len(times) or stored != _digest(start_row, times, values, sizes, ops):
+        raise CorruptSegment(f"digest mismatch in {path}")
+    return SegmentData(
+        start_row=start_row, rows=rows, max_offset=max_offset,
+        times=times, values=values, sizes=sizes, ops=ops,
+    )

@@ -1,0 +1,679 @@
+"""The durable tiered store: one directory of history per link.
+
+Layout, under ``root/links/<urlquoted link>/``::
+
+    tail.wal              CRC-framed active tail (repro.store.wal)
+    seg-<start>.npz       sealed column segments (repro.store.segments)
+    seg-full.npz          compacted whole-history segment, if any
+    checkpoint.bin        latest streaming-bank checkpoint
+    *.quarantined         corrupt files moved aside, never consulted
+
+Durability contract
+-------------------
+* Appends land in the tail as fixed-size CRC records *before* the call
+  returns; a ``kill -9`` can tear at most the last in-flight record,
+  and recovery truncates the torn suffix (never serves it).
+* Segments and checkpoints are written to a temp file, optionally
+  fsynced, and ``os.replace``d — readers see the old file or the new
+  one, never a partial.
+* A crash between segment seal and tail truncation leaves sealed rows
+  duplicated in the tail; WAL ``seq`` numbers dedup them on every scan.
+* Anything that fails checksum verification is quarantined
+  (``*.quarantined``), counted, and announced — after which the link is
+  *degraded*: its checkpoint is no longer trusted (row counts can no
+  longer be reconciled) and revival falls back to rebuilding from the
+  surviving rows.
+
+Fault sites: ``store.segment`` (segment read/write, tail read/append)
+and ``store.checkpoint`` (checkpoint read/write), matching the chaos
+suite's ``error``/``truncate``/``corrupt`` vocabulary.
+
+Concurrency: one lock per link (all tail/segment/checkpoint mutation),
+plus a short global lock for the name/handle/lock registries.  The
+store never raises out of the append path — persistence failures are
+counted and degrade durability, not serving.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import faults as _faults
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import get_registry
+from repro.store import checkpoint as _checkpoint
+from repro.store import segments as _segments
+from repro.store import wal as _wal
+from repro.store.segments import CorruptSegment, FULL_NAME, segment_name
+
+__all__ = ["LinkStore", "DEFAULT_SEGMENT_ROWS"]
+
+#: Tail rows that trigger an automatic seal into a segment.
+DEFAULT_SEGMENT_ROWS = 4096
+
+_TAIL_NAME = "tail.wal"
+_CHECKPOINT_NAME = "checkpoint.bin"
+
+_REG = get_registry()
+_M_APPENDED = _REG.counter(
+    "store_rows_appended", "history rows made durable in the tail log")
+_M_APPEND_ERRORS = _REG.counter(
+    "store_append_errors", "tail appends refused by the filesystem")
+_M_SEALS = _REG.counter(
+    "store_segments_sealed", "tails sealed into column segments")
+_M_SEAL_ERRORS = _REG.counter(
+    "store_seal_errors", "segment seals that failed (rows stay in the tail)")
+_M_COMPACTIONS = _REG.counter(
+    "store_compactions", "whole-history segment compactions")
+_M_CHECKPOINTS = _REG.counter(
+    "store_checkpoints_written", "streaming-bank checkpoints written")
+_M_CHECKPOINT_ERRORS = _REG.counter(
+    "store_checkpoint_errors", "checkpoint writes that failed")
+_M_QUARANTINED = _REG.counter(
+    "store_quarantined", "corrupt segments/checkpoints quarantined")
+_M_TORN = _REG.counter(
+    "store_torn_tails", "torn tail suffixes truncated during recovery")
+_M_DEDUPED = _REG.counter(
+    "store_tail_rows_deduped", "tail rows dropped as duplicates of sealed rows")
+
+
+class _Segment:
+    """Metadata for one sealed segment (columns stay on disk)."""
+
+    __slots__ = ("path", "start_row", "rows", "max_offset")
+
+    def __init__(self, path: Path, start_row: int, rows: int, max_offset: int):
+        self.path = path
+        self.start_row = start_row
+        self.rows = rows
+        self.max_offset = max_offset
+
+    @property
+    def end_row(self) -> int:
+        return self.start_row + self.rows
+
+
+class _LinkMeta:
+    """In-memory framing state for one link's directory."""
+
+    __slots__ = ("link", "directory", "segments", "sealed_rows", "tail_rows",
+                 "next_seq", "max_offset", "degraded")
+
+    def __init__(self, link: str, directory: Path):
+        self.link = link
+        self.directory = directory
+        self.segments: List[_Segment] = []
+        self.sealed_rows = 0          # rows covered by sealed segments
+        self.tail_rows = 0            # live (deduped) rows in the tail
+        self.next_seq = 0             # seq for the next appended row
+        self.max_offset = 0           # largest source offset made durable
+        self.degraded = False         # a quarantine broke row accounting
+
+    @property
+    def tail_path(self) -> Path:
+        return self.directory / _TAIL_NAME
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.directory / _CHECKPOINT_NAME
+
+    def durable_rows(self) -> int:
+        return sum(seg.rows for seg in self.segments) + self.tail_rows
+
+
+def _quote(link: str) -> str:
+    return urllib.parse.quote(link, safe="")
+
+
+def _unquote(name: str) -> str:
+    return urllib.parse.unquote(name)
+
+
+def _quarantine(path: Path) -> Optional[Path]:
+    """Move a corrupt file aside; same fallback ladder as ingest."""
+    target = path.with_name(path.name + ".quarantined")
+    try:
+        os.replace(path, target)
+        return target
+    except OSError:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+
+
+class LinkStore:
+    """Durable tiered history for many links under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing); link data lives under
+        ``root/links/``.
+    segment_rows:
+        Tail size that triggers an automatic seal.
+    fsync:
+        Fsync segments and checkpoints at write time.  Off by default:
+        the page cache survives process death (``kill -9``), which is
+        the crash mode the parity gates cover; power-loss durability
+        costs the extra fsync.
+    max_open_tails:
+        Tail file handles kept open across appends (LRU).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
+        fsync: bool = False,
+        max_open_tails: int = 64,
+    ) -> None:
+        self.root = Path(root)
+        self.segment_rows = int(segment_rows)
+        self.fsync = bool(fsync)
+        self.max_open_tails = int(max_open_tails)
+        self._links_dir = self.root / "links"
+        self._links_dir.mkdir(parents=True, exist_ok=True)
+        self._registry_lock = threading.Lock()
+        self._locks: Dict[str, threading.RLock] = {}
+        self._metas: Dict[str, _LinkMeta] = {}
+        self._handles: "OrderedDict[str, IO[bytes]]" = OrderedDict()
+        self._known = {
+            _unquote(entry.name)
+            for entry in os.scandir(self._links_dir)
+            if entry.is_dir()
+        }
+        self._bytes_cache: Optional[Tuple[float, int]] = None
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def has(self, link: str) -> bool:
+        """O(1): does the store hold any state for this link?"""
+        with self._registry_lock:
+            return link in self._known
+
+    def link_names(self) -> List[str]:
+        with self._registry_lock:
+            return sorted(self._known)
+
+    def link_count(self) -> int:
+        with self._registry_lock:
+            return len(self._known)
+
+    def _lock_for(self, link: str) -> threading.RLock:
+        with self._registry_lock:
+            lock = self._locks.get(link)
+            if lock is None:
+                lock = self._locks[link] = threading.RLock()
+            return lock
+
+    def close(self) -> None:
+        """Close cached tail handles (data is already flushed per append)."""
+        with self._registry_lock:
+            handles, self._handles = self._handles, {}
+        for handle in handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "LinkStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _meta(self, link: str, create: bool = False) -> Optional[_LinkMeta]:
+        """The link's framing state, recovering from disk on first touch.
+
+        Caller must hold the link's lock.
+        """
+        meta = self._metas.get(link)
+        if meta is not None:
+            return meta
+        directory = self._links_dir / _quote(link)
+        if not directory.is_dir():
+            if not create:
+                return None
+            directory.mkdir(parents=True, exist_ok=True)
+        meta = self._recover(link, directory)
+        with self._registry_lock:
+            self._metas[link] = meta
+            self._known.add(link)
+        return meta
+
+    def _recover(self, link: str, directory: Path) -> _LinkMeta:
+        meta = _LinkMeta(link, directory)
+        numbered: List[Path] = []
+        full: Optional[Path] = None
+        for entry in sorted(os.scandir(directory), key=lambda e: e.name):
+            if entry.name == FULL_NAME:
+                full = directory / entry.name
+            elif entry.name.endswith(".npz") and entry.name.startswith("seg-"):
+                numbered.append(directory / entry.name)
+
+        segments: List[_Segment] = []
+        full_rows = 0
+        if full is not None:
+            seg = self._read_segment_meta(meta, full)
+            if seg is not None:
+                segments.append(seg)
+                full_rows = seg.rows
+        for path in numbered:
+            seg = self._read_segment_meta(meta, path)
+            if seg is None:
+                continue
+            if seg.end_row <= full_rows:
+                # Superseded by the compacted segment; a crash mid-compaction
+                # left it behind.  Finish the cleanup.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            segments.append(seg)
+        segments.sort(key=lambda seg: seg.start_row)
+        meta.segments = segments
+        meta.sealed_rows = max((seg.end_row for seg in segments), default=0)
+        expected = full_rows
+        for seg in segments[1 if full_rows else 0:]:
+            if seg.start_row != expected:
+                meta.degraded = True
+            expected = seg.end_row
+        meta.max_offset = max((seg.max_offset for seg in segments), default=0)
+
+        tail = self._read_tail(meta, recover=True)
+        meta.tail_rows = len(tail)
+        if tail.seqs:
+            meta.next_seq = tail.seqs[-1] + 1
+        else:
+            meta.next_seq = meta.sealed_rows
+        if tail.offsets:
+            meta.max_offset = max(meta.max_offset, max(tail.offsets))
+        return meta
+
+    def _read_segment_meta(self, meta: _LinkMeta, path: Path) -> Optional[_Segment]:
+        try:
+            data = _segments.read_segment(path)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._quarantine_file(meta, path, kind="segment")
+            meta.degraded = True
+            return None
+        return _Segment(path, data.start_row, data.rows, data.max_offset)
+
+    def _read_tail(self, meta: _LinkMeta, recover: bool = False) -> _wal.TailScan:
+        """Scan the tail's valid, deduped rows; truncate torn bytes once.
+
+        Every scan applies the same dedup rule, so repeated reads are
+        deterministic even when a seal-then-truncate pair was split by a
+        crash.
+        """
+        path = meta.tail_path
+        try:
+            _faults.check("store.segment", path=str(path), op="tail-read")
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return _wal.TailScan()
+        except OSError:
+            meta.degraded = True
+            return _wal.TailScan()
+        raw = _faults.filter_bytes("store.segment", raw, path=str(path))
+        scan = _wal.scan(raw)
+        if scan.torn_bytes and recover:
+            try:
+                os.truncate(path, scan.valid_bytes)
+            except OSError:
+                meta.degraded = True
+            if _obs_enabled():
+                _M_TORN.inc()
+                get_event_bus().emit(
+                    "store.torn_tail", link=meta.link, path=str(path),
+                    kept=scan.valid_bytes, dropped=scan.torn_bytes,
+                )
+        kept, dropped = _wal.dedup(scan, meta.sealed_rows)
+        if dropped and _obs_enabled():
+            _M_DEDUPED.inc(dropped)
+        return kept
+
+    def _quarantine_file(self, meta: _LinkMeta, path: Path, kind: str) -> None:
+        target = _quarantine(path)
+        if _obs_enabled():
+            _M_QUARANTINED.inc()
+            get_event_bus().emit(
+                "store.quarantine", link=meta.link, file=kind, path=str(path),
+                quarantined=str(target) if target else None,
+            )
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def append_rows(
+        self,
+        link: str,
+        times,
+        values,
+        sizes,
+        ops,
+        source_offset: int = 0,
+    ) -> bool:
+        """Make rows durable in the link's tail; never raises.
+
+        ``source_offset`` is the followed log's byte position *after*
+        the last of these rows (0 when not log-driven); it is stamped on
+        the final record so a warm restart can resume the follower.
+        Returns False when the filesystem refused (counted; serving
+        continues from RAM).
+        """
+        n = len(times)
+        if n == 0:
+            return True
+        with self._lock_for(link):
+            meta = self._meta(link, create=True)
+            seq0 = meta.next_seq
+            offsets = [0] * n
+            offsets[-1] = int(source_offset)
+            blob = _wal.encode(
+                (seq0 + i, times[i], values[i], sizes[i], ops[i], offsets[i])
+                for i in range(n)
+            )
+            try:
+                _faults.check(
+                    "store.segment", path=str(meta.tail_path), op="tail-write")
+                try:
+                    self._tail_handle(meta).write(blob)
+                except ValueError:
+                    # The LRU closed this handle under us (another link's
+                    # append evicted it); the cache miss reopens it.
+                    with self._registry_lock:
+                        self._handles.pop(link, None)
+                    self._tail_handle(meta).write(blob)
+            except OSError:
+                if _obs_enabled():
+                    _M_APPEND_ERRORS.inc()
+                    get_event_bus().emit(
+                        "store.append_error", link=link, rows=n)
+                return False
+            meta.tail_rows += n
+            meta.next_seq = seq0 + n
+            if source_offset:
+                meta.max_offset = max(meta.max_offset, int(source_offset))
+            if _obs_enabled():
+                _M_APPENDED.inc(n)
+            if meta.tail_rows >= self.segment_rows:
+                self._seal_locked(meta)
+            return True
+
+    def _tail_handle(self, meta: _LinkMeta) -> IO[bytes]:
+        """An O_APPEND handle for the link's tail, LRU-cached."""
+        with self._registry_lock:
+            handle = self._handles.pop(meta.link, None)
+            if handle is not None:
+                self._handles[meta.link] = handle  # refresh recency
+                return handle
+        handle = open(meta.tail_path, "ab", buffering=0)
+        evicted = []
+        with self._registry_lock:
+            self._handles[meta.link] = handle
+            while len(self._handles) > self.max_open_tails:
+                evicted.append(self._handles.popitem(last=False)[1])
+        for old in evicted:
+            try:
+                old.close()
+            except OSError:
+                pass
+        return handle
+
+    # ------------------------------------------------------------------
+    # sealing and compaction
+    # ------------------------------------------------------------------
+    def seal(self, link: str) -> bool:
+        """Seal the link's tail into a segment now (no-op when empty)."""
+        with self._lock_for(link):
+            meta = self._meta(link)
+            if meta is None:
+                return False
+            return self._seal_locked(meta)
+
+    def _seal_locked(self, meta: _LinkMeta) -> bool:
+        tail = self._read_tail(meta)
+        if not tail.seqs:
+            return False
+        start_row = tail.seqs[0]
+        path = meta.directory / segment_name(start_row)
+        max_offset = max(meta.max_offset, max(tail.offsets))
+        try:
+            _segments.write_segment(
+                path, start_row,
+                np.asarray(tail.times), np.asarray(tail.values),
+                np.asarray(tail.sizes), np.asarray(tail.ops),
+                max_offset=max_offset, fsync=self.fsync,
+            )
+        except Exception:
+            # Rows stay safe in the tail; sealing retries on later growth.
+            if _obs_enabled():
+                _M_SEAL_ERRORS.inc()
+                get_event_bus().emit(
+                    "store.seal_error", link=meta.link, path=str(path))
+            return False
+        try:
+            os.truncate(meta.tail_path, 0)
+        except OSError:
+            pass  # seq dedup keeps the duplicate rows harmless
+        meta.segments.append(
+            _Segment(path, start_row, len(tail.seqs), max_offset))
+        meta.segments.sort(key=lambda seg: seg.start_row)
+        meta.sealed_rows = max(meta.sealed_rows, start_row + len(tail.seqs))
+        meta.tail_rows = 0
+        if _obs_enabled():
+            _M_SEALS.inc()
+            get_event_bus().emit(
+                "store.seal", link=meta.link, rows=len(tail.seqs),
+                path=str(path))
+        return True
+
+    def compact(self, link: str) -> bool:
+        """Merge all segments and the tail into one ``seg-full.npz``.
+
+        Also repairs a degraded link: survivors are renumbered 0..n, so
+        row accounting becomes trustworthy again (with the lost rows
+        acknowledged as gone).
+        """
+        with self._lock_for(link):
+            meta = self._meta(link)
+            if meta is None:
+                return False
+            times, values, sizes, ops, _ = self._load_locked(meta)
+            total = len(times)
+            full = meta.directory / FULL_NAME
+            try:
+                _segments.write_segment(
+                    full, 0, times, values, sizes, ops,
+                    max_offset=meta.max_offset, fsync=self.fsync,
+                )
+            except Exception:
+                if _obs_enabled():
+                    _M_SEAL_ERRORS.inc()
+                return False
+            for seg in meta.segments:
+                if seg.path != full:
+                    try:
+                        seg.path.unlink()
+                    except OSError:
+                        pass
+            try:
+                os.truncate(meta.tail_path, 0)
+            except OSError:
+                pass
+            meta.segments = [_Segment(full, 0, total, meta.max_offset)]
+            meta.sealed_rows = total
+            meta.tail_rows = 0
+            meta.next_seq = total
+            meta.degraded = False
+            if _obs_enabled():
+                _M_COMPACTIONS.inc()
+                get_event_bus().emit("store.compact", link=link, rows=total)
+            return True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def durable_rows(self, link: str) -> int:
+        with self._lock_for(link):
+            meta = self._meta(link)
+            return meta.durable_rows() if meta is not None else 0
+
+    def degraded(self, link: str) -> bool:
+        with self._lock_for(link):
+            meta = self._meta(link)
+            return meta.degraded if meta is not None else False
+
+    def resume_offset(self, link: str) -> int:
+        """Largest source-log offset made durable for this link."""
+        with self._lock_for(link):
+            meta = self._meta(link)
+            return meta.max_offset if meta is not None else 0
+
+    def load_columns(
+        self, link: str, start_row: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All durable rows from ``start_row`` on, in arrival order.
+
+        Returns ``(times, values, sizes, ops)``.  Corrupt segments hit
+        mid-read are quarantined and skipped (the link degrades).
+        """
+        with self._lock_for(link):
+            meta = self._meta(link)
+            if meta is None:
+                empty = np.empty(0)
+                return (empty.astype(np.float64), empty.astype(np.float64),
+                        empty.astype(np.int64), empty.astype(np.int8))
+            times, values, sizes, ops, _ = self._load_locked(meta)
+            if start_row:
+                times, values = times[start_row:], values[start_row:]
+                sizes, ops = sizes[start_row:], ops[start_row:]
+            return times, values, sizes, ops
+
+    def _load_locked(self, meta: _LinkMeta):
+        """Concatenate segment columns and live tail rows, arrival order."""
+        parts_t: List[np.ndarray] = []
+        parts_v: List[np.ndarray] = []
+        parts_s: List[np.ndarray] = []
+        parts_o: List[np.ndarray] = []
+        surviving: List[_Segment] = []
+        for seg in meta.segments:
+            try:
+                data = _segments.read_segment(seg.path)
+            except Exception:
+                self._quarantine_file(meta, seg.path, kind="segment")
+                meta.degraded = True
+                continue
+            surviving.append(seg)
+            parts_t.append(data.times)
+            parts_v.append(data.values)
+            parts_s.append(data.sizes)
+            parts_o.append(data.ops)
+        if len(surviving) != len(meta.segments):
+            meta.segments = surviving
+            meta.sealed_rows = max((s.end_row for s in surviving), default=0)
+        tail = self._read_tail(meta)
+        meta.tail_rows = len(tail)
+        parts_t.append(np.asarray(tail.times, dtype=np.float64))
+        parts_v.append(np.asarray(tail.values, dtype=np.float64))
+        parts_s.append(np.asarray(tail.sizes, dtype=np.int64))
+        parts_o.append(np.asarray(tail.ops, dtype=np.int8))
+        times = np.concatenate(parts_t) if parts_t else np.empty(0)
+        values = np.concatenate(parts_v) if parts_v else np.empty(0)
+        sizes = np.concatenate(parts_s) if parts_s else np.empty(0, np.int64)
+        ops = np.concatenate(parts_o) if parts_o else np.empty(0, np.int8)
+        return (times.astype(np.float64, copy=False),
+                values.astype(np.float64, copy=False),
+                sizes.astype(np.int64, copy=False),
+                ops.astype(np.int8, copy=False),
+                tail)
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def write_checkpoint(self, link: str, state: dict) -> bool:
+        """Atomically persist a checkpoint; never raises (returns False)."""
+        with self._lock_for(link):
+            meta = self._meta(link, create=True)
+            path = meta.checkpoint_path
+            try:
+                data = _checkpoint.dumps(state)
+                _faults.check("store.checkpoint", path=str(path), op="write")
+                tmp = path.with_name(path.name + ".tmp")
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except Exception:
+                if _obs_enabled():
+                    _M_CHECKPOINT_ERRORS.inc()
+                    get_event_bus().emit(
+                        "store.checkpoint_error", link=link, path=str(path))
+                return False
+            if _obs_enabled():
+                _M_CHECKPOINTS.inc()
+            return True
+
+    def read_checkpoint(self, link: str) -> Optional[dict]:
+        """The link's checkpoint state, or None (absent or quarantined)."""
+        with self._lock_for(link):
+            meta = self._meta(link)
+            if meta is None:
+                return None
+            path = meta.checkpoint_path
+            try:
+                _faults.check("store.checkpoint", path=str(path), op="read")
+                raw = path.read_bytes()
+            except FileNotFoundError:
+                return None
+            except Exception:
+                self._quarantine_file(meta, path, kind="checkpoint")
+                return None
+            raw = _faults.filter_bytes("store.checkpoint", raw, path=str(path))
+            try:
+                return _checkpoint.loads(raw)
+            except Exception:
+                self._quarantine_file(meta, path, kind="checkpoint")
+                return None
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def bytes_on_disk(self, max_age: float = 5.0) -> int:
+        """Total bytes under the store root (cached for ``max_age`` s)."""
+        now = time.monotonic()
+        with self._registry_lock:
+            cached = self._bytes_cache
+            if cached is not None and now - cached[0] < max_age:
+                return cached[1]
+        total = 0
+        for directory, _, files in os.walk(self.root):
+            for name in files:
+                try:
+                    total += os.stat(os.path.join(directory, name)).st_size
+                except OSError:
+                    pass
+        with self._registry_lock:
+            self._bytes_cache = (now, total)
+        return total

@@ -1,0 +1,119 @@
+"""CRC-framed fixed-size records for the active tail of a link's log.
+
+The tail is the write-hot end of the tiered store: every observation
+appends one fixed-size record (``crc32 | seq time value size op
+source_offset``) to ``tail.wal`` before the link seals it into a
+columnar segment.  Fixed framing plus a per-record CRC makes crash
+recovery a single forward scan: the first record that is short or fails
+its checksum marks the torn point, and everything before it is known
+good — the classic write-ahead-log contract (torn tails are truncated,
+never served).
+
+``seq`` is the link-global row index at append time.  It makes the
+dedup rule after a crash *between* segment seal and tail truncation
+trivial: tail records with ``seq`` below the sealed row count are
+already in a segment and are skipped on every scan.
+
+``source_offset`` threads the ULM follower's byte position through to
+disk (zero when the row did not come from a followed log), so a warm
+restart resumes tailing exactly after the last durable row.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["RECORD_SIZE", "TailScan", "encode", "scan", "dedup"]
+
+# seq u64 | end_time f64 | bandwidth f64 | size i64 | op i8 | source_offset i64
+_PAYLOAD = struct.Struct("<Qddqbq")
+_CRC = struct.Struct("<I")
+
+#: Bytes per framed record (4-byte CRC32 + 41-byte payload).
+RECORD_SIZE = _CRC.size + _PAYLOAD.size
+
+
+@dataclass
+class TailScan:
+    """The valid prefix of a tail file, as parallel row lists."""
+
+    seqs: List[int] = field(default_factory=list)
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
+    ops: List[int] = field(default_factory=list)
+    offsets: List[int] = field(default_factory=list)
+    #: Length of the valid prefix; the file should be truncated here.
+    valid_bytes: int = 0
+    #: Bytes past the valid prefix (torn write or corruption), 0 if clean.
+    torn_bytes: int = 0
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+
+def encode(rows: Iterable[Sequence]) -> bytes:
+    """Frame ``(seq, time, value, size, op, source_offset)`` rows."""
+    parts = []
+    for seq, time, value, size, op, offset in rows:
+        payload = _PAYLOAD.pack(int(seq), float(time), float(value),
+                                int(size), int(op), int(offset))
+        parts.append(_CRC.pack(zlib.crc32(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def scan(data: bytes) -> TailScan:
+    """Parse the valid record prefix of raw tail bytes.
+
+    Stops at the first short or checksum-failing record; the scan never
+    raises.  ``valid_bytes``/``torn_bytes`` report where the good prefix
+    ends so the caller can truncate the file back to a clean state.
+    """
+    result = TailScan()
+    pos = 0
+    total = len(data)
+    while pos + RECORD_SIZE <= total:
+        (crc,) = _CRC.unpack_from(data, pos)
+        payload = data[pos + _CRC.size: pos + RECORD_SIZE]
+        if zlib.crc32(payload) != crc:
+            break
+        seq, time, value, size, op, offset = _PAYLOAD.unpack(payload)
+        result.seqs.append(seq)
+        result.times.append(time)
+        result.values.append(value)
+        result.sizes.append(size)
+        result.ops.append(op)
+        result.offsets.append(offset)
+        pos += RECORD_SIZE
+    result.valid_bytes = pos
+    result.torn_bytes = total - pos
+    return result
+
+
+def dedup(tail: TailScan, sealed_rows: int) -> Tuple[TailScan, int]:
+    """Drop tail rows already covered by sealed segments.
+
+    Returns ``(kept, dropped)``.  A crash between segment seal and tail
+    truncation leaves the sealed rows duplicated at the tail's front;
+    their ``seq`` fields are below ``sealed_rows``, so one pass filters
+    them deterministically on every scan.
+    """
+    if not tail.seqs or tail.seqs[0] >= sealed_rows:
+        return tail, 0
+    kept = TailScan(valid_bytes=tail.valid_bytes, torn_bytes=tail.torn_bytes)
+    dropped = 0
+    for i, seq in enumerate(tail.seqs):
+        if seq < sealed_rows:
+            dropped += 1
+            continue
+        kept.seqs.append(seq)
+        kept.times.append(tail.times[i])
+        kept.values.append(tail.values[i])
+        kept.sizes.append(tail.sizes[i])
+        kept.ops.append(tail.ops[i])
+        kept.offsets.append(tail.offsets[i])
+    return kept, dropped

@@ -1,0 +1,196 @@
+"""Chaos suite for the durable store tier.
+
+Storage faults must cost durability *work* — a failed seal leaves rows
+in the WAL tail, a corrupt checkpoint forces a column rebuild, an
+unwritable checkpoint downgrades eviction to rebuild-on-revive — but
+they must never change an answer.  Every test here replays the shipped
+campaign logs through a store-backed service under injected faults and
+demands bit-identical predictions against a fault-free, always-resident
+baseline.
+
+The one deliberate exception: a corrupt *sealed segment* genuinely
+loses rows.  There the contract is containment — the bad file is
+quarantined, the link is flagged degraded, and the service keeps
+serving exactly the rows that survived, with no exception and no
+garbage values.
+
+Prediction specs are restricted to ring/heap summaries (``LV``,
+``MED``/``MED{n}``, ``AVG{n}``, and their ``C-`` variants), which are
+exact under a vectorized rebuild; full-history running sums (``AVG``,
+``AR``) are only bit-stable through the checkpoint path, which these
+faults disable on purpose.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjector
+from repro.service import PredictionService
+from repro.store import LinkStore
+from repro.units import MB
+
+DATA_DIR = Path(__file__).resolve().parents[2] / "data"
+LOGS = ["aug-LBL-ANL.ulm", "aug-ISI-ANL.ulm"]
+SPECS = ["C-AVG15", "AVG5", "C-MED15", "MED", "LV"]
+SIZES = [10 * MB, 100 * MB, 1000 * MB]
+NOW = 10_000_000.0
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_injector():
+    yield
+    faults.uninstall()
+
+
+def _ingest_logs(service):
+    for name in LOGS:
+        service.ingest_ulm(DATA_DIR / name)
+
+
+def _answers(service):
+    out = []
+    for link in sorted(service.links()):
+        for spec in SPECS:
+            for size in SIZES:
+                p = service.predict(link, size, spec, now=NOW)
+                out.append((link, spec, size, p.value, p.version,
+                            p.history_length))
+    return out
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    service = PredictionService()
+    _ingest_logs(service)
+    return _answers(service)
+
+
+def _quarantined(state_dir):
+    return list(Path(state_dir).rglob("*.quarantined"))
+
+
+class TestSegmentSealFaults:
+    def test_failed_seals_leave_rows_in_tail_answers_unchanged(
+            self, tmp_path, baseline):
+        injector = FaultInjector(seed=7)
+        injector.inject("store.segment", error=OSError, op="write", times=4)
+
+        store = LinkStore(tmp_path / "state", segment_rows=64)
+        with faults.injected(injector):
+            service = PredictionService(store=store, max_resident=1)
+            _ingest_logs(service)
+            chaotic = _answers(service)
+
+        assert injector.fired.get("store.segment", 0) >= 1
+        assert chaotic == baseline
+        # Nothing was lost: every folded row is durable (tail or segment)
+        # and revival under eviction pressure served all of them.
+        for link in service.links():
+            assert store.durable_rows(link) == len(service.history(link))
+        assert not _quarantined(tmp_path / "state")
+
+
+class TestCheckpointFaults:
+    def test_corrupt_checkpoint_quarantined_rebuild_is_identical(
+            self, tmp_path, baseline):
+        store = LinkStore(tmp_path / "state")
+        first = PredictionService(store=store)
+        _ingest_logs(first)
+        assert first.checkpoint_all(seal=True) == len(LOGS)
+        store.close()
+
+        injector = FaultInjector(seed=11)
+        injector.inject("store.checkpoint", corrupt=8, times=len(LOGS))
+
+        reopened = LinkStore(tmp_path / "state")
+        with faults.injected(injector):
+            second = PredictionService(store=reopened)
+            chaotic = _answers(second)
+
+        assert injector.fired.get("store.checkpoint", 0) == len(LOGS)
+        assert chaotic == baseline
+        # Both checkpoints were detected, quarantined, and replaced by a
+        # full column rebuild — never trusted.
+        quarantined = _quarantined(tmp_path / "state")
+        assert len(quarantined) == len(LOGS)
+        assert all("checkpoint" in q.name for q in quarantined)
+
+    def test_truncated_checkpoint_quarantined_rebuild_is_identical(
+            self, tmp_path, baseline):
+        store = LinkStore(tmp_path / "state")
+        first = PredictionService(store=store)
+        _ingest_logs(first)
+        first.checkpoint_all(seal=True)
+        store.close()
+
+        injector = FaultInjector(seed=13)
+        injector.inject("store.checkpoint", truncate=0.5, times=len(LOGS))
+
+        with faults.injected(injector):
+            second = PredictionService(store=LinkStore(tmp_path / "state"))
+            chaotic = _answers(second)
+
+        assert injector.fired.get("store.checkpoint", 0) == len(LOGS)
+        assert chaotic == baseline
+        assert len(_quarantined(tmp_path / "state")) == len(LOGS)
+
+    def test_unwritable_checkpoints_degrade_eviction_not_answers(
+            self, tmp_path, baseline):
+        injector = FaultInjector(seed=17)
+        injector.inject(
+            "store.checkpoint", error=OSError, op="write", times=None)
+
+        store = LinkStore(tmp_path / "state", segment_rows=128)
+        with faults.injected(injector):
+            service = PredictionService(store=store, max_resident=1)
+            _ingest_logs(service)
+            chaotic = _answers(service)
+
+        # Evictions happened without a checkpoint; every revival fell
+        # back to a rebuild from durable columns.
+        assert injector.fired.get("store.checkpoint", 0) >= 1
+        assert service.status()["store"]["evictions"] >= 1
+        assert service.status()["store"]["revivals"] >= 1
+        assert chaotic == baseline
+
+
+class TestSegmentCorruption:
+    def test_corrupt_segment_is_contained(self, tmp_path):
+        from repro.data.ingest import load_ulm
+
+        link = "lbl-anl"
+        store = LinkStore(tmp_path / "state", segment_rows=64)
+        first = PredictionService(store=store)
+        records = load_ulm(DATA_DIR / LOGS[0]).to_records()
+        for i, record in enumerate(records):
+            first.observe(link, record)
+            if i in (149, 299):  # carve the history into several segments
+                store.seal(link)
+        total = len(first.history(link))
+        store.seal(link)
+        store.close()
+
+        segments = sorted((tmp_path / "state").rglob("seg-*.npz"))
+        assert len(segments) >= 2
+        injector = FaultInjector(seed=19)
+        injector.inject("store.segment", corrupt=8, path=str(segments[0]))
+
+        with faults.injected(injector):
+            second = PredictionService(store=LinkStore(
+                tmp_path / "state", segment_rows=64))
+            history = second.history(link)
+            p = second.predict(link, 100 * MB, "C-MED15", now=NOW)
+
+        assert injector.fired.get("store.segment", 0) == 1
+        # The bad segment's rows are gone, everything else survives and
+        # the service answers from the surviving rows without raising.
+        assert 0 < len(history) < total
+        assert p.value > 0
+        assert p.history_length == len(history)
+        quarantined = _quarantined(tmp_path / "state")
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith("seg-")

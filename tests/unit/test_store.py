@@ -1,0 +1,289 @@
+"""Unit tests for the durable tiered store (repro.store).
+
+The WAL framing, segment container, checkpoint codec, and the
+LinkStore's recovery ladder: torn tails truncate, crash-split
+seal/truncate pairs dedup, corrupt files quarantine, and compaction
+collapses everything back to one trustworthy segment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import CorruptCheckpoint, CorruptSegment, LinkStore
+from repro.store import checkpoint as ck
+from repro.store import segments as seg
+from repro.store import wal
+
+
+def _rows(n, t0=1000.0):
+    times = [t0 + i for i in range(n)]
+    values = [1e6 + 100.0 * i for i in range(n)]
+    sizes = [10_000 + i for i in range(n)]
+    ops = [i % 2 for i in range(n)]
+    return times, values, sizes, ops
+
+
+def _append(store, link, n, t0=1000.0, offset=0):
+    times, values, sizes, ops = _rows(n, t0)
+    assert store.append_rows(link, times, values, sizes, ops,
+                             source_offset=offset)
+
+
+# ----------------------------------------------------------------------
+# WAL framing
+# ----------------------------------------------------------------------
+class TestWal:
+    def test_roundtrip(self):
+        blob = wal.encode([(0, 1.5, 2.5, 10, 1, 0), (1, 2.5, 3.5, 20, 0, 99)])
+        assert len(blob) == 2 * wal.RECORD_SIZE
+        scan = wal.scan(blob)
+        assert scan.seqs == [0, 1]
+        assert scan.times == [1.5, 2.5]
+        assert scan.values == [2.5, 3.5]
+        assert scan.sizes == [10, 20]
+        assert scan.ops == [1, 0]
+        assert scan.offsets == [0, 99]
+        assert scan.valid_bytes == len(blob)
+        assert scan.torn_bytes == 0
+
+    def test_torn_tail_stops_at_first_bad_record(self):
+        blob = wal.encode([(i, float(i), 1.0, 1, 0, 0) for i in range(3)])
+        torn = blob + blob[: wal.RECORD_SIZE // 2]  # short final record
+        scan = wal.scan(torn)
+        assert len(scan) == 3
+        assert scan.valid_bytes == len(blob)
+        assert scan.torn_bytes == len(torn) - len(blob)
+
+    def test_corrupt_crc_mid_stream_truncates_from_there(self):
+        blob = bytearray(wal.encode(
+            [(i, float(i), 1.0, 1, 0, 0) for i in range(4)]))
+        blob[wal.RECORD_SIZE + 7] ^= 0xFF  # flip a byte in record 1
+        scan = wal.scan(bytes(blob))
+        assert scan.seqs == [0]  # everything after the bad record is torn
+        assert scan.torn_bytes == 3 * wal.RECORD_SIZE
+
+    def test_dedup_drops_rows_below_sealed(self):
+        scan = wal.scan(wal.encode(
+            [(i, float(i), 1.0, 1, 0, 0) for i in range(5)]))
+        kept, dropped = wal.dedup(scan, sealed_rows=3)
+        assert dropped == 3
+        assert kept.seqs == [3, 4]
+
+
+# ----------------------------------------------------------------------
+# segments
+# ----------------------------------------------------------------------
+class TestSegments:
+    def test_roundtrip(self, tmp_path):
+        times, values, sizes, ops = (np.asarray(c) for c in _rows(10))
+        path = tmp_path / seg.segment_name(0)
+        seg.write_segment(path, 0, times, values, sizes, ops, max_offset=77)
+        data = seg.read_segment(path)
+        assert data.start_row == 0 and data.rows == 10
+        assert data.max_offset == 77
+        np.testing.assert_array_equal(data.times, times)
+        np.testing.assert_array_equal(data.values, values)
+
+    def test_flipped_byte_fails_digest(self, tmp_path):
+        times, values, sizes, ops = (np.asarray(c) for c in _rows(10))
+        path = tmp_path / seg.segment_name(0)
+        seg.write_segment(path, 0, times, values, sizes, ops)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(Exception):
+            seg.read_segment(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        times, values, sizes, ops = (np.asarray(c) for c in _rows(10))
+        path = tmp_path / seg.segment_name(0)
+        seg.write_segment(path, 0, times, values, sizes, ops)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(Exception):
+            seg.read_segment(path)
+
+
+# ----------------------------------------------------------------------
+# checkpoint codec
+# ----------------------------------------------------------------------
+class TestCheckpoint:
+    def test_longdouble_roundtrip_is_exact(self):
+        # A sum that differs from its float64 rounding — the whole point
+        # of the longdouble pool.
+        total = np.longdouble(0)
+        for i in range(1000):
+            total += np.longdouble(0.1) * i
+        state = {"sum": total, "count": 1000, "tag": "x",
+                 "ring": [1.5, 2.5, float("inf")], "names": ["a", "b"],
+                 "none": None, "flag": True}
+        out = ck.loads(ck.dumps(state))
+        assert isinstance(out["sum"], np.longdouble)
+        assert out["sum"] == total  # bit-exact, not approx
+        assert out["ring"] == [1.5, 2.5, float("inf")]
+        assert out["names"] == ["a", "b"]
+        assert out["none"] is None and out["flag"] is True
+
+    def test_deterministic_bytes(self):
+        state = {"b": [1.0, 2.0], "a": {"z": 1, "y": np.longdouble(2)}}
+        assert ck.dumps(state) == ck.dumps(state)
+
+    def test_flipped_byte_raises(self):
+        blob = bytearray(ck.dumps({"x": [1.0, 2.0, 3.0]}))
+        blob[-3] ^= 0xFF
+        with pytest.raises(CorruptCheckpoint):
+            ck.loads(bytes(blob))
+
+    def test_truncation_raises(self):
+        blob = ck.dumps({"x": [1.0, 2.0, 3.0]})
+        with pytest.raises(CorruptCheckpoint):
+            ck.loads(blob[:-4])
+        with pytest.raises(CorruptCheckpoint):
+            ck.loads(b"")
+
+    def test_bad_magic_raises(self):
+        blob = ck.dumps({"x": 1})
+        with pytest.raises(CorruptCheckpoint):
+            ck.loads(b"XXXX" + blob[4:])
+
+
+# ----------------------------------------------------------------------
+# LinkStore
+# ----------------------------------------------------------------------
+class TestLinkStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=8)
+        _append(store, "a/b", 20, offset=123)  # link name needs quoting
+        assert store.has("a/b")
+        assert store.durable_rows("a/b") == 20
+        assert store.resume_offset("a/b") == 123
+        times, values, sizes, ops = store.load_columns("a/b")
+        want_t, want_v, want_s, want_o = _rows(20)
+        np.testing.assert_array_equal(times, want_t)
+        np.testing.assert_array_equal(values, want_v)
+        np.testing.assert_array_equal(sizes, want_s)
+        np.testing.assert_array_equal(ops, want_o)
+
+    def test_auto_seal_and_recovery(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=8)
+        # Three batches: the first two each cross the seal threshold and
+        # seal the whole tail; the last stays live in the WAL.
+        _append(store, "x", 8, t0=1000.0)
+        _append(store, "x", 8, t0=2000.0)
+        _append(store, "x", 4, t0=3000.0)
+        store.close()
+        link_dir = next((tmp_path / "links").iterdir())
+        segs = [p for p in os.listdir(link_dir) if p.endswith(".npz")]
+        assert len(segs) == 2
+        fresh = LinkStore(tmp_path, segment_rows=8)
+        assert fresh.durable_rows("x") == 20
+        assert not fresh.degraded("x")
+        times, _, _, _ = fresh.load_columns("x")
+        assert len(times) == 20
+
+    def test_load_columns_start_row(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=8)
+        _append(store, "x", 20)
+        times, values, sizes, ops = store.load_columns("x", start_row=15)
+        assert len(times) == 5
+        assert times[0] == 1000.0 + 15
+
+    def test_torn_tail_truncated_on_recovery(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=1000)
+        _append(store, "x", 5)
+        store.close()
+        tail = next((tmp_path / "links").iterdir()) / "tail.wal"
+        with open(tail, "ab") as fh:
+            fh.write(b"\x01\x02\x03garbage")
+        fresh = LinkStore(tmp_path)
+        assert fresh.durable_rows("x") == 5
+        # The torn bytes are physically gone, not just skipped.
+        assert os.path.getsize(tail) == 5 * wal.RECORD_SIZE
+
+    def test_crash_between_seal_and_truncate_dedups(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=1000)
+        _append(store, "x", 6)
+        tail = next((tmp_path / "links").iterdir()) / "tail.wal"
+        saved = tail.read_bytes()
+        assert store.seal("x")
+        # Simulate the crash: the sealed segment exists AND the tail
+        # still holds the same rows.
+        tail.write_bytes(saved)
+        store.close()
+        fresh = LinkStore(tmp_path)
+        assert fresh.durable_rows("x") == 6  # not 12
+        times, _, _, _ = fresh.load_columns("x")
+        assert len(times) == 6
+
+    def test_corrupt_segment_quarantined_and_degraded(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=4)
+        _append(store, "x", 4, t0=1000.0)
+        _append(store, "x", 4, t0=2000.0)
+        store.close()
+        link_dir = next((tmp_path / "links").iterdir())
+        victim = sorted(p for p in link_dir.iterdir()
+                        if p.name.endswith(".npz"))[0]
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        fresh = LinkStore(tmp_path)
+        assert fresh.durable_rows("x") == 4  # survivors only
+        assert fresh.degraded("x")
+        assert (link_dir / (victim.name + ".quarantined")).exists()
+        assert not victim.exists()
+
+    def test_compaction_repairs_degraded_link(self, tmp_path):
+        store = LinkStore(tmp_path, segment_rows=4)
+        _append(store, "x", 4, t0=1000.0)
+        _append(store, "x", 4, t0=2000.0)
+        store.close()
+        link_dir = next((tmp_path / "links").iterdir())
+        victim = sorted(p for p in link_dir.iterdir()
+                        if p.name.endswith(".npz"))[0]
+        victim.write_bytes(b"junk")
+        fresh = LinkStore(tmp_path, segment_rows=4)
+        assert fresh.degraded("x")
+        assert fresh.compact("x")
+        assert not fresh.degraded("x")
+        assert fresh.durable_rows("x") == 4
+        # Exactly one seg-full remains; appends continue cleanly.
+        npz = [p.name for p in link_dir.iterdir() if p.name.endswith(".npz")]
+        assert npz == [seg.FULL_NAME]
+        _append(fresh, "x", 3, t0=5000.0)
+        assert fresh.durable_rows("x") == 7
+
+    def test_checkpoint_roundtrip_and_quarantine(self, tmp_path):
+        store = LinkStore(tmp_path)
+        state = {"meta": {"n": 3}, "bank": {"sum": np.longdouble(1.25)}}
+        assert store.write_checkpoint("x", state)
+        out = store.read_checkpoint("x")
+        assert out["meta"]["n"] == 3
+        assert out["bank"]["sum"] == np.longdouble(1.25)
+        path = next((tmp_path / "links").iterdir()) / "checkpoint.bin"
+        path.write_bytes(b"rot" + path.read_bytes()[3:])
+        assert store.read_checkpoint("x") is None
+        assert path.with_name(path.name + ".quarantined").exists()
+
+    def test_append_never_raises_on_unwritable_dir(self, tmp_path, monkeypatch):
+        store = LinkStore(tmp_path)
+        _append(store, "x", 1)
+
+        def boom(*a, **k):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(LinkStore, "_tail_handle", boom)
+        times, values, sizes, ops = _rows(1, t0=2000.0)
+        assert store.append_rows("x", times, values, sizes, ops) is False
+        assert store.durable_rows("x") == 1  # unchanged, not corrupted
+
+    def test_link_registry(self, tmp_path):
+        store = LinkStore(tmp_path)
+        _append(store, "b", 1)
+        _append(store, "a", 1)
+        assert store.link_names() == ["a", "b"]
+        assert store.link_count() == 2
+        assert not store.has("c")
+        assert store.bytes_on_disk(max_age=0.0) > 0
