@@ -11,6 +11,7 @@ Examples::
     repro serve --socket /tmp/repro.sock data/*.ulm --follow \
         --state-dir state/ --max-resident 1024
     repro query predict --socket /tmp/repro.sock --link aug-LBL-ANL --size 1GB
+    repro status --socket /tmp/repro.sock --watch 2
     repro query batch --socket /tmp/repro.sock --batch items.json --binary
     repro query rank --logs data/aug-LBL-ANL.ulm,data/aug-ISI-ANL.ulm --size 100MB
 
@@ -295,12 +296,16 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def _build_service(log_paths: List[str], spec: str, cache_size: int,
                    link: Optional[str] = None, degraded_fallback: bool = False,
-                   store=None, max_resident: Optional[int] = None):
+                   store=None, max_resident: Optional[int] = None,
+                   quality: bool = True,
+                   quality_threshold: Optional[float] = 1.0):
     from repro.service import PredictionService
 
     service = PredictionService(default_spec=spec, cache_size=cache_size,
                                 degraded_fallback=degraded_fallback,
-                                store=store, max_resident=max_resident)
+                                store=store, max_resident=max_resident,
+                                quality=quality,
+                                quality_threshold=quality_threshold)
     if link is not None and len(log_paths) > 1:
         raise SystemExit("--link only applies to a single log file")
     for path in log_paths:
@@ -337,7 +342,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--max-resident needs --state-dir (nowhere to evict to)")
     service = _build_service(args.logs, args.spec, args.cache_size, args.link,
                              degraded_fallback=args.fallback,
-                             store=store, max_resident=args.max_resident)
+                             store=store, max_resident=args.max_resident,
+                             quality=not args.no_quality,
+                             quality_threshold=args.quality_threshold)
 
     followers = []
     if args.follow:
@@ -434,14 +441,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _dump_metrics_snapshot(service, path: str) -> None:
-    """Append one timestamped merged-registry snapshot as a JSON line."""
-    from repro.obs import get_registry
+    """Append one timestamped merged-registry snapshot as a JSON line.
 
-    snapshot = get_registry().snapshot()
-    snapshot.update(service.metrics.snapshot())
-    line = json.dumps({"time": time.time(), "metrics": snapshot})
+    The merge is the server's own (:func:`repro.service.server.
+    merged_snapshot`): process-wide series — including the per-protocol
+    request counters — overlaid with the service's instruments, accuracy
+    gauges refreshed from the tracker first, all in one object per
+    interval.
+    """
+    from repro.service.server import merged_snapshot
+
+    line = json.dumps({"time": time.time(), "metrics": merged_snapshot(service)})
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(line + "\n")
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """The service scoreboard: one shot, ``--watch N``, or ``--json``.
+
+    Against a live server (``--socket``) each refresh issues the
+    ``status`` and ``metrics`` ops over one reused connection; against
+    ``--logs`` the service is built in-process once and re-read per
+    refresh (useful for eyeballing a log replay).  ``--json`` emits one
+    ``{"status", "metrics"}`` object per refresh (JSON lines under
+    ``--watch``); the human form is the scoreboard of
+    :func:`repro.obs.scoreboard.render_scoreboard`.
+    """
+    from repro.obs.scoreboard import render_scoreboard
+
+    if args.watch is not None and args.watch <= 0:
+        raise SystemExit("--watch needs a positive refresh interval")
+    if args.socket:
+        from repro.client import ServiceClient
+
+        client = ServiceClient(args.socket, binary=args.binary)
+
+        def fetch():
+            from repro.client import error_info
+
+            status = client.request({"op": "status"})
+            metrics = client.request({"op": "metrics"})
+            for response in (status, metrics):
+                if not response.get("ok"):
+                    code, message = error_info(response)
+                    raise SystemExit(f"status failed: {code}: {message}")
+            return status, metrics.get("metrics", {})
+
+        cleanup = client.close
+    elif args.logs:
+        if args.binary:
+            raise SystemExit("--binary needs a live server (--socket)")
+        from repro.service.server import merged_snapshot
+
+        service = _build_service(
+            [p.strip() for p in args.logs.split(",") if p.strip()],
+            args.spec or "C-AVG15", cache_size=2048,
+        )
+
+        def fetch():
+            return service.status(), merged_snapshot(service)
+
+        def cleanup() -> None:
+            return None
+    else:
+        raise SystemExit("status needs --socket (live server) or --logs "
+                         "(in-process)")
+
+    def emit_once() -> None:
+        try:
+            status, metrics = fetch()
+        except (OSError, ConnectionError) as exc:
+            raise SystemExit(
+                f"cannot reach server at {args.socket}: {exc}") from None
+        if args.json:
+            print(json.dumps({"time": time.time(), "status": status,
+                              "metrics": metrics}))
+        else:
+            if args.watch is not None:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            sys.stdout.write(render_scoreboard(status, metrics))
+        sys.stdout.flush()
+
+    try:
+        emit_once()
+        while args.watch is not None:
+            time.sleep(args.watch)
+            emit_once()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cleanup()
+    return 0
 
 
 def _load_batch_items(path: str) -> List[Dict[str, object]]:
@@ -723,7 +813,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fsync", action="store_true",
                        help="fsync store writes (power-loss durability; "
                             "default covers process death only)")
+    serve.add_argument("--no-quality", action="store_true",
+                       help="disable the online accuracy tracker "
+                            "(prediction/observation pairing)")
+    serve.add_argument("--quality-threshold", type=float, default=1.0,
+                       metavar="FRAC",
+                       help="log prediction.bad events for scored "
+                            "predictions whose absolute fractional error "
+                            "meets FRAC (default 1.0 = 100%%)")
     serve.set_defaults(func=_cmd_serve)
+
+    status_cmd = sub.add_parser(
+        "status", help="show the live service scoreboard"
+    )
+    status_cmd.add_argument("--socket", default=None,
+                            help="socket of a running server")
+    status_cmd.add_argument("--binary", action="store_true",
+                            help="speak the binary frame protocol "
+                                 "(needs --socket)")
+    status_cmd.add_argument("--logs", default=None,
+                            help="comma-separated ULM logs for an "
+                                 "in-process scoreboard")
+    status_cmd.add_argument("--spec", default=None,
+                            help="default predictor spec for --logs")
+    status_cmd.add_argument("--watch", type=float, default=None, metavar="N",
+                            help="refresh every N seconds until interrupted")
+    status_cmd.add_argument("--json", action="store_true",
+                            help="emit {status, metrics} JSON instead of the "
+                                 "scoreboard (JSON lines under --watch)")
+    status_cmd.set_defaults(func=_cmd_status)
 
     query = sub.add_parser("query", help="query a prediction service")
     query.add_argument(

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import faults as _faults
 from repro import wire
+from repro.obs.tracing import current_span
 from repro.resilience import RetryError, RetryPolicy
 
 __all__ = [
@@ -204,12 +205,29 @@ class ServiceClient:
         """Send one request dict, return the raw response envelope.
 
         The request is stamped with the protocol version (``v``) if the
-        caller did not set one.  ``ok: false`` responses come back as
-        dicts — use the typed helpers (:meth:`predict`, :meth:`rank`,
-        ...) to get raising behavior instead.
+        caller did not set one, and — when the calling context is inside
+        a live span — with that span's trace context (``trace``), so the
+        server's request span joins the caller's trace (end-to-end
+        distributed traces over either dialect).  Pass an explicit
+        ``trace`` (or ``"trace": None``) to override the ambient one.
+        ``ok: false`` responses come back as dicts — use the typed
+        helpers (:meth:`predict`, :meth:`rank`, ...) to get raising
+        behavior instead.
         """
+        stamp: Dict[str, Any] = {}
         if "v" not in req:
-            req = {**req, "v": wire.PROTOCOL_VERSION}
+            stamp["v"] = wire.PROTOCOL_VERSION
+        if "trace" not in req:
+            parent = current_span()
+            if parent is not None:
+                stamp["trace"] = {
+                    "trace_id": parent.trace_id,
+                    "span_id": parent.span_id,
+                }
+        if stamp:
+            req = {**req, **stamp}
+        if "trace" in req and req["trace"] is None:
+            req = {key: value for key, value in req.items() if key != "trace"}
         fresh = self._sock is None
         if fresh:
             self.connect()

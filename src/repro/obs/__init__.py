@@ -14,6 +14,10 @@ serve → MDS):
   and the :func:`traced` decorator;
 * :mod:`repro.obs.events` — the subscriber-capable, JSONL-exportable
   :class:`EventBus` (née ``TraceLog``);
+* :mod:`repro.obs.quality` — online prediction-quality telemetry: the
+  :class:`AccuracyTracker` pairs served predictions with observed
+  transfers and keeps O(1) streaming error statistics (running and
+  windowed MAPE/MSE, bias, calibration buckets) per link and per spec;
 * :mod:`repro.obs.profile` — opt-in cProfile wrapping for
   ``repro --profile``;
 * :mod:`repro.obs.config` — the process-wide on/off switch, so the
@@ -35,8 +39,15 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.profile import ProfileReport, profiled, run_profiled
+from repro.obs.quality import (
+    AccuracyTracker,
+    ErrorStats,
+    merge_stats,
+)
+from repro.obs.scoreboard import render_scoreboard
 from repro.obs.tracing import (
     Span,
+    SpanContext,
     SpanExporter,
     current_span,
     get_span_exporter,
@@ -61,7 +72,12 @@ __all__ = [
     "ProfileReport",
     "profiled",
     "run_profiled",
+    "AccuracyTracker",
+    "ErrorStats",
+    "merge_stats",
+    "render_scoreboard",
     "Span",
+    "SpanContext",
     "SpanExporter",
     "current_span",
     "get_span_exporter",

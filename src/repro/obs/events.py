@@ -94,6 +94,11 @@ class EventBus:
         with self._lock:
             self._subscribers.remove(listener)
 
+    @property
+    def has_subscribers(self) -> bool:
+        """Cheap hint for emitters that batch when nobody is listening."""
+        return bool(self._subscribers)
+
     # ------------------------------------------------------------------
     # queries and export
     # ------------------------------------------------------------------

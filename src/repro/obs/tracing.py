@@ -31,12 +31,13 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
 
 from repro.obs import config as _config
 
 __all__ = [
     "Span",
+    "SpanContext",
     "SpanExporter",
     "current_span",
     "span",
@@ -45,6 +46,20 @@ __all__ = [
 ]
 
 _ids = itertools.count(1)
+
+
+class SpanContext(NamedTuple):
+    """A remote span's identity, usable as a :class:`Span` parent.
+
+    :class:`Span` reads only ``trace_id`` and ``span_id`` from its
+    parent, so a context deserialized from a request envelope (the wire
+    protocol's trace-context field) parents a local span into the
+    caller's trace — the server half of an end-to-end distributed
+    trace.  Both ids must be positive integers.
+    """
+
+    trace_id: int
+    span_id: int
 
 _current: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
     "repro_obs_current_span", default=None

@@ -35,6 +35,11 @@ available to old JSON clients via ``ServiceServer(...,
 legacy_errors=True)`` / ``repro serve --legacy-errors``; see
 ``docs/wire-protocol.md`` for the schedule.  A request with a ``v``
 above what the server speaks answers ``unsupported_version`` in-band.
+A request may also carry ``trace`` — the caller's ``{"trace_id",
+"span_id"}`` — in which case the op runs under a ``server.<op>`` span
+parented on it, joining the client's distributed trace (both dialects;
+:class:`repro.client.ServiceClient` stamps this automatically when the
+caller is inside a span).
 
 ``predict_batch`` answers thousands of ``(link, size)`` pairs in one
 round trip through :meth:`PredictionService.predict_batch`'s vectorized
@@ -58,6 +63,7 @@ import socket
 import socketserver
 import threading
 import warnings
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -67,12 +73,14 @@ from repro.core.predictors.registry import resolve as _resolve_spec
 from repro.obs.config import enabled as _obs_enabled
 from repro.obs.events import get_event_bus
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.tracing import get_span_exporter
+from repro.obs.tracing import SpanContext, get_span_exporter, span
 from repro.resilience import Deadline, DeadlineExceeded, RetryPolicy
 from repro.service.service import Prediction, PredictionService
 
 __all__ = [
     "handle_request",
+    "merged_snapshot",
+    "merged_render",
     "ServiceServer",
     "request",
     "CONNECT_RETRY_POLICY",
@@ -103,16 +111,44 @@ _M_INTERNAL = _REG.counter(
     "server_internal_errors", "unexpected handler exceptions answered in-band")
 
 
-def _merged_snapshot(service: PredictionService) -> Dict[str, Any]:
-    """Process-wide registry overlaid with the service's own series."""
+def merged_snapshot(service: PredictionService) -> Dict[str, Any]:
+    """Process-wide registry overlaid with the service's own series.
+
+    One merged view per scrape: the per-protocol request counters (which
+    live process-wide) and the service's own instruments — including the
+    accuracy gauges, refreshed from the tracker first — land in a single
+    snapshot.  ``serve --metrics-file`` writes exactly this, one JSONL
+    object per interval.
+    """
+    service.publish_quality()
     merged = get_registry().snapshot()
     merged.update(service.metrics.snapshot())
     return merged
 
 
-def _merged_render(service: PredictionService) -> str:
+def merged_render(service: PredictionService) -> str:
     """One Prometheus exposition covering both registries."""
+    service.publish_quality()
     return MetricsRegistry().merge(get_registry()).merge(service.metrics).render()
+
+
+def _remote_parent(req: Dict[str, Any]) -> Optional[SpanContext]:
+    """The caller's span identity from the request envelope, if sane.
+
+    A malformed trace context is ignored rather than rejected — tracing
+    is telemetry, and a bad passenger field must never fail a query.
+    """
+    trace = req.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    try:
+        trace_id = int(trace["trace_id"])
+        span_id = int(trace["span_id"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if trace_id <= 0 or span_id <= 0:
+        return None
+    return SpanContext(trace_id, span_id)
 
 
 def _events_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
@@ -265,37 +301,46 @@ def handle_request(
             )
         deadline.check("request")
         op = req.get("op")
-        if op == "ping":
-            payload: Dict[str, Any] = {"pong": True}
-        elif op == "predict":
-            payload = _predict_payload(service, req)
-        elif op == "predict_batch":
-            payload = _batch_payload(service, req, deadline)
-        elif op == "rank":
-            payload = _rank_payload(service, req, deadline)
-        elif op == "status":
-            payload = service.status()
-        elif op == "metrics":
-            if req.get("format") == "text":
-                payload = {"text": _merged_render(service)}
+        # A request carrying its caller's trace context runs under a
+        # server span parented on it — the server half of an end-to-end
+        # trace.  Untraced requests skip the span entirely.
+        parent = _remote_parent(req)
+        scope = (
+            span(f"server.{op}", parent=parent)
+            if parent is not None else nullcontext()
+        )
+        with scope:
+            if op == "ping":
+                payload: Dict[str, Any] = {"pong": True}
+            elif op == "predict":
+                payload = _predict_payload(service, req)
+            elif op == "predict_batch":
+                payload = _batch_payload(service, req, deadline)
+            elif op == "rank":
+                payload = _rank_payload(service, req, deadline)
+            elif op == "status":
+                payload = service.status()
+            elif op == "metrics":
+                if req.get("format") == "text":
+                    payload = {"text": merged_render(service)}
+                else:
+                    payload = {"metrics": merged_snapshot(service)}
+            elif op == "spans":
+                limit = req.get("limit")
+                spans = get_span_exporter().spans(
+                    name=req.get("name"),
+                    limit=int(limit) if limit is not None else None,
+                )
+                payload = {"spans": [s.as_dict() for s in spans]}
+            elif op == "events":
+                payload = _events_payload(service, req)
+            elif op == "trace":
+                events = service.trace.events(kind=req.get("kind"))
+                payload = {"events": [e.as_dict() for e in events]}
             else:
-                payload = {"metrics": _merged_snapshot(service)}
-        elif op == "spans":
-            limit = req.get("limit")
-            spans = get_span_exporter().spans(
-                name=req.get("name"),
-                limit=int(limit) if limit is not None else None,
-            )
-            payload = {"spans": [s.as_dict() for s in spans]}
-        elif op == "events":
-            payload = _events_payload(service, req)
-        elif op == "trace":
-            events = service.trace.events(kind=req.get("kind"))
-            payload = {"events": [e.as_dict() for e in events]}
-        else:
-            return wire.error_response(
-                "unknown_op", f"unknown op {op!r}", legacy=legacy_errors
-            )
+                return wire.error_response(
+                    "unknown_op", f"unknown op {op!r}", legacy=legacy_errors
+                )
         deadline.check("request")
         return {"ok": True, "v": PROTOCOL_VERSION, **payload}
     except DeadlineExceeded as exc:

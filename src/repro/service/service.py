@@ -93,6 +93,7 @@ from repro.logs.record import TransferRecord
 from repro.obs.config import enabled as _obs_enabled
 from repro.obs.events import TraceLog
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.quality import AccuracyTracker
 from repro.service.state import LinkState
 
 __all__ = ["Prediction", "PredictionCache", "PredictionService", "DEFAULT_SPEC"]
@@ -102,6 +103,15 @@ __all__ = ["Prediction", "PredictionCache", "PredictionService", "DEFAULT_SPEC"]
 DEFAULT_SPEC = "C-AVG15"
 
 _MISSING = object()
+
+#: Entries (predictions + observations) on the accuracy tracker's
+#: staging deque before the observe path drains and scores them in one
+#: ordered replay (see repro.obs.quality).  One ``prediction.scored``
+#: event is emitted per drain with the ``pairs`` field carrying the
+#: count, keeping both the fold and the event bus off the per-record hot
+#: path.  Event subscribers bypass the batching — every observation
+#: drains immediately while someone is listening.
+_SCORED_EVENT_BATCH = 128
 
 
 @dataclass(frozen=True, slots=True)
@@ -241,6 +251,24 @@ class PredictionService:
         checkpointed and dropped from RAM, bounding the service's
         footprint no matter how many links the store holds.  ``None``
         (the default) never evicts.
+    quality:
+        When True (the default), an :class:`~repro.obs.quality.
+        AccuracyTracker` pairs every served answer with the next
+        observation on its link and maintains O(1) streaming error
+        statistics (running/windowed MAPE, MSE, bias, calibration
+        buckets) per link and per spec — the live counterpart of the
+        paper's offline observed-vs-predicted evaluation, surfaced
+        through :meth:`status`, the metrics registry
+        (:meth:`publish_quality`), and ``prediction.scored`` /
+        ``prediction.bad`` trace events.  The tracker never changes an
+        answer: predictions are trace-identical with it on or off.
+    quality_window:
+        Rolling-window size for the windowed accuracy statistics.
+    quality_threshold:
+        Normalized-error threshold (``|pred - actual| / actual``) above
+        which a scored answer is logged as a ``prediction.bad`` event
+        and counted in ``accuracy_bad_predictions``.  ``None`` disables
+        the bad-prediction log.
     """
 
     def __init__(
@@ -255,6 +283,9 @@ class PredictionService:
         streaming: bool = True,
         store: Optional["LinkStore"] = None,
         max_resident: Optional[int] = None,
+        quality: bool = True,
+        quality_window: int = 128,
+        quality_threshold: Optional[float] = 1.0,
     ):
         resolve(default_spec)  # fail fast on a bad default
         if max_resident is not None and max_resident <= 0:
@@ -269,6 +300,26 @@ class PredictionService:
         self.trace = TraceLog(trace_capacity, clock=clock)
         self.store = store
         self.max_resident = max_resident
+        self.quality_threshold = (
+            None if quality_threshold is None else float(quality_threshold)
+        )
+        self.quality: Optional[AccuracyTracker] = (
+            AccuracyTracker(window=quality_window, clock=clock,
+                            threshold=self.quality_threshold,
+                            score_batch=_SCORED_EVENT_BATCH)
+            if quality else None
+        )
+        # The tracker's staging deque, bound once: the predict/observe
+        # hot paths stage through this single attribute (None when the
+        # tracker is disabled) instead of two loads per call.
+        self._q_stage = self.quality.stage if self.quality is not None else None
+        # (link, stream) -> scored-count high-water marks for the
+        # scrape-time error-histogram feed (see publish_quality).
+        self._hist_seen: Dict[Tuple[str, str], int] = {}
+        # The bus mutates its subscriber list in place, so holding the
+        # list is a stable, descriptor-free emptiness probe for the
+        # per-observation force-drain decision (see _score_quality).
+        self._trace_subscribers = self.trace._subscribers
         # The classification identity a checkpointed bank is keyed by;
         # revival rejects checkpoints written against a different one.
         self._fingerprint = "{}|{}".format(
@@ -333,6 +384,30 @@ class PredictionService:
             "cold links revived from the durable store")
         self._m_revival_latency = m.histogram(
             "service_revival_seconds", "cold-link revival wall-clock latency")
+        # Accuracy telemetry.  Nothing here is touched per pair on the
+        # observe path — gauges *and* the error histogram are published
+        # at scrape time by publish_quality() (the Prometheus collector
+        # pattern), which is what holds the tracker inside its <5%
+        # predict+observe overhead budget.
+        self._m_acc_error = m.histogram(
+            "accuracy_abs_pct_error",
+            "absolute percentage error per scored prediction")
+        self._m_acc_bad = m.counter(
+            "accuracy_bad_predictions",
+            "scored predictions whose normalized error exceeded the "
+            "quality threshold")
+        self._m_acc_scored = m.gauge(
+            "accuracy_pairs_scored",
+            "prediction-observation pairs scored so far")
+        self._m_acc_pending = m.gauge(
+            "accuracy_pending_predictions",
+            "served answers awaiting their matching observation")
+        self._m_acc_mape = m.gauge(
+            "accuracy_mape_pct",
+            "running mean absolute percentage error of served predictions")
+        self._m_acc_mse = m.gauge(
+            "accuracy_mse",
+            "running mean squared error of served predictions ((bytes/s)^2)")
 
     # ------------------------------------------------------------------
     # link state
@@ -470,6 +545,13 @@ class PredictionService:
         # delta rows folded in, the state is clean and eviction can
         # skip re-serializing it.
         state.ckpt_version = version - delta
+        if self.quality is not None:
+            accuracy = ckpt.get("accuracy")
+            if accuracy is not None:
+                # No-op when the link already has scored state in RAM
+                # (evict→revive in one process must not double-count);
+                # on a warm restart the checkpointed sums land exactly.
+                self.quality.load_link_state(link, accuracy)
         return state
 
     def _rebuild_from_columns(self, link: str) -> Optional[LinkState]:
@@ -530,6 +612,18 @@ class PredictionService:
             heapq.heappush(self._lru_heap, entry)
         return victim
 
+    def _checkpoint_payload(self, state: LinkState) -> dict:
+        """The link checkpoint, with accuracy sufficient statistics
+        riding alongside the bank — ``status()`` accuracy survives an
+        evict→revive cycle and a warm restart.  Pending (unscored)
+        predictions are deliberately not persisted."""
+        payload = state.checkpoint_state(self._fingerprint)
+        if self.quality is not None:
+            accuracy = self.quality.link_state(state.link)
+            if accuracy is not None:
+                payload["accuracy"] = accuracy
+        return payload
+
     def _evict_locked(self, state: LinkState) -> bool:
         """Spill one resident link to the store and drop it from RAM.
 
@@ -548,7 +642,7 @@ class PredictionService:
             # nothing.
             if state.version != state.ckpt_version:
                 if self.store.write_checkpoint(
-                        state.link, state.checkpoint_state(self._fingerprint)):
+                        state.link, self._checkpoint_payload(state)):
                     state.ckpt_version = state.version
         del self._links[state.link]
         self._m_links.set(len(self._links))
@@ -579,7 +673,7 @@ class PredictionService:
                     ok = True  # on-disk checkpoint is already current
                 else:
                     ok = self.store.write_checkpoint(
-                        state.link, state.checkpoint_state(self._fingerprint))
+                        state.link, self._checkpoint_payload(state))
                     if ok:
                         state.ckpt_version = state.version
             if ok:
@@ -638,6 +732,18 @@ class PredictionService:
         """
         state = self._state(link, create=True)
         version = state.append(record, source_offset=source_offset)
+        stage = self._q_stage
+        if stage is not None:
+            # Inlined tracker.score(): observe() is the hottest scoring
+            # call site and a Python frame per record is measurable, so
+            # the observation goes straight onto the staging deque (a
+            # GIL-atomic C append — the tracker's documented hot-path
+            # contract) and the batched drain runs from here.
+            stage.append((link, record.bandwidth, record.end_time, version))
+            if len(stage) >= _SCORED_EVENT_BATCH or self._trace_subscribers:
+                scored = self.quality.drain()
+                if scored[0]:
+                    self._emit_scored(link, scored)
         self._m_ingested.inc()
         self.trace.emit("observe", link=link, version=version,
                         size=record.file_size, bandwidth=record.bandwidth)
@@ -672,6 +778,17 @@ class PredictionService:
             return self.ingest_records(link, frame.to_records())
         state = self._state(link, create=True)
         version = state.extend(frame, source_offset=source_offset)
+        if self.quality is not None:
+            # The backlog pairs against the frame's *earliest* record —
+            # the next observed transfer after those answers were
+            # served.  Extend advances the version by n, so scoring at
+            # ``version - n + 1`` consumes exactly the pre-frame
+            # backlog, just as the first record of a per-record replay
+            # would.
+            i = int(np.argmin(frame.end_times))
+            self._score_quality(
+                link, float(frame.bandwidths[i]),
+                float(frame.end_times[i]), version - n + 1)
         self._m_ingested.inc(n)
         self.trace.emit("ingest", link=link, version=version, records=n)
         return n
@@ -1020,6 +1137,18 @@ class PredictionService:
                 latency_seconds=per_item, degraded=degraded, streamed=streamed,
             ))
 
+        stage = self._q_stage
+        if stage is not None:
+            stage_answer = stage.append
+            for p in results:
+                stage_answer((
+                    p.link, p.spec, p.value, p.version,
+                    "degraded" if p.degraded else "cached" if p.cached
+                    else "streamed" if p.streamed else "recomputed",
+                ))
+            if len(stage) >= self.quality.stage_limit:
+                self.quality.flush()
+
         # Batched instrument updates: one inc per counter per sweep.
         self._m_predicts.inc(n)
         if hits:
@@ -1084,6 +1213,17 @@ class PredictionService:
             child.observe(latency)
         self.trace.emit("predict", link=link, spec=spec, size=size,
                         cached=cached, value=value, version=version)
+        stage = self._q_stage
+        if stage is not None:
+            # Inlined tracker.record(): one staged append on the predict
+            # hot path; the observe side (or the stage cap) drains it.
+            stage.append((
+                link, spec, value, version,
+                "degraded" if degraded else "cached" if cached
+                else "streamed" if streamed else "recomputed",
+            ))
+            if len(stage) >= self.quality.stage_limit:
+                self.quality.flush()
         return Prediction(
             link=link, spec=spec, target_size=size, value=value, cached=cached,
             version=version, history_length=length, latency_seconds=latency,
@@ -1161,6 +1301,91 @@ class PredictionService:
         ]
 
     # ------------------------------------------------------------------
+    # prediction quality
+    # ------------------------------------------------------------------
+    def _score_quality(
+        self, link: str, actual: float, when: float, version: int
+    ) -> None:
+        """Score the link's pending answers against a new observation.
+
+        Runs on the ingest path right after the fold, outside the link
+        lock — the version gate inside the tracker makes pairing exact
+        regardless (see :mod:`repro.obs.quality`).  The common call
+        just stages the observation; once the stage holds
+        :data:`_SCORED_EVENT_BATCH` entries
+        the tracker drains the backlog and hands back aggregates plus
+        threshold-crossing detail, which :meth:`_emit_scored` turns into
+        one ``prediction.scored`` event (``pairs`` carries the batch
+        size) and a ``prediction.bad`` event + counter per crosser.  A
+        live event subscriber forces a drain every observation, so
+        followers still see each scoring promptly.  The error histogram
+        is fed at scrape time by :meth:`publish_quality`, never here.
+        """
+        scored = self.quality.score(
+            link, actual, when, version, self._trace_subscribers)
+        if scored[0]:
+            self._emit_scored(link, scored)
+
+    def _emit_scored(
+        self,
+        link: str,
+        scored: Tuple[int, float, List[Tuple[str, str, float, float, float, str]]],
+    ) -> None:
+        """Publish one drained scoring batch to the event bus."""
+        pairs, worst, bad = scored
+        if bad:
+            # One aggregated event per drain, carrying the worst miss
+            # in full and the crosser count.  A live follower forces a
+            # drain per observation, so watchers still see every miss
+            # individually; unwatched, the summary keeps a noisy
+            # predictor from flooding the ring (and keeps the emit cost
+            # off the serving loop — the counter stays exact either way).
+            self._m_acc_bad.inc(len(bad))
+            bad_link, spec, predicted, bad_actual, frac, kind = max(
+                bad, key=lambda b: b[4])
+            self.trace.emit(
+                "prediction.bad", link=bad_link, spec=spec,
+                predicted=predicted, actual=bad_actual,
+                error_pct=frac * 100.0, answer=kind, count=len(bad))
+        self.trace.emit("prediction.scored", link=link, pairs=pairs,
+                        worst_pct=worst * 100.0)
+
+    def publish_quality(self) -> None:
+        """Refresh the accuracy gauges from the tracker.
+
+        Scrape-time publication (the Prometheus collector pattern):
+        callers that export or render metrics — the socket server's
+        ``metrics`` op, ``serve --metrics-file`` snapshots — call this
+        first, so the hot path never pays for gauge fan-out.  Labeled
+        children carry per-spec and per-link running MAPE/MSE.  The
+        error histogram is fed here too, from the errors scored since
+        the previous scrape (bounded by the tracker's rolling window —
+        see :meth:`AccuracyTracker.new_error_pcts`).
+        """
+        quality = self.quality
+        if quality is None:
+            return
+        observe_error = self._m_acc_error.observe
+        for pct in quality.new_error_pcts(self._hist_seen):
+            observe_error(pct)
+        accuracy = quality.status()
+        self._m_acc_scored.set(float(accuracy["scored"]))
+        self._m_acc_pending.set(float(accuracy["pending"]))
+        overall = accuracy["overall"]
+        if overall["mape"] is not None:
+            self._m_acc_mape.set(overall["mape"])
+            self._m_acc_mse.set(overall["mse"])
+        for spec, summary in accuracy["by_spec"].items():
+            if summary["mape"] is not None:
+                self._m_acc_mape.labels(spec=spec).set(summary["mape"])
+                self._m_acc_mse.labels(spec=spec).set(summary["mse"])
+        for link, entry in (accuracy.get("links") or {}).items():
+            link_overall = entry["overall"]
+            if link_overall["mape"] is not None:
+                self._m_acc_mape.labels(link=link).set(link_overall["mape"])
+                self._m_acc_mse.labels(link=link).set(link_overall["mse"])
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, float]:
@@ -1197,6 +1422,14 @@ class PredictionService:
             "cache": self.cache_stats(),
             "ingested": self._m_ingested.value,
             "predicts": self._m_predicts.value,
+            "streaming": {
+                "streamed": self._m_streamed.value,
+                "recomputed": self._m_stream_fallbacks.value,
+            },
+            "accuracy": (
+                self.quality.status() if self.quality is not None
+                else {"enabled": False}
+            ),
         }
         if self.store is not None:
             stored = self.store.link_count()

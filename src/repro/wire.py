@@ -131,6 +131,12 @@ _PRED_NOVAL_TAIL = struct.Struct("!QQQd")
 # predict request/response flag bits
 _HAS_SPEC = 0x01
 _HAS_NOW = 0x02
+# Optional trace context (client trace_id + span_id, two u64s right
+# after the flags byte): lets server spans join the caller's trace for
+# true end-to-end predict/rank/batch traces.  Ping/status requests
+# carrying one fall back to the OP_JSON dialect, where it rides as a
+# plain "trace" key.
+_HAS_TRACE = 0x04
 _HAS_VALUE = 0x01
 _CACHED = 0x02
 _DEGRADED = 0x04
@@ -224,6 +230,10 @@ class FrameWriter:
             try:
                 v = int(req.get("v", PROTOCOL_VERSION))
                 if op in (OP_PING, OP_STATUS):
+                    if req.get("trace") is not None:
+                        # u8-only payloads cannot carry trace context;
+                        # ride the JSON dialect instead of dropping it.
+                        raise ValueError("trace context needs OP_JSON")
                     self._pack(_U8, v)
                 elif op == OP_PREDICT:
                     self._encode_predict_req(v, req)
@@ -240,13 +250,22 @@ class FrameWriter:
         self._put_bytes(json.dumps(req).encode("utf-8"))
         return self._finish(OP_JSON)
 
+    def _put_trace(self, trace: Optional[Tuple[int, int]]) -> None:
+        if trace is not None:
+            self._pack(_U64, trace[0])
+            self._pack(_U64, trace[1])
+
     def _encode_predict_req(self, v: int, req: Dict[str, Any]) -> None:
         spec, now = req.get("spec"), req.get("now")
-        flags = (_HAS_SPEC if spec is not None else 0) | (
-            _HAS_NOW if now is not None else 0
+        trace = _trace_ids(req)
+        flags = (
+            (_HAS_SPEC if spec is not None else 0)
+            | (_HAS_NOW if now is not None else 0)
+            | (_HAS_TRACE if trace is not None else 0)
         )
         self._pack(_U8, v)
         self._pack(_U8, flags)
+        self._put_trace(trace)
         self._pack(_U64, int(req["size"]))
         if now is not None:
             self._pack(_F64, float(now))
@@ -256,11 +275,15 @@ class FrameWriter:
 
     def _encode_rank_req(self, v: int, req: Dict[str, Any]) -> None:
         spec, now = req.get("spec"), req.get("now")
-        flags = (_HAS_SPEC if spec is not None else 0) | (
-            _HAS_NOW if now is not None else 0
+        trace = _trace_ids(req)
+        flags = (
+            (_HAS_SPEC if spec is not None else 0)
+            | (_HAS_NOW if now is not None else 0)
+            | (_HAS_TRACE if trace is not None else 0)
         )
         self._pack(_U8, v)
         self._pack(_U8, flags)
+        self._put_trace(trace)
         self._pack(_U64, int(req["size"]))
         if now is not None:
             self._pack(_F64, float(now))
@@ -273,11 +296,15 @@ class FrameWriter:
 
     def _encode_batch_req(self, v: int, req: Dict[str, Any]) -> None:
         spec, now = req.get("spec"), req.get("now")
-        flags = (_HAS_SPEC if spec is not None else 0) | (
-            _HAS_NOW if now is not None else 0
+        trace = _trace_ids(req)
+        flags = (
+            (_HAS_SPEC if spec is not None else 0)
+            | (_HAS_NOW if now is not None else 0)
+            | (_HAS_TRACE if trace is not None else 0)
         )
         self._pack(_U8, v)
         self._pack(_U8, flags)
+        self._put_trace(trace)
         if now is not None:
             self._pack(_F64, float(now))
         if spec is not None:
@@ -365,6 +392,23 @@ class FrameWriter:
         self._put_str(p["spec"])
 
 
+def _trace_ids(req: Dict[str, Any]) -> Optional[Tuple[int, int]]:
+    """``(trace_id, span_id)`` from a request's trace context, if any.
+
+    Out-of-range ids raise ``ValueError`` so :meth:`encode_request`
+    falls back to the JSON dialect rather than mangling the frame.
+    """
+    trace = req.get("trace")
+    if trace is None:
+        return None
+    trace_id = int(trace["trace_id"])
+    span_id = int(trace["span_id"])
+    if not (0 <= trace_id <= 0xFFFFFFFFFFFFFFFF
+            and 0 <= span_id <= 0xFFFFFFFFFFFFFFFF):
+        raise ValueError(f"trace ids out of u64 range: {trace!r}")
+    return trace_id, span_id
+
+
 def _error_fields(resp: Dict[str, Any]) -> Tuple[str, str]:
     """``(code, message)`` from either error shape (dict or bare string)."""
     error = resp.get("error")
@@ -445,8 +489,10 @@ def decode_request(op: int, payload: bytes) -> Dict[str, Any]:
         return {"op": "status", "v": r.u8()}
     if op == OP_PREDICT:
         v, flags = r.u8(), r.u8()
-        size = r.u64()
-        req: Dict[str, Any] = {"op": "predict", "v": v, "size": size}
+        req: Dict[str, Any] = {"op": "predict", "v": v}
+        if flags & _HAS_TRACE:
+            req["trace"] = {"trace_id": r.u64(), "span_id": r.u64()}
+        req["size"] = r.u64()
         if flags & _HAS_NOW:
             req["now"] = r.f64()
         req["link"] = r.str_()
@@ -455,8 +501,10 @@ def decode_request(op: int, payload: bytes) -> Dict[str, Any]:
         return req
     if op == OP_RANK:
         v, flags = r.u8(), r.u8()
-        size = r.u64()
-        req = {"op": "rank", "v": v, "size": size}
+        req = {"op": "rank", "v": v}
+        if flags & _HAS_TRACE:
+            req["trace"] = {"trace_id": r.u64(), "span_id": r.u64()}
+        req["size"] = r.u64()
         if flags & _HAS_NOW:
             req["now"] = r.f64()
         if flags & _HAS_SPEC:
@@ -466,6 +514,8 @@ def decode_request(op: int, payload: bytes) -> Dict[str, Any]:
     if op == OP_BATCH:
         v, flags = r.u8(), r.u8()
         req = {"op": "predict_batch", "v": v}
+        if flags & _HAS_TRACE:
+            req["trace"] = {"trace_id": r.u64(), "span_id": r.u64()}
         if flags & _HAS_NOW:
             req["now"] = r.f64()
         if flags & _HAS_SPEC:

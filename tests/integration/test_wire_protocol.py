@@ -264,3 +264,41 @@ def test_batch_over_socket_matches_per_query_over_socket(server):
         assert (b["link"], b["value"], b["version"], b["history_length"]) == (
             s["link"], s["value"], s["version"], s["history_length"]
         )
+
+
+# ----------------------------------------------------------------------
+# end-to-end trace propagation
+# ----------------------------------------------------------------------
+def test_server_spans_join_the_client_trace_on_both_dialects(server):
+    from repro.obs import get_span_exporter, span
+
+    exporter = get_span_exporter()
+    for binary in (False, True):
+        exporter.clear()
+        with ServiceClient(server.socket_path, binary=binary) as client:
+            with span(f"client.request[binary={binary}]") as parent:
+                assert client.predict("LBL-ANL", 100 * MB, now=NOW)["ok"]
+                assert client.predict_batch(
+                    [("LBL-ANL", 10 * MB)], now=NOW)
+        served = [s for s in exporter.spans() if s.name == "server.predict"]
+        batched = [s for s in exporter.spans()
+                   if s.name == "server.predict_batch"]
+        assert len(served) == 1 and len(batched) == 1
+        # The server-side spans carry the *client's* trace id — one
+        # end-to-end trace across the socket, either dialect.
+        assert served[0].trace_id == parent.trace_id
+        assert batched[0].trace_id == parent.trace_id
+
+
+def test_untraced_requests_open_no_server_span(server):
+    # Request spans exist to *join* a caller's trace; a request with no
+    # trace context must not pay for (or pollute the exporter with) an
+    # orphan span.
+    from repro.obs import current_span, get_span_exporter
+
+    assert current_span() is None
+    exporter = get_span_exporter()
+    exporter.clear()
+    with ServiceClient(server.socket_path, binary=True) as client:
+        assert client.predict("LBL-ANL", 100 * MB, now=NOW)["ok"]
+    assert [s for s in exporter.spans() if s.name.startswith("server.")] == []

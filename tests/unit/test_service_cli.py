@@ -164,3 +164,80 @@ class TestEvaluateJson:
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
         assert list(payload["predictors"][0]["per_class_mape"]) == ["100MB"]
+
+
+class TestStatusCommand:
+    def test_scoreboard_from_logs(self, log_path, capsys):
+        rc = main(["status", "--logs", str(log_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro service" in out
+        assert "accuracy" in out
+        assert "cache" in out
+
+    def test_json_mode_carries_status_and_merged_metrics(self, log_path,
+                                                         capsys):
+        rc = main(["status", "--logs", str(log_path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"]["links"]["LBL-ANL"]["records"] == 30
+        assert payload["status"]["accuracy"]["enabled"] is True
+        # The metrics side is the *merged* snapshot: process-wide series
+        # (ingest, server counters) next to the service's own.
+        assert payload["metrics"]["service_ingested_records"]["value"] == 30
+        assert "ingest_records_parsed" in payload["metrics"]
+        assert "accuracy_pairs_scored" in payload["metrics"]
+
+    def test_against_live_server(self, log_path, tmp_path, capsys):
+        from repro.service import PredictionService, ServiceServer
+
+        service = PredictionService()
+        service.ingest_ulm(log_path)
+        with ServiceServer(service, tmp_path / "repro.sock") as server:
+            rc = main(["status", "--socket", str(server.socket_path)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "repro service" in out
+            assert "links=1" in out
+
+    def test_needs_a_target(self):
+        with pytest.raises(SystemExit, match="--socket .*--logs|--logs"):
+            main(["status"])
+
+    def test_rejects_nonpositive_watch(self, log_path):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["status", "--logs", str(log_path), "--watch", "0"])
+
+    def test_unreachable_socket_is_operational_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach server"):
+            main(["status", "--socket", str(tmp_path / "nope.sock")])
+
+
+class TestQualityServeFlags:
+    def test_no_quality_disables_the_tracker(self, log_path, capsys):
+        rc = main(["serve", str(log_path), "--oneshot", "--no-quality"])
+        assert rc == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["accuracy"] == {"enabled": False}
+
+    def test_oneshot_status_reports_accuracy_by_default(self, log_path,
+                                                        capsys):
+        rc = main(["serve", str(log_path), "--oneshot"])
+        assert rc == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["accuracy"]["enabled"] is True
+        assert status["accuracy"]["recorded"] == 0
+
+    def test_metrics_file_snapshot_includes_quality_gauges(self, log_path,
+                                                           tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.jsonl"
+        rc = main(["serve", str(log_path), "--oneshot",
+                   "--metrics-file", str(metrics_file)])
+        assert rc == 0
+        (line,) = metrics_file.read_text().splitlines()
+        merged = json.loads(line)["metrics"]
+        # One object per interval holding the quality gauges *and* the
+        # per-protocol server counters (process-wide) side by side.
+        assert "accuracy_pairs_scored" in merged
+        assert "accuracy_pending_predictions" in merged
+        assert "server_requests" in merged

@@ -232,3 +232,66 @@ def test_header_layout_is_the_documented_eight_bytes():
     assert version == wire.FRAME_VERSION
     assert op == wire.OP_PING
     assert length == len(frame) - 8
+
+
+# ----------------------------------------------------------------------
+# trace context
+# ----------------------------------------------------------------------
+TRACE = {"trace_id": 0xDEADBEEF12345678, "span_id": 42}
+
+
+def test_trace_context_roundtrips_on_every_hot_op():
+    requests = [
+        {"op": "predict", "link": "LBL-ANL", "size": 100, "trace": TRACE},
+        {"op": "rank", "candidates": ["A", "B"], "size": 10, "trace": TRACE},
+        {"op": "predict_batch", "items": [{"link": "A", "size": 1}],
+         "trace": TRACE},
+    ]
+    for request in requests:
+        op, req = roundtrip_request(request)
+        assert op != wire.OP_JSON
+        assert req == {**request, "v": 1}
+
+
+def test_trace_context_composes_with_spec_and_now():
+    _, req = roundtrip_request({
+        "op": "predict", "link": "LBL-ANL", "size": 100,
+        "spec": "C-MED", "now": 55.5, "trace": TRACE,
+    })
+    assert req["trace"] == TRACE
+    assert req["spec"] == "C-MED" and req["now"] == 55.5
+
+
+def test_untraced_requests_keep_the_historical_frame_bytes():
+    with_none = {"op": "predict", "link": "L", "size": 9, "trace": None}
+    without = {"op": "predict", "link": "L", "size": 9}
+    assert bytes(wire.FrameWriter().encode_request(with_none)) == \
+        bytes(wire.FrameWriter().encode_request(without))
+    _, req = roundtrip_request(without)
+    assert "trace" not in req
+
+
+def test_traced_ping_and_status_fall_back_to_json_frames():
+    for name in ("ping", "status"):
+        frame = wire.FrameWriter().encode_request(
+            {"op": name, "trace": TRACE})
+        op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+        assert op == wire.OP_JSON
+        assert wire.decode_request(op, payload)["trace"] == TRACE
+
+
+def test_out_of_range_trace_ids_fall_back_to_json():
+    request = {"op": "predict", "link": "L", "size": 9,
+               "trace": {"trace_id": 2**64, "span_id": 1}}
+    frame = wire.FrameWriter().encode_request(request)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    assert op == wire.OP_JSON
+    assert wire.decode_request(op, payload) == request
+
+
+def test_malformed_trace_dict_falls_back_to_json():
+    request = {"op": "predict", "link": "L", "size": 9,
+               "trace": {"span_id": 1}}  # trace_id missing
+    frame = wire.FrameWriter().encode_request(request)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    assert op == wire.OP_JSON
