@@ -474,20 +474,25 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if args.socket:
         from repro.client import ServiceClient
 
-        client = ServiceClient(args.socket, binary=args.binary)
+        holder = {"client": ServiceClient(args.socket, binary=args.binary)}
 
         def fetch():
             from repro.client import error_info
 
-            status = client.request({"op": "status"})
-            metrics = client.request({"op": "metrics"})
+            status = holder["client"].request({"op": "status"})
+            metrics = holder["client"].request({"op": "metrics"})
             for response in (status, metrics):
                 if not response.get("ok"):
                     code, message = error_info(response)
                     raise SystemExit(f"status failed: {code}: {message}")
             return status, metrics.get("metrics", {})
 
-        cleanup = client.close
+        def reconnect() -> None:
+            holder["client"].close()
+            holder["client"] = ServiceClient(args.socket, binary=args.binary)
+
+        def cleanup() -> None:
+            holder["client"].close()
     elif args.logs:
         if args.binary:
             raise SystemExit("--binary needs a live server (--socket)")
@@ -501,6 +506,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
         def fetch():
             return service.status(), merged_snapshot(service)
 
+        def reconnect() -> None:
+            return None
+
         def cleanup() -> None:
             return None
     else:
@@ -508,11 +516,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
                          "(in-process)")
 
     def emit_once() -> None:
-        try:
-            status, metrics = fetch()
-        except (OSError, ConnectionError) as exc:
-            raise SystemExit(
-                f"cannot reach server at {args.socket}: {exc}") from None
+        status, metrics = fetch()
         if args.json:
             print(json.dumps({"time": time.time(), "status": status,
                               "metrics": metrics}))
@@ -522,15 +526,103 @@ def _cmd_status(args: argparse.Namespace) -> int:
             sys.stdout.write(render_scoreboard(status, metrics))
         sys.stdout.flush()
 
+    # A watch outlives any single server process: once the first refresh
+    # has succeeded, a connection failure means the service is restarting
+    # (a deploy, a supervisor respawn), so keep retrying with backoff on
+    # a fresh connection instead of dying mid-watch.  Failing the *first*
+    # contact still exits — a wrong --socket should not spin forever.
+    contacted = False
+    backoff = 0.0
     try:
-        emit_once()
-        while args.watch is not None:
+        while True:
+            try:
+                emit_once()
+                contacted = True
+                backoff = 0.0
+            except (OSError, ConnectionError) as exc:
+                if not contacted or args.watch is None:
+                    raise SystemExit(
+                        f"cannot reach server at {args.socket}: {exc}"
+                    ) from None
+                backoff = min(backoff * 2 or 0.5, 5.0)
+                print(f"repro status: server unreachable ({exc}); "
+                      f"retrying in {backoff:.1f}s", file=sys.stderr)
+                time.sleep(backoff)
+                reconnect()
+                continue
+            if args.watch is None:
+                break
             time.sleep(args.watch)
-            emit_once()
     except KeyboardInterrupt:
         pass
     finally:
         cleanup()
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the sharded serving fleet: N supervised workers + TCP front.
+
+    ``repro fleet --workers 4 --state-dir DIR`` spawns four worker
+    processes (each a full prediction service owning a consistent-hash
+    shard of links, backed by ``DIR/shard-k``) and serves them behind
+    one TCP endpoint speaking both wire dialects.  Crashed workers are
+    respawned and warm-revive from their WAL/checkpoints; SIGTERM takes
+    the fleet down gracefully — front first, then a rolling worker
+    shutdown with per-shard checkpoints.
+    """
+    import signal
+    import threading
+
+    from repro.fleet import FleetRunner
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    host, _, port_text = args.listen.partition(":")
+    try:
+        port = int(port_text) if port_text else 0
+    except ValueError:
+        raise SystemExit(f"bad --listen {args.listen!r} "
+                         f"(expected HOST or HOST:PORT)") from None
+    runner = FleetRunner(
+        args.workers,
+        args.state_dir,
+        host=host or "127.0.0.1",
+        port=port,
+        spec=args.spec,
+        cache_size=args.cache_size,
+        max_resident=args.max_resident,
+        fallback=args.fallback,
+        fsync=args.fsync,
+        quality=not args.no_quality,
+        quality_threshold=args.quality_threshold,
+        pool_size=args.pool_size,
+        max_pending=args.max_pending,
+        call_timeout=args.call_timeout,
+    )
+    stopping = threading.Event()
+
+    def _graceful(signum, frame) -> None:
+        stopping.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    try:
+        runner.start()
+    except (OSError, RuntimeError, TimeoutError) as exc:
+        raise SystemExit(f"fleet failed to start: {exc}") from None
+    front_host, front_port = runner.address
+    print(f"fleet: {args.workers} workers behind {front_host}:{front_port}"
+          + (f" (state: {args.state_dir})" if args.state_dir else ""),
+          file=sys.stderr, flush=True)
+    try:
+        while not stopping.wait(0.5):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("fleet: rolling shutdown...", file=sys.stderr, flush=True)
+        runner.stop()
     return 0
 
 
@@ -822,6 +914,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "predictions whose absolute fractional error "
                             "meets FRAC (default 1.0 = 100%%)")
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a sharded fleet of supervised prediction workers"
+    )
+    fleet.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker processes (one consistent-hash shard each)")
+    fleet.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="fleet state root: worker sockets plus one "
+                            "durable store shard per worker (default: "
+                            "a temp dir that dies with the fleet)")
+    fleet.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="front-tier TCP address (port 0 picks a free one)")
+    fleet.add_argument("--spec", default="C-AVG15",
+                       help="default predictor spec for unqualified queries")
+    fleet.add_argument("--cache-size", type=int, default=2048,
+                       help="per-worker prediction LRU capacity")
+    fleet.add_argument("--max-resident", type=int, default=None, metavar="N",
+                       help="per-worker resident-link cap (evict to store)")
+    fleet.add_argument("--fallback", action="store_true",
+                       help="serve last-good degraded answers while a shard "
+                            "is down (and aggregate answers for unknown links)")
+    fleet.add_argument("--fsync", action="store_true",
+                       help="fsync store writes in every worker")
+    fleet.add_argument("--no-quality", action="store_true",
+                       help="disable the per-worker accuracy trackers")
+    fleet.add_argument("--quality-threshold", type=float, default=1.0,
+                       metavar="FRAC", help="per-worker bad-prediction "
+                       "event threshold (see `repro serve`)")
+    fleet.add_argument("--pool-size", type=int, default=4,
+                       help="front-tier connections pooled per worker")
+    fleet.add_argument("--max-pending", type=int, default=64, metavar="N",
+                       help="admission bound: shed load past N in-flight "
+                            "requests per worker (answers 'overloaded')")
+    fleet.add_argument("--call-timeout", type=float, default=5.0,
+                       help="per-request worker timeout before the front "
+                            "counts a failure against the shard's breaker")
+    fleet.set_defaults(func=_cmd_fleet)
 
     status_cmd = sub.add_parser(
         "status", help="show the live service scoreboard"

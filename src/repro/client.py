@@ -41,6 +41,7 @@ catching ``OSError``/``ConnectionError``.
 from __future__ import annotations
 
 import json
+import re
 import socket
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -74,6 +75,31 @@ _CONNECT_RETRY_ON = (
 #: One JSON response line may not exceed this.
 MAX_RESPONSE_BYTES = wire.MAX_FRAME_BYTES
 
+#: ``host:port`` (optionally ``tcp://host:port``) selects TCP transport;
+#: anything else — including every path containing ``/`` — is a Unix
+#: socket path, which keeps the historical address form unambiguous.
+_HOST_PORT = re.compile(r"^(?P<host>[^/\s:]+):(?P<port>\d{1,5})$")
+
+
+def _parse_address(address: str):
+    """``("unix", path)`` or ``("tcp", (host, port))`` from an address.
+
+    The federation front tier listens on TCP; workers and the
+    single-process server stay on Unix sockets.  One client speaks to
+    either — the address decides.
+    """
+    text = str(address)
+    if text.startswith("tcp://"):
+        rest = text[len("tcp://"):]
+        match = _HOST_PORT.match(rest)
+        if match is None:
+            raise ValueError(f"bad tcp address {text!r}; expected tcp://host:port")
+        return "tcp", (match.group("host"), int(match.group("port")))
+    match = _HOST_PORT.match(text)
+    if match is not None:
+        return "tcp", (match.group("host"), int(match.group("port")))
+    return "unix", text
+
 
 def error_info(response: Dict[str, Any]) -> Tuple[str, str]:
     """``(code, message)`` from a failed response, either error shape.
@@ -85,6 +111,14 @@ def error_info(response: Dict[str, Any]) -> Tuple[str, str]:
     if isinstance(error, dict):
         return str(error.get("code", "error")), str(error.get("message", ""))
     return "error", str(error)
+
+
+class _Unavailable(Exception):
+    """Internal retry marker wrapping an ``unavailable`` ServiceError."""
+
+    def __init__(self, error: "ServiceError"):
+        super().__init__(str(error))
+        self.error = error
 
 
 class ServiceError(RuntimeError):
@@ -106,7 +140,9 @@ class ServiceClient:
     Parameters
     ----------
     socket_path:
-        The server's Unix socket.
+        The server's address: a Unix socket path, or ``host:port`` /
+        ``tcp://host:port`` for a TCP server (the federation front
+        tier).
     binary:
         Speak the :mod:`repro.wire` binary frame protocol instead of
         JSON-lines.  Same requests, same responses — the server
@@ -130,6 +166,7 @@ class ServiceClient:
         retry: Optional[RetryPolicy] = None,
     ):
         self.socket_path = str(socket_path)
+        self._address = _parse_address(self.socket_path)
         self.binary = binary
         self.timeout = timeout
         self._retry = CONNECT_RETRY_POLICY if retry is None else retry
@@ -167,14 +204,19 @@ class ServiceClient:
         return self
 
     def _connect_once(self) -> None:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        try:
-            sock.settimeout(self.timeout)
-            _faults.check("socket.connect", path=self.socket_path)
-            sock.connect(self.socket_path)
-        except BaseException:
-            sock.close()
-            raise
+        kind, target = self._address
+        _faults.check("socket.connect", path=self.socket_path)
+        if kind == "tcp":
+            sock = socket.create_connection(target, timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(self.timeout)
+                sock.connect(target)
+            except BaseException:
+                sock.close()
+                raise
         self._sock = sock
         self._rfile = sock.makefile("rb")
 
@@ -257,11 +299,36 @@ class ServiceClient:
         return json.loads(line.decode("utf-8"))
 
     def call(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """A request that raises :class:`ServiceError` on ``ok: false``."""
-        response = self.request({"op": op, **fields})
-        if not response.get("ok"):
-            raise ServiceError.from_response(response)
-        return response
+        """A request that raises :class:`ServiceError` on ``ok: false``.
+
+        Error classification: an in-band ``unavailable`` answer (a
+        federation shard is down, its worker restarting) is *transient*
+        and retries under the client's connect policy — by the time the
+        policy is exhausted a supervised worker has usually respawned.
+        ``overloaded`` (admission control shed the request) and every
+        other code surface immediately: retrying into an overloaded
+        shard only deepens the queue it is shedding.
+        """
+        req = {"op": op, **fields}
+
+        def attempt() -> Dict[str, Any]:
+            response = self.request(dict(req))
+            if not response.get("ok"):
+                error = ServiceError.from_response(response)
+                if error.code == "unavailable":
+                    raise _Unavailable(error)
+                raise error
+            return response
+
+        try:
+            return self._retry.call(
+                attempt, retry_on=(_Unavailable,), label=f"call[{op}]"
+            )
+        except RetryError as exc:
+            cause = exc.__cause__
+            if isinstance(cause, _Unavailable):
+                raise cause.error from None
+            raise
 
     # ------------------------------------------------------------------
     # the public API
@@ -330,6 +397,51 @@ class ServiceClient:
         if now is not None:
             req["now"] = now
         return self.call("rank", **req)["ranking"]
+
+    def observe(
+        self,
+        link: str,
+        size: int,
+        start: float,
+        end: float,
+        bandwidth: Optional[float] = None,
+        *,
+        operation: str = "read",
+        streams: int = 1,
+        tcp_buffer: int = 65536,
+        source_ip: Optional[str] = None,
+        file_name: Optional[str] = None,
+        volume: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> int:
+        """Push one completed transfer; returns the link's new version.
+
+        The acknowledgement is durable: a server running with a state
+        dir persists the record before answering, so an acked observe
+        survives the server being killed outright.  ``bandwidth``
+        defaults to ``size / (end - start)`` (computed client-side so
+        the request stays on the struct-packed binary codec).
+        """
+        req: Dict[str, Any] = {
+            "link": link,
+            "size": int(size),
+            "start": float(start),
+            "end": float(end),
+            "bandwidth": (
+                float(bandwidth) if bandwidth is not None
+                else int(size) / (float(end) - float(start))
+            ),
+            "operation": operation,
+            "streams": int(streams),
+            "tcp_buffer": int(tcp_buffer),
+        }
+        if source_ip is not None or file_name is not None or volume is not None:
+            req["source_ip"] = source_ip if source_ip is not None else "0.0.0.0"
+            req["file_name"] = file_name if file_name is not None else "/transfer"
+            req["volume"] = volume if volume is not None else "/"
+        if offset is not None:
+            req["offset"] = int(offset)
+        return int(self.call("observe", **req)["version"])
 
     def status(self) -> Dict[str, Any]:
         return self.call("status")

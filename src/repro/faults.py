@@ -17,6 +17,16 @@ switchboard:
 * Everything is **seeded**: corruption picks offsets and bytes from a
   ``random.Random(seed)``, so a failing chaos run replays exactly.
 
+Sites currently declared: ``socket.connect`` (client dials a server),
+``ingest.cache`` (sidecar load), ``tail.read`` (log tailing),
+``store.segment`` / ``store.checkpoint`` (durable store I/O),
+``gris.search`` (directory fan-out), ``fleet.spawn`` (supervisor forks
+a worker) and ``fleet.route`` (front tier routes a request to a
+shard).  Injectors install per process: the fleet's worker subprocesses
+cannot inherit one, which is why the process-level chaos suite drives
+real signals through the supervisor's ``kill``/``stall``/``resume``
+hooks instead.
+
 Every fired fault increments the process-wide ``faults_injected``
 counter and emits a ``fault.injected`` event — the chaos suite asserts
 its faults actually landed, not just that the system survived.

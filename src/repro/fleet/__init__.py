@@ -1,0 +1,45 @@
+"""repro.fleet — the sharded, supervised, fault-tolerant serving fleet.
+
+The paper's MDS hierarchy — one GRIS per server, a GIIS aggregating
+them — is the blueprint: each **worker** is a full
+:class:`~repro.service.service.PredictionService` (the GRIS) owning a
+consistent-hash shard of links backed by its own durable store shard,
+and the **front tier** is the GIIS — one async TCP endpoint that routes
+``predict``/``observe`` by link hash, fans ``predict_batch`` out per
+shard, and merges ``rank_replicas``/``status`` across all of them.
+
+* :mod:`repro.fleet.hashing` — :class:`ShardRing`, the deterministic
+  consistent-hash placement every process agrees on;
+* :mod:`repro.fleet.worker` — ``python -m repro.fleet.worker``, one
+  service shard behind a Unix socket;
+* :mod:`repro.fleet.supervisor` — :class:`WorkerSupervisor`: spawn,
+  monitor, and respawn crashed workers (warm revival from WAL /
+  checkpoints) with crash-loop backoff, plus the chaos hooks
+  (``kill``/``stall``/``resume``) the deterministic fault suite drives;
+* :mod:`repro.fleet.front` — :class:`FleetFront`: the asyncio TCP
+  front tier speaking both wire dialects, with per-worker circuit
+  breakers, heartbeats, bounded admission (``overloaded``), and
+  last-good degraded failover (``--fallback``);
+* :mod:`repro.fleet.runner` — :class:`FleetRunner`, supervisor + front
+  wired together (``repro fleet``).
+
+Failure semantics are normalized into the v1 envelope: a down shard
+answers ``unavailable`` (clients retry under their connect policy), a
+saturated shard answers ``overloaded`` (clients surface it
+immediately).  See ``docs/federation.md``.
+"""
+
+from repro.fleet.front import FleetFront, ShardOverloaded, ShardUnavailable
+from repro.fleet.hashing import ShardRing
+from repro.fleet.runner import FleetRunner
+from repro.fleet.supervisor import WorkerSpec, WorkerSupervisor
+
+__all__ = [
+    "FleetFront",
+    "FleetRunner",
+    "ShardOverloaded",
+    "ShardRing",
+    "ShardUnavailable",
+    "WorkerSpec",
+    "WorkerSupervisor",
+]

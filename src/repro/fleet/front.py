@@ -1,0 +1,1034 @@
+"""The GIIS-style async TCP front tier of the serving fleet.
+
+One asyncio endpoint speaking both wire dialects (JSON-lines and binary
+frames, autodetected per connection exactly like the worker server),
+multiplexing a fleet of shard workers behind it:
+
+* ``predict`` / ``observe`` route to the owning shard by consistent
+  hash and forward over pooled binary Unix-socket connections;
+* ``predict_batch`` partitions items per shard, fans the sub-batches
+  out concurrently, and reassembles results in request order;
+* ``rank`` fans per-shard sub-rankings out and merges them — confident
+  predictions first (descending bandwidth), degraded answers after,
+  no-history candidates last;
+* ``status`` aggregates every shard's status under one envelope with a
+  ``fleet`` section describing per-worker health.
+
+**Robustness.**  Each shard gets a heartbeat loop and a
+:class:`~repro.resilience.breaker.CircuitBreaker`: transport failures
+and timeouts trip it, an open breaker fails fast with a normalized
+``unavailable`` error (no connect timeout burned per request while a
+worker restarts), and the heartbeat doubles as the half-open probe that
+closes it again.  Admission control bounds each shard's in-flight
+requests: past ``max_pending`` the front answers ``overloaded``
+immediately instead of queueing without bound — shed load is the
+failure mode, not collapse.  With ``fallback=True`` the front remembers
+the last confident prediction per ``(link, spec)`` and serves it —
+marked ``degraded`` — while the owning shard is down; ranked after
+confident answers in merged rankings.  ``observe`` never has a
+fallback: an ingest ack is a durability promise only the owning shard
+can make.
+
+The accept loop survives fd exhaustion (``EMFILE``/``ENFILE``) by
+pausing with exponential backoff and counting
+``server_accept_errors``, mirroring the worker server's hardening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+import json
+import socket
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import faults as _faults
+from repro import wire
+from repro.fleet.hashing import ShardRing
+from repro.obs.config import enabled as _obs_enabled
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import get_registry
+from repro.resilience import CircuitBreaker
+
+__all__ = ["FleetFront", "ShardOverloaded", "ShardUnavailable"]
+
+_REG = get_registry()
+_M_REQUESTS = _REG.counter(
+    "fleet_requests", "requests answered by the fleet front tier")
+_M_UNAVAILABLE = _REG.counter(
+    "fleet_unavailable", "requests (or batch items) answered 'unavailable'")
+_M_OVERLOADED = _REG.counter(
+    "fleet_overloaded", "requests shed by per-worker admission control")
+_M_FAILOVERS = _REG.counter(
+    "fleet_failovers", "degraded last-good answers served for down shards")
+_M_ACCEPT_ERRORS = _REG.counter(
+    "server_accept_errors",
+    "accept() failures survived by backing off (fd exhaustion etc.)")
+
+#: One JSON request line may not exceed this (mirrors the worker server).
+MAX_REQUEST_BYTES = 1 << 20
+
+_FREED = object()  # pool sentinel: a connection slot opened up
+
+
+class ShardUnavailable(ConnectionError):
+    """The owning worker is down, unreachable, or circuit-open."""
+
+
+class ShardOverloaded(RuntimeError):
+    """The owning worker's admission bound is full; load was shed."""
+
+
+async def _read_frame_async(
+    reader: asyncio.StreamReader, pre: bytes = b""
+) -> Optional[Tuple[int, bytes]]:
+    """One ``(op, payload)`` frame from a stream; ``None`` on clean EOF.
+
+    ``pre`` carries bytes already consumed by dialect autodetection.
+    Mirrors :func:`repro.wire.read_frame`'s error mapping.
+    """
+    need = wire.HEADER.size - len(pre)
+    try:
+        header = pre + (await reader.readexactly(need) if need > 0 else b"")
+    except asyncio.IncompleteReadError as exc:
+        if not pre and not exc.partial:
+            return None
+        raise wire.TruncatedFrame(
+            f"frame header cut short at {len(pre) + len(exc.partial)} bytes"
+        ) from None
+    magic, version, op, length = wire.HEADER.unpack(header)
+    if magic != wire.MAGIC:
+        raise wire.FrameError(f"bad magic {magic!r}")
+    if version != wire.FRAME_VERSION:
+        raise wire.FrameError(
+            f"unsupported frame version {version} (this side speaks "
+            f"{wire.FRAME_VERSION})"
+        )
+    if length > wire.MAX_FRAME_BYTES:
+        raise wire.OversizedFrame(
+            f"frame payload of {length} bytes exceeds {wire.MAX_FRAME_BYTES}"
+        )
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise wire.TruncatedFrame(
+            f"frame payload cut short: {len(exc.partial)} of {length} bytes"
+        ) from None
+    return op, payload
+
+
+class _ShardLink:
+    """One worker's client side: connection pool, breaker, admission.
+
+    Pool connections speak the binary dialect (the batch-friendly shape
+    federation fan-out wants).  A connection that fails or times out
+    mid-call is discarded, never reused — a desynchronized stream must
+    not poison the next request.  All state is event-loop-confined; no
+    locks needed.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        socket_path: Union[str, Path],
+        *,
+        pool_size: int = 4,
+        max_pending: int = 64,
+        call_timeout: float = 5.0,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 1.0,
+    ):
+        self.shard = shard
+        self.socket_path = str(socket_path)
+        self.pool_size = pool_size
+        self.max_pending = max_pending
+        self.call_timeout = call_timeout
+        self.breaker = CircuitBreaker(
+            f"fleet-worker-{shard}",
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+        )
+        self.pending = 0
+        self._created = 0
+        self._idle: asyncio.LifoQueue = asyncio.LifoQueue()
+
+    async def call(
+        self, req: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Round-trip one request; raises the normalized shard errors."""
+        if self.pending >= self.max_pending:
+            if _obs_enabled():
+                _M_OVERLOADED.inc()
+            raise ShardOverloaded(
+                f"shard {self.shard} is at its admission bound "
+                f"({self.max_pending} requests in flight); load shed"
+            )
+        if not self.breaker.allow():
+            raise ShardUnavailable(
+                f"shard {self.shard} is unavailable (circuit open, retry "
+                f"after {self.breaker.retry_after():.2f}s)"
+            )
+        self.pending += 1
+        try:
+            try:
+                response = await asyncio.wait_for(
+                    self._do_call(req), timeout or self.call_timeout
+                )
+            except (OSError, ConnectionError, EOFError, TimeoutError,
+                    asyncio.TimeoutError, wire.FrameError) as exc:
+                self.breaker.record_failure()
+                raise ShardUnavailable(
+                    f"shard {self.shard} ({self.socket_path}): "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            self.breaker.record_success()
+            return response
+        finally:
+            self.pending -= 1
+
+    async def _do_call(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        conn = await self._acquire()
+        try:
+            reader, writer, framer = conn
+            writer.write(bytes(framer.encode_request(req)))
+            await writer.drain()
+            frame = await _read_frame_async(reader)
+            if frame is None:
+                raise ConnectionError("worker closed the connection")
+            op, payload = frame
+            response = wire.decode_response(op, payload)
+        except BaseException:
+            # Timeout cancellation lands here too: the connection may
+            # have a response in flight for a request we gave up on, so
+            # it can never be reused.
+            await self._discard(conn)
+            raise
+        self._idle.put_nowait(conn)
+        return response
+
+    async def _acquire(self):
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except asyncio.QueueEmpty:
+                conn = None
+            if conn is None:
+                if self._created < self.pool_size:
+                    self._created += 1
+                    try:
+                        reader, writer = await asyncio.open_unix_connection(
+                            self.socket_path
+                        )
+                    except BaseException:
+                        self._created -= 1
+                        raise
+                    return reader, writer, wire.FrameWriter()
+                conn = await self._idle.get()
+            if conn is _FREED:
+                continue  # a slot opened: loop back and reconnect
+            return conn
+
+    async def _discard(self, conn) -> None:
+        self._created -= 1
+        # Wake one waiter stuck in _acquire so it can open a fresh
+        # connection against the (possibly restarted) worker.
+        self._idle.put_nowait(_FREED)
+        _, writer, _ = conn
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+    async def reset(self) -> None:
+        """Drop every idle pooled connection (e.g. after a known restart).
+
+        In-flight calls keep their connections; each idle one is
+        discarded through the normal path, so waiters blocked in
+        :meth:`_acquire` wake up and dial fresh.
+        """
+        drained = []
+        while True:
+            try:
+                drained.append(self._idle.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        for conn in drained:
+            if conn is _FREED:
+                self._idle.put_nowait(conn)
+            else:
+                await self._discard(conn)
+
+    async def close(self) -> None:
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if conn is _FREED:
+                continue
+            _, writer, _ = conn
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "socket": self.socket_path,
+            "up": self.breaker.state() == "closed",
+            "pending": self.pending,
+            "breaker": self.breaker.status(),
+        }
+
+
+class FleetFront:
+    """The fleet's TCP endpoint (see module docstring).
+
+    Runs its own event loop on a daemon thread so the CLI, tests, and
+    the benches can drive it alongside a :class:`WorkerSupervisor`
+    without going async themselves.  The listening socket binds in
+    :meth:`start` (synchronously — ``address`` is valid immediately);
+    ``port=0`` picks a free port.
+    """
+
+    def __init__(
+        self,
+        shard_sockets: Sequence[Union[str, Path]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ring: Optional[ShardRing] = None,
+        fallback: bool = False,
+        pool_size: int = 4,
+        max_pending: int = 64,
+        call_timeout: float = 5.0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 1.0,
+        last_good_capacity: int = 4096,
+        info_hook: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ):
+        if not shard_sockets:
+            raise ValueError("a fleet front needs at least one shard socket")
+        self.ring = ring or ShardRing(len(shard_sockets))
+        if self.ring.shards != len(shard_sockets):
+            raise ValueError(
+                f"ring has {self.ring.shards} shards but "
+                f"{len(shard_sockets)} sockets were given"
+            )
+        self.host = host
+        self.port = port
+        self.fallback = fallback
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.info_hook = info_hook
+        self._link_opts = dict(
+            pool_size=pool_size,
+            max_pending=max_pending,
+            call_timeout=call_timeout,
+            breaker_threshold=breaker_threshold,
+            breaker_reset=breaker_reset,
+        )
+        self._shard_sockets = [str(path) for path in shard_sockets]
+        self._links: List[_ShardLink] = []
+        self._last_good: "OrderedDict[Tuple[str, Optional[str]], Dict[str, Any]]" = (
+            OrderedDict()
+        )
+        self._last_good_capacity = last_good_capacity
+        self._listen_sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetFront":
+        if self._thread is not None:
+            raise RuntimeError("front already started")
+        sock = socket.create_server(
+            (self.host, self.port), reuse_port=False, backlog=128
+        )
+        sock.setblocking(False)
+        self._listen_sock = sock
+        self.address = sock.getsockname()[:2]
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-front", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("fleet front failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._links = [
+            _ShardLink(shard, path, **self._link_opts)
+            for shard, path in enumerate(self._shard_sockets)
+        ]
+        heartbeats = [
+            asyncio.ensure_future(self._heartbeat(link)) for link in self._links
+        ]
+        accept = asyncio.ensure_future(self._accept_loop())
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            # Graceful drain: stop accepting, give in-flight requests a
+            # moment to answer, then tear everything down.
+            accept.cancel()
+            for task in heartbeats:
+                task.cancel()
+            pending = [t for t in self._conn_tasks if not t.done()]
+            if pending:
+                await asyncio.wait(pending, timeout=5.0)
+                for task in pending:
+                    task.cancel()
+            await asyncio.gather(accept, *heartbeats, return_exceptions=True)
+            for link in self._links:
+                await link.close()
+
+    def stop(self) -> None:
+        """Graceful stop: close the listener, drain, tear down."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+
+    def __enter__(self) -> "FleetFront":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # accept / connection loops
+    # ------------------------------------------------------------------
+    async def _accept_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        delay = 0.0
+        while True:
+            try:
+                conn, _addr = await loop.sock_accept(self._listen_sock)
+            except asyncio.CancelledError:
+                raise
+            except OSError as exc:
+                if exc.errno in (errno.EMFILE, errno.ENFILE):
+                    # fd exhaustion: pause accepting with backoff instead
+                    # of letting the loop die; in-flight connections keep
+                    # serving and closing fds frees capacity.
+                    _M_ACCEPT_ERRORS.inc()
+                    delay = min(delay * 2 or 0.05, 1.0)
+                    await asyncio.sleep(delay)
+                    continue
+                if self._stop_event is not None and self._stop_event.is_set():
+                    return
+                _M_ACCEPT_ERRORS.inc()
+                await asyncio.sleep(delay or 0.05)
+                continue
+            delay = 0.0
+            conn.setblocking(False)
+            task = loop.create_task(self._serve_connection(conn))
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(
+                sock=conn, limit=wire.MAX_FRAME_BYTES + wire.HEADER.size
+            )
+        except OSError:
+            conn.close()
+            return
+        try:
+            first = await reader.read(1)
+            if not first:
+                return
+            if first == wire.MAGIC[:1]:
+                await self._serve_binary(reader, writer, first)
+            else:
+                await self._serve_json(reader, writer, first)
+        except (OSError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _serve_json(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        pre = first
+        while True:
+            try:
+                line = pre + await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                # No newline within the stream limit: unrecoverable
+                # desync, answer and close (mirrors the worker server).
+                await self._send_json(writer, wire.error_response(
+                    "oversized_request",
+                    f"request exceeds {MAX_REQUEST_BYTES} bytes",
+                ))
+                return
+            pre = b""
+            if not line:
+                return
+            if len(line) > MAX_REQUEST_BYTES:
+                await self._send_json(writer, wire.error_response(
+                    "oversized_request",
+                    f"request exceeds {MAX_REQUEST_BYTES} bytes",
+                ))
+                return
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                req = json.loads(text)
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response = wire.error_response("bad_request", f"bad request: {exc}")
+            else:
+                response = await self._dispatch(req)
+            if _obs_enabled():
+                _M_REQUESTS.inc()
+            if not await self._send_json(writer, response):
+                return
+
+    async def _send_json(self, writer: asyncio.StreamWriter, response) -> bool:
+        try:
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+            return True
+        except (OSError, ConnectionError):
+            return False
+
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        framer = wire.FrameWriter()
+        pre = first
+        while True:
+            try:
+                frame = await _read_frame_async(reader, pre)
+            except wire.FrameError as exc:
+                code = (
+                    "oversized_request"
+                    if isinstance(exc, wire.OversizedFrame) else "bad_frame"
+                )
+                await self._send_frame(
+                    writer, framer, wire.OP_ERROR,
+                    wire.error_response(code, str(exc)),
+                )
+                return
+            pre = b""
+            if frame is None:
+                return
+            op, payload = frame
+            try:
+                req = wire.decode_request(op, payload)
+            except wire.FrameError as exc:
+                if not await self._send_frame(
+                    writer, framer, wire.OP_ERROR,
+                    wire.error_response("bad_frame", str(exc)),
+                ):
+                    return
+                continue
+            response = await self._dispatch(req)
+            if _obs_enabled():
+                _M_REQUESTS.inc()
+            if not await self._send_frame(writer, framer, op, response):
+                return
+
+    async def _send_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        framer: wire.FrameWriter,
+        op: int,
+        response: Dict[str, Any],
+    ) -> bool:
+        try:
+            out = bytes(framer.encode_response(op, response))
+        except wire.FrameError as exc:
+            out = bytes(framer.encode_response(op, wire.error_response(
+                "internal", f"unencodable response: {exc}"
+            )))
+        try:
+            writer.write(out)
+            await writer.drain()
+            return True
+        except (OSError, ConnectionError):
+            return False
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    async def _heartbeat(self, link: _ShardLink) -> None:
+        """Ping one worker forever; the breaker records the outcome.
+
+        While a breaker is open this is also what probes it half-open
+        back to closed — recovery does not wait for client traffic.
+        """
+        while True:
+            try:
+                await link.call({"op": "ping", "v": 1},
+                                timeout=self.heartbeat_timeout)
+            except (ShardUnavailable, ShardOverloaded):
+                pass
+            await asyncio.sleep(self.heartbeat_interval)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            v = req.get("v", wire.PROTOCOL_VERSION)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                raise ValueError(f"bad protocol version {v!r}")
+            if v > wire.PROTOCOL_VERSION:
+                return wire.error_response(
+                    "unsupported_version",
+                    f"protocol version {v} not supported (this front speaks "
+                    f"{wire.PROTOCOL_VERSION})",
+                )
+            op = req.get("op")
+            if op == "ping":
+                return {"ok": True, "v": wire.PROTOCOL_VERSION, "pong": True}
+            if "shard" in req:
+                # Escape hatch: address one worker directly, bypassing
+                # routing and aggregation — how an operator inspects a
+                # single shard's spans, events, or unmerged status.
+                return await self._forward(int(req["shard"]), req)
+            if op in ("predict", "observe"):
+                return await self._route_single(op, req)
+            if op == "predict_batch":
+                return await self._route_batch(req)
+            if op == "rank":
+                return await self._route_rank(req)
+            if op == "status":
+                return await self._route_status()
+            if op == "metrics":
+                return {
+                    "ok": True, "v": wire.PROTOCOL_VERSION,
+                    "metrics": _REG.snapshot(),
+                }
+            return wire.error_response("unknown_op", f"unknown op {op!r}")
+        except (KeyError, TypeError, ValueError) as exc:
+            return wire.error_response(
+                "bad_request", f"{type(exc).__name__}: {exc}"
+            )
+        except Exception as exc:  # defense in depth, mirrors the server
+            return wire.error_response(
+                "internal", f"internal error: {type(exc).__name__}: {exc}"
+            )
+
+    async def _forward(self, shard: int, req: Dict[str, Any]) -> Dict[str, Any]:
+        if not 0 <= shard < len(self._links):
+            return wire.error_response(
+                "bad_request", f"no such shard {shard} (fleet has "
+                f"{len(self._links)})"
+            )
+        sub = {key: value for key, value in req.items() if key != "shard"}
+        try:
+            return await self._links[shard].call(sub)
+        except ShardOverloaded as exc:
+            return wire.error_response("overloaded", str(exc))
+        except ShardUnavailable as exc:
+            if _obs_enabled():
+                _M_UNAVAILABLE.inc()
+            return wire.error_response("unavailable", str(exc))
+
+    async def _route_single(self, op: str, req: Dict[str, Any]) -> Dict[str, Any]:
+        link_name = str(req["link"])
+        shard = self.ring.shard_of(link_name)
+        _faults.check("fleet.route", shard=shard, op=op)
+        try:
+            response = await self._links[shard].call(req)
+        except ShardOverloaded as exc:
+            return wire.error_response("overloaded", str(exc))
+        except ShardUnavailable as exc:
+            if op == "predict" and self.fallback:
+                stale = self._recall(link_name, req.get("spec"), req)
+                if stale is not None:
+                    return stale
+            if _obs_enabled():
+                _M_UNAVAILABLE.inc()
+            return wire.error_response("unavailable", str(exc))
+        if op == "predict" and response.get("ok"):
+            self._remember(response)
+        return response
+
+    # -- predict_batch fan-out -----------------------------------------
+    async def _route_batch(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        items = req["items"]
+        if not isinstance(items, (list, tuple)):
+            raise ValueError("items must be a list of {link, size} objects")
+        entries: List[Optional[Dict[str, Any]]] = [None] * len(items)
+        by_shard: Dict[int, List[int]] = {}
+        for pos, item in enumerate(items):
+            try:
+                if not isinstance(item, dict):
+                    raise ValueError("batch item must be an object")
+                shard = self.ring.shard_of(str(item["link"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                entries[pos] = {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"item {pos}: {type(exc).__name__}: {exc}",
+                    },
+                }
+                continue
+            by_shard.setdefault(shard, []).append(pos)
+
+        passthrough = {
+            key: req[key] for key in ("v", "spec", "now", "trace") if key in req
+        }
+
+        async def sub_batch(shard: int, positions: List[int]):
+            sub = dict(passthrough)
+            sub["op"] = "predict_batch"
+            sub["items"] = [items[pos] for pos in positions]
+            return await self._links[shard].call(sub)
+
+        shards = sorted(by_shard)
+        outcomes = await asyncio.gather(
+            *(sub_batch(shard, by_shard[shard]) for shard in shards),
+            return_exceptions=True,
+        )
+        for shard, outcome in zip(shards, outcomes):
+            positions = by_shard[shard]
+            if isinstance(outcome, BaseException):
+                entries_for = self._batch_failure_entries(
+                    outcome, [items[pos] for pos in positions], req
+                )
+                for pos, entry in zip(positions, entries_for):
+                    entries[pos] = entry
+                continue
+            if not outcome.get("ok"):
+                for pos in positions:
+                    entries[pos] = {
+                        "ok": False, "error": outcome.get("error"),
+                    }
+                continue
+            for pos, result in zip(positions, outcome["results"]):
+                if result.get("ok"):
+                    self._remember(result)
+                entries[pos] = result
+        return {
+            "ok": True, "v": wire.PROTOCOL_VERSION,
+            "count": len(items), "results": entries,
+        }
+
+    def _batch_failure_entries(
+        self,
+        failure: BaseException,
+        failed_items: List[Dict[str, Any]],
+        req: Dict[str, Any],
+    ) -> List[Dict[str, Any]]:
+        """Per-item entries for a whole sub-batch that could not answer."""
+        if isinstance(failure, ShardOverloaded):
+            if _obs_enabled():
+                _M_OVERLOADED.inc()
+            return [
+                {"ok": False,
+                 "error": {"code": "overloaded", "message": str(failure)}}
+                for _ in failed_items
+            ]
+        if not isinstance(failure, ShardUnavailable):
+            return [
+                {"ok": False,
+                 "error": {"code": "internal",
+                           "message": f"{type(failure).__name__}: {failure}"}}
+                for _ in failed_items
+            ]
+        entries = []
+        for item in failed_items:
+            stale = None
+            if self.fallback:
+                stale = self._recall(
+                    str(item.get("link")),
+                    item.get("spec", req.get("spec")),
+                    item,
+                    envelope=False,
+                )
+            if stale is not None:
+                entries.append({"ok": True, **stale})
+            else:
+                if _obs_enabled():
+                    _M_UNAVAILABLE.inc()
+                entries.append({
+                    "ok": False,
+                    "error": {"code": "unavailable", "message": str(failure)},
+                })
+        return entries
+
+    # -- rank fan-out / merge ------------------------------------------
+    async def _route_rank(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        candidates = [str(c) for c in req["candidates"]]
+        int(req["size"])  # validate like the worker does
+        groups = self.ring.partition(candidates)
+        passthrough = {
+            key: req[key]
+            for key in ("v", "size", "spec", "now", "trace") if key in req
+        }
+
+        async def sub_rank(shard: int, sites: List[str]):
+            sub = dict(passthrough)
+            sub["op"] = "rank"
+            sub["candidates"] = sites
+            return await self._links[shard].call(sub)
+
+        shards = sorted(groups)
+        outcomes = await asyncio.gather(
+            *(sub_rank(shard, groups[shard]) for shard in shards),
+            return_exceptions=True,
+        )
+        confident: List[Dict[str, Any]] = []
+        degraded: List[Dict[str, Any]] = []
+        empty: List[Dict[str, Any]] = []
+        for shard, outcome in zip(shards, outcomes):
+            if isinstance(outcome, ShardOverloaded):
+                return wire.error_response("overloaded", str(outcome))
+            if isinstance(outcome, ShardUnavailable):
+                if not self.fallback:
+                    if _obs_enabled():
+                        _M_UNAVAILABLE.inc()
+                    return wire.error_response(
+                        "unavailable",
+                        f"cannot rank: {outcome} (run the front with "
+                        f"fallback to rank from last-good answers)",
+                    )
+                # Last-good failover: every candidate this shard owns
+                # ranks from the front's memory, marked degraded and
+                # sorted after every confident answer.
+                for site in groups[shard]:
+                    stale = self._recall(site, req.get("spec"), req,
+                                         envelope=False)
+                    if stale is not None and stale.get("value") is not None:
+                        if _obs_enabled():
+                            _M_FAILOVERS.inc()
+                        degraded.append({
+                            "site": site,
+                            "predicted_bandwidth": stale["value"],
+                            "history_length": stale.get("history_length", 0),
+                            "degraded": True,
+                        })
+                    else:
+                        empty.append({
+                            "site": site,
+                            "predicted_bandwidth": None,
+                            "history_length": 0,
+                            "degraded": True,
+                        })
+                continue
+            if isinstance(outcome, BaseException):
+                raise outcome
+            if not outcome.get("ok"):
+                return outcome
+            for entry in outcome["ranking"]:
+                if entry.get("predicted_bandwidth") is None:
+                    empty.append(entry)
+                elif entry.get("degraded"):
+                    degraded.append(entry)
+                else:
+                    confident.append(entry)
+        key = lambda entry: -entry["predicted_bandwidth"]  # noqa: E731
+        ranking = (
+            sorted(confident, key=key) + sorted(degraded, key=key) + empty
+        )
+        return {"ok": True, "v": wire.PROTOCOL_VERSION, "ranking": ranking}
+
+    # -- status aggregation --------------------------------------------
+    async def _route_status(self) -> Dict[str, Any]:
+        outcomes = await asyncio.gather(
+            *(link.call({"op": "status", "v": 1}) for link in self._links),
+            return_exceptions=True,
+        )
+        worker_statuses: List[Optional[Dict[str, Any]]] = []
+        shard_entries: List[Dict[str, Any]] = []
+        for link, outcome in zip(self._links, outcomes):
+            entry = link.health()
+            if self.info_hook is not None:
+                try:
+                    entry.update(self.info_hook(link.shard))
+                except Exception:
+                    pass  # status must answer even if the hook breaks
+            if isinstance(outcome, BaseException) or not outcome.get("ok"):
+                entry["up"] = False
+                entry["error"] = (
+                    str(outcome) if isinstance(outcome, BaseException)
+                    else str(outcome.get("error"))
+                )
+                worker_statuses.append(None)
+            else:
+                worker_statuses.append(outcome)
+            shard_entries.append(entry)
+        merged = self._merge_statuses(worker_statuses)
+        merged["fleet"] = {
+            "workers": len(self._links),
+            "fallback": self.fallback,
+            "last_good_entries": len(self._last_good),
+            "shards": shard_entries,
+        }
+        return {"ok": True, "v": wire.PROTOCOL_VERSION, **merged}
+
+    @staticmethod
+    def _merge_statuses(
+        statuses: List[Optional[Dict[str, Any]]],
+    ) -> Dict[str, Any]:
+        """Sum the summable, merge the mergeable, drop the rest."""
+        up = [status for status in statuses if status]
+        merged: Dict[str, Any] = {
+            "default_spec": up[0].get("default_spec") if up else None,
+            "link_count": sum(s.get("link_count", 0) for s in up),
+            "ingested": sum(s.get("ingested", 0) for s in up),
+            "predicts": sum(s.get("predicts", 0) for s in up),
+            "cache": {
+                key: sum((s.get("cache") or {}).get(key, 0) for s in up)
+                for key in ("hits", "misses", "entries", "capacity")
+            },
+            "streaming": {
+                key: sum((s.get("streaming") or {}).get(key, 0) for s in up)
+                for key in ("streamed", "recomputed")
+            },
+        }
+        links: Dict[str, Any] = {}
+        for status in up:
+            links.update(status.get("links") or {})
+        merged["links"] = links if len(links) <= 1000 else {}
+        # Accuracy: count-weighted merge of the overall rollup.
+        acc = [s.get("accuracy") or {} for s in up]
+        enabled = [a for a in acc if a.get("enabled")]
+        if enabled:
+            scored = sum(a.get("scored", 0) for a in enabled)
+            overall_n = sum(
+                (a.get("overall") or {}).get("count", 0) for a in enabled
+            )
+            mape = None
+            if overall_n:
+                weighted = [
+                    ((a.get("overall") or {}).get("mape"),
+                     (a.get("overall") or {}).get("count", 0))
+                    for a in enabled
+                ]
+                known = [(m, n) for m, n in weighted if m is not None and n]
+                if known:
+                    mape = sum(m * n for m, n in known) / sum(
+                        n for _, n in known
+                    )
+            merged["accuracy"] = {
+                "enabled": True,
+                "scored": scored,
+                "pending": sum(a.get("pending", 0) for a in enabled),
+                "dropped": sum(a.get("dropped", 0) for a in enabled),
+                "overall": {"count": overall_n, "mape": mape},
+            }
+        else:
+            merged["accuracy"] = {"enabled": False}
+        stores = [s.get("store") for s in up if s.get("store")]
+        if stores:
+            merged["store"] = {
+                "resident_links": sum(s.get("resident_links", 0) for s in stores),
+                "evicted_links": sum(s.get("evicted_links", 0) for s in stores),
+                "stored_links": sum(s.get("stored_links", 0) for s in stores),
+                "bytes_on_disk": sum(s.get("bytes_on_disk", 0) for s in stores),
+                "evictions": sum(s.get("evictions", 0) for s in stores),
+                "revivals": sum(s.get("revivals", 0) for s in stores),
+            }
+        return merged
+
+    # ------------------------------------------------------------------
+    # last-good failover memory
+    # ------------------------------------------------------------------
+    def _remember(self, payload: Dict[str, Any]) -> None:
+        """Cache a confident prediction for degraded failover later."""
+        if payload.get("value") is None or payload.get("degraded"):
+            return
+        entry = {
+            "link": payload["link"],
+            "spec": payload["spec"],
+            "size": payload["size"],
+            "value": payload["value"],
+            "version": payload.get("version", 0),
+            "history_length": payload.get("history_length", 0),
+        }
+        cache = self._last_good
+        for key in ((payload["link"], payload["spec"]),
+                    (payload["link"], None)):
+            cache[key] = entry
+            cache.move_to_end(key)
+        while len(cache) > self._last_good_capacity:
+            cache.popitem(last=False)
+
+    def _recall(
+        self,
+        link_name: str,
+        spec: Optional[str],
+        req: Dict[str, Any],
+        envelope: bool = True,
+    ) -> Optional[Dict[str, Any]]:
+        """A degraded last-good prediction payload, if one is cached."""
+        entry = self._last_good.get(
+            (link_name, spec if spec is not None else None)
+        )
+        if entry is None and spec is not None:
+            entry = None  # an explicit spec never falls back to another
+        if entry is None and spec is None:
+            entry = self._last_good.get((link_name, None))
+        if entry is None:
+            return None
+        if _obs_enabled():
+            _M_FAILOVERS.inc()
+            get_event_bus().emit(
+                "fleet.failover", link=link_name,
+                spec=entry["spec"], version=entry["version"],
+            )
+        payload = {
+            "link": entry["link"],
+            "spec": entry["spec"],
+            "size": int(req.get("size", entry["size"])),
+            "value": entry["value"],
+            "cached": True,
+            "version": entry["version"],
+            "history_length": entry["history_length"],
+            "latency_seconds": 0.0,
+            "degraded": True,       # a stale answer must say so
+        }
+        if not envelope:
+            return payload
+        return {"ok": True, "v": wire.PROTOCOL_VERSION, **payload}

@@ -101,6 +101,28 @@ def render_scoreboard(status: Dict[str, Any],
             f"  disk={store.get('bytes_on_disk', 0) / 1e6:.1f}MB"
         )
 
+    fleet = status.get("fleet")
+    if fleet:
+        shards = fleet.get("shards") or []
+        up = sum(1 for s in shards if s.get("up"))
+        lines.append(
+            f"fleet  workers={up}/{fleet.get('workers', len(shards))} up"
+            f"  fallback={'on' if fleet.get('fallback') else 'off'}"
+            f"  last-good={fleet.get('last_good_entries', 0)}"
+        )
+        if shards:
+            lines.append("")
+            lines += _table(
+                ["shard", "up", "breaker", "pending", "restarts", "pid"],
+                ([str(s.get("shard", i)),
+                  "yes" if s.get("up") else "NO",
+                  str((s.get("breaker") or {}).get("state", "?")),
+                  str(s.get("pending", 0)),
+                  str(s.get("restarts", "-")),
+                  str(s.get("pid", "-"))]
+                 for i, s in enumerate(shards)),
+            )
+
     if metrics is not None:
         parts = []
         for protocol in ("json", "binary"):

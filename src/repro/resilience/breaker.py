@@ -38,7 +38,8 @@ _REG = get_registry()
 _M_TRIPS = _REG.counter(
     "resilience_breaker_trips", "circuit breakers tripped closed -> open")
 _M_REJECTIONS = _REG.counter(
-    "resilience_breaker_rejections", "calls rejected by an open breaker")
+    "resilience_breaker_rejections",
+    "calls rejected by an open or probe-saturated breaker")
 _M_PROBES = _REG.counter(
     "resilience_breaker_probes", "half-open trial calls admitted")
 _M_RESETS = _REG.counter(
@@ -123,7 +124,9 @@ class CircuitBreaker:
 
         In half-open state at most ``half_open_probes`` concurrent trial
         calls are admitted; every admitted caller **must** report back
-        via :meth:`record_success` or :meth:`record_failure`.
+        via :meth:`record_success` or :meth:`record_failure`.  Callers
+        that lose the probe race are rejected and counted exactly like
+        open-state rejections.
         """
         now = self._now(now)
         with self._lock:
@@ -136,6 +139,9 @@ class CircuitBreaker:
                     if _obs_enabled():
                         _M_PROBES.inc()
                     return True
+                self.rejections += 1
+                if _obs_enabled():
+                    _M_REJECTIONS.inc()
                 return False
             # OPEN
             self.rejections += 1

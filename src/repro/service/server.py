@@ -20,6 +20,7 @@ op                  request fields                          response payload
 ``predict``         ``link``, ``size``, [``spec``, ``now``] the Prediction fields
 ``predict_batch``   ``items``, [``spec``, ``now``]          per-item ``results``
 ``rank``            ``candidates``, ``size``, [``spec``]    ordered replica list
+``observe``         ``link``, ``size``, ``start``, ``end``  ``{"link", "version"}``
 ``status``          —                                       service status dict
 ``metrics``         [``format``]                            merged registry snapshot
 ``spans``           [``name``, ``limit``]                   finished spans
@@ -58,10 +59,12 @@ either protocol) without binding one.
 
 from __future__ import annotations
 
+import errno
 import json
 import socket
 import socketserver
 import threading
+import time
 import warnings
 from contextlib import nullcontext
 from pathlib import Path
@@ -74,6 +77,7 @@ from repro.obs.config import enabled as _obs_enabled
 from repro.obs.events import get_event_bus
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import SpanContext, get_span_exporter, span
+from repro.logs.record import TransferRecord
 from repro.resilience import Deadline, DeadlineExceeded, RetryPolicy
 from repro.service.service import Prediction, PredictionService
 
@@ -109,6 +113,9 @@ _M_DEADLINES = _REG.counter(
     "server_deadline_exceeded", "requests cut off by the per-request deadline")
 _M_INTERNAL = _REG.counter(
     "server_internal_errors", "unexpected handler exceptions answered in-band")
+_M_ACCEPT_ERRORS = _REG.counter(
+    "server_accept_errors",
+    "accept() failures survived by backing off (fd exhaustion etc.)")
 
 
 def merged_snapshot(service: PredictionService) -> Dict[str, Any]:
@@ -249,6 +256,42 @@ def _batch_payload(
     return {"count": len(items), "results": entries}
 
 
+def _observe_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold one completed transfer into its link; answers the new version.
+
+    The ingest op of the wire protocol — what lets a federation front
+    tier (or any remote producer) push observations without a shared
+    log file.  Only ``link``, ``size``, ``start`` and ``end`` are
+    required; ``bandwidth`` defaults to ``size / (end - start)`` and the
+    remaining ULM fields to neutral placeholders.  The acknowledgement
+    (the returned ``version``) is only sent after
+    :meth:`PredictionService.observe` returns, which persists through
+    the durable store first when one is attached — an acked observe
+    survives ``kill -9``.
+    """
+    link = str(req["link"])
+    size = int(req["size"])
+    start = float(req["start"])
+    end = float(req["end"])
+    bandwidth = req.get("bandwidth")
+    record = TransferRecord(
+        source_ip=str(req.get("source_ip", "0.0.0.0")),
+        file_name=str(req.get("file_name", "/transfer")),
+        file_size=size,
+        volume=str(req.get("volume", "/")),
+        start_time=start,
+        end_time=end,
+        bandwidth=(
+            float(bandwidth) if bandwidth is not None else size / (end - start)
+        ),
+        operation=str(req.get("operation", "read")),
+        streams=int(req.get("streams", 1)),
+        tcp_buffer=int(req.get("tcp_buffer", 65536)),
+    )
+    version = service.observe(link, record, source_offset=int(req.get("offset", 0)))
+    return {"link": link, "version": version}
+
+
 def _rank_payload(
     service: PredictionService, req: Dict[str, Any], deadline: Deadline
 ) -> Dict[str, Any]:
@@ -318,6 +361,8 @@ def handle_request(
                 payload = _batch_payload(service, req, deadline)
             elif op == "rank":
                 payload = _rank_payload(service, req, deadline)
+            elif op == "observe":
+                payload = _observe_payload(service, req)
             elif op == "status":
                 payload = service.status()
             elif op == "metrics":
@@ -535,6 +580,33 @@ class _Handler(socketserver.StreamRequestHandler):
 class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
     daemon_threads = True
     allow_reuse_address = True
+
+    #: fd-exhaustion backoff: on EMFILE/ENFILE the accept loop pauses
+    #: (doubling from ``accept_backoff`` up to ``accept_backoff_max``)
+    #: instead of dying — connections in flight keep their fds, and once
+    #: some close, accepting resumes.  Every such failure increments the
+    #: ``server_accept_errors`` counter.
+    accept_backoff = 0.05
+    accept_backoff_max = 1.0
+    _accept_delay = 0.0
+
+    def get_request(self):
+        try:
+            request = super().get_request()
+        except OSError as exc:
+            if exc.errno in (errno.EMFILE, errno.ENFILE):
+                _M_ACCEPT_ERRORS.inc()
+                self._accept_delay = min(
+                    self._accept_delay * 2 or self.accept_backoff,
+                    self.accept_backoff_max,
+                )
+                # serve_forever() swallows the OSError and loops; the
+                # sleep is what turns that into a paced retry instead of
+                # a hot spin against an exhausted fd table.
+                time.sleep(self._accept_delay)
+            raise
+        self._accept_delay = 0.0
+        return request
 
 
 class ServiceServer:

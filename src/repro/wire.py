@@ -25,10 +25,12 @@ Op table::
 
     0x01  ping           0x04  predict_batch
     0x02  predict        0x05  status
-    0x03  rank           0x10  json (any other op, JSON payload)
+    0x03  rank           0x06  observe
+                         0x10  json (any other op, JSON payload)
                          0x7F  error (responses only)
 
-``predict``, ``rank`` and ``predict_batch`` payloads are struct-packed
+``predict``, ``rank``, ``predict_batch`` and ``observe`` payloads are
+struct-packed
 (codecs below); ``status`` and every op outside the hot path ride as
 UTF-8 JSON inside a binary frame — framing still amortizes, and the
 decoded dict is exactly what the JSON protocol would have produced.
@@ -68,9 +70,11 @@ __all__ = [
     "OP_RANK",
     "OP_BATCH",
     "OP_STATUS",
+    "OP_OBSERVE",
     "OP_JSON",
     "OP_ERROR",
     "REQUEST_OPS",
+    "ERROR_CODES",
     "FrameError",
     "OversizedFrame",
     "TruncatedFrame",
@@ -101,6 +105,7 @@ OP_PREDICT = 0x02
 OP_RANK = 0x03
 OP_BATCH = 0x04
 OP_STATUS = 0x05
+OP_OBSERVE = 0x06
 OP_JSON = 0x10
 OP_ERROR = 0x7F
 
@@ -111,7 +116,26 @@ REQUEST_OPS = {
     "rank": OP_RANK,
     "predict_batch": OP_BATCH,
     "status": OP_STATUS,
+    "observe": OP_OBSERVE,
 }
+
+#: The normalized error-code vocabulary of the v1 envelope — every
+#: ``{"ok": false, "error": {"code", ...}}`` a conforming server (or the
+#: federation front tier) emits uses one of these.  ``overloaded`` means
+#: admission control shed the request (do not retry immediately);
+#: ``unavailable`` means the shard/worker behind the request is down or
+#: unreachable (safe to retry — the client's connect policy applies).
+ERROR_CODES = frozenset({
+    "bad_request",
+    "unknown_op",
+    "deadline_exceeded",
+    "unsupported_version",
+    "oversized_request",
+    "bad_frame",
+    "internal",
+    "overloaded",
+    "unavailable",
+})
 
 _U8 = struct.Struct("!B")
 _U16 = struct.Struct("!H")
@@ -142,6 +166,19 @@ _CACHED = 0x02
 _DEGRADED = 0x04
 _ITEM_OK = 0x08
 _HAS_BW = 0x01
+
+# observe request flag bits (trace shares _HAS_TRACE = 0x04).  The
+# struct codec carries the *full* canonical observation — size, start,
+# end, bandwidth, streams, tcp_buffer — so the bits only cover the truly
+# optional extras; a partial request falls back to OP_JSON and the
+# server fills defaults there.
+_OBS_WRITE = 0x01        # operation == "write" (clear: "read")
+_OBS_HAS_META = 0x02     # source_ip, file_name, volume strings follow
+_OBS_HAS_OFFSET = 0x08   # durable follower byte offset (u64)
+
+# Fused observe layout after the flags/trace prefix:
+# size, start, end, bandwidth, streams, tcp_buffer.
+_OBS_FIXED = struct.Struct("!QdddHQ")
 
 
 class FrameError(ValueError):
@@ -234,6 +271,10 @@ class FrameWriter:
                         # u8-only payloads cannot carry trace context;
                         # ride the JSON dialect instead of dropping it.
                         raise ValueError("trace context needs OP_JSON")
+                    if req.get("shard") is not None:
+                        # The fleet front's single-shard escape hatch is
+                        # a passenger field too — same rule as trace.
+                        raise ValueError("shard addressing needs OP_JSON")
                     self._pack(_U8, v)
                 elif op == OP_PREDICT:
                     self._encode_predict_req(v, req)
@@ -241,6 +282,8 @@ class FrameWriter:
                     self._encode_rank_req(v, req)
                 elif op == OP_BATCH:
                     self._encode_batch_req(v, req)
+                elif op == OP_OBSERVE:
+                    self._encode_observe_req(v, req)
                 return self._finish(op)
             except FrameError:
                 raise  # protocol bounds (overlong strings) stay hard errors
@@ -324,6 +367,44 @@ class FrameWriter:
             if ispec is not None:
                 self._put_str(str(ispec))
 
+    def _encode_observe_req(self, v: int, req: Dict[str, Any]) -> None:
+        operation = req.get("operation", "read")
+        if operation not in ("read", "write"):
+            raise ValueError(f"unknown operation {operation!r}")
+        meta = ("source_ip" in req or "file_name" in req or "volume" in req)
+        if meta and not ("source_ip" in req and "file_name" in req
+                         and "volume" in req):
+            # Partial metadata cannot round-trip losslessly through the
+            # struct layout; ride the JSON dialect instead.
+            raise ValueError("partial observe metadata needs OP_JSON")
+        offset = req.get("offset")
+        trace = _trace_ids(req)
+        flags = (
+            (_OBS_WRITE if operation == "write" else 0)
+            | (_OBS_HAS_META if meta else 0)
+            | (_HAS_TRACE if trace is not None else 0)
+            | (_OBS_HAS_OFFSET if offset is not None else 0)
+        )
+        self._pack(_U8, v)
+        self._pack(_U8, flags)
+        self._put_trace(trace)
+        self._pack(
+            _OBS_FIXED,
+            int(req["size"]),
+            float(req["start"]),
+            float(req["end"]),
+            float(req["bandwidth"]),
+            int(req["streams"]),
+            int(req["tcp_buffer"]),
+        )
+        if offset is not None:
+            self._pack(_U64, int(offset))
+        self._put_str(str(req["link"]))
+        if meta:
+            self._put_str(str(req["source_ip"]))
+            self._put_str(str(req["file_name"]))
+            self._put_str(str(req["volume"]))
+
     # -- responses -----------------------------------------------------
     def encode_response(self, request_op: int, resp: Dict[str, Any]) -> memoryview:
         """One response dict as a binary frame, shaped by the request op.
@@ -357,6 +438,10 @@ class FrameWriter:
                     self._pack(_F64, float(bw))
                 self._pack(_U64, int(entry["history_length"]))
                 self._put_str(entry["site"])
+        elif request_op == OP_OBSERVE:
+            self._pack(_U8, v)
+            self._pack(_U64, int(resp["version"]))
+            self._put_str(resp["link"])
         elif request_op == OP_BATCH:
             self._pack(_U8, v)
             results = resp["results"]
@@ -532,6 +617,29 @@ def decode_request(op: int, payload: bytes) -> Dict[str, Any]:
             items.append(item)
         req["items"] = items
         return req
+    if op == OP_OBSERVE:
+        v, flags = r.u8(), r.u8()
+        req = {"op": "observe", "v": v}
+        if flags & _HAS_TRACE:
+            req["trace"] = {"trace_id": r.u64(), "span_id": r.u64()}
+        size, start, end, bandwidth, streams, tcp_buffer = r.multi(_OBS_FIXED)
+        req.update({
+            "size": size,
+            "start": start,
+            "end": end,
+            "bandwidth": bandwidth,
+            "operation": "write" if flags & _OBS_WRITE else "read",
+            "streams": streams,
+            "tcp_buffer": tcp_buffer,
+        })
+        if flags & _OBS_HAS_OFFSET:
+            req["offset"] = r.u64()
+        req["link"] = r.str_()
+        if flags & _OBS_HAS_META:
+            req["source_ip"] = r.str_()
+            req["file_name"] = r.str_()
+            req["volume"] = r.str_()
+        return req
     raise FrameError(f"unknown request op 0x{op:02x}")
 
 
@@ -601,6 +709,10 @@ def decode_response(op: int, payload: bytes) -> Dict[str, Any]:
                     "error": {"code": code, "message": message},
                 })
         return {"ok": True, "v": v, "count": len(results), "results": results}
+    if op == OP_OBSERVE:
+        v = r.u8()
+        version = r.u64()
+        return {"ok": True, "v": v, "link": r.str_(), "version": version}
     raise FrameError(f"unknown response op 0x{op:02x}")
 
 

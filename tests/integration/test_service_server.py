@@ -298,3 +298,94 @@ def test_tiny_request_timeout_cuts_requests_over_the_socket(service, tmp_path):
             response = client.request({"op": "status"})
     assert not response["ok"]
     assert response["error"]["code"] == "deadline_exceeded"
+
+
+# ----------------------------------------------------------------------
+# the observe op (remote ingest; what a fleet front routes to workers)
+# ----------------------------------------------------------------------
+def test_observe_over_socket_updates_history_and_acks_a_version(client, service):
+    before = service.status()["links"].get("NEW-LINK", {}).get("records", 0)
+    assert before == 0
+    v1 = client.observe("NEW-LINK", 100 * MB, 1000.0, 1010.0)
+    v2 = client.observe("NEW-LINK", 100 * MB, 2000.0, 2010.0)
+    assert v2 == v1 + 1
+    assert service.status()["links"]["NEW-LINK"]["records"] == 2
+    response = client.predict("NEW-LINK", 100 * MB, now=3000.0)
+    assert response["value"] == pytest.approx(10 * MB)
+
+
+def test_observe_over_both_dialects_agrees(service, tmp_path):
+    with ServiceServer(service, tmp_path / "obs.sock") as server:
+        with ServiceClient(server.socket_path, binary=False) as json_client:
+            vj = json_client.observe("DIAL-LINK", 10 * MB, 0.0, 1.0)
+        with ServiceClient(server.socket_path, binary=True) as bin_client:
+            vb = bin_client.observe(
+                "DIAL-LINK", 10 * MB, 10.0, 11.0,
+                source_ip="10.0.0.1", file_name="/f", volume="/v", offset=3,
+            )
+    assert vb == vj + 1
+    assert service.status()["links"]["DIAL-LINK"]["records"] == 2
+
+
+def test_observe_rejects_garbage_in_band(client):
+    response = client.request({"op": "observe", "link": "X"})  # no size/times
+    assert not response["ok"]
+    assert response["error"]["code"] == "bad_request"
+    response = client.request({
+        "op": "observe", "link": "X", "size": 10, "start": 0.0, "end": 1.0,
+        "operation": "teleport",
+    })
+    assert not response["ok"]
+    assert response["error"]["code"] == "bad_request"
+
+
+def test_observed_records_persist_through_a_durable_store(tmp_path):
+    from repro.store import LinkStore
+
+    store = LinkStore(tmp_path / "state")
+    service = PredictionService(store=store, clock=lambda: 10_000_000.0)
+    with ServiceServer(service, tmp_path / "d.sock") as server:
+        with ServiceClient(server.socket_path) as client:
+            acked = client.observe("DUR-LINK", 10 * MB, 0.0, 1.0)
+    store.close()
+    # A cold process (no checkpoint was written: simulating a crash
+    # right after the ack) still revives the observation from the WAL.
+    revived = LinkStore(tmp_path / "state")
+    cold = PredictionService(store=revived, clock=lambda: 10_000_000.0)
+    assert cold.predict("DUR-LINK", 10 * MB).history_length == acked
+    revived.close()
+
+
+# ----------------------------------------------------------------------
+# accept-loop hardening: fd exhaustion backs off instead of dying
+# ----------------------------------------------------------------------
+def test_accept_loop_survives_fd_exhaustion(service, tmp_path):
+    import errno
+    import socketserver
+
+    from repro.obs import get_registry
+
+    with ServiceServer(service, tmp_path / "fd.sock") as server:
+        inner = server._server
+        counter = get_registry().counter("server_accept_errors")
+        before = counter.value
+        real_get_request = socketserver.UnixStreamServer.get_request
+        remaining = [3]
+
+        def starved(self):
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                raise OSError(errno.EMFILE, "Too many open files")
+            return real_get_request(self)
+
+        socketserver.UnixStreamServer.get_request = starved
+        try:
+            # Each failed accept backs off and is swallowed by
+            # serve_forever; the next real connection still answers.
+            with ServiceClient(server.socket_path) as probe:
+                assert probe.ping() is True
+        finally:
+            socketserver.UnixStreamServer.get_request = real_get_request
+        assert remaining[0] == 0
+        assert counter.value == before + 3
+        assert inner._accept_delay == 0.0  # reset by the first success

@@ -103,3 +103,92 @@ def test_request_stamps_the_protocol_version():
     assert seen["v"] == 1
     client.request({"op": "ping", "v": 1})
     assert seen["v"] == 1
+
+
+# ----------------------------------------------------------------------
+# address parsing (unix path vs TCP host:port)
+# ----------------------------------------------------------------------
+def test_address_parsing_tcp_and_unix():
+    from repro.client import _parse_address
+
+    assert _parse_address("127.0.0.1:9000") == ("tcp", ("127.0.0.1", 9000))
+    assert _parse_address("tcp://host.example:80") == \
+        ("tcp", ("host.example", 80))
+    assert _parse_address("/tmp/repro.sock") == ("unix", "/tmp/repro.sock")
+    # A relative path with no colon stays a unix path ...
+    assert _parse_address("repro.sock") == ("unix", "repro.sock")
+    # ... and anything path-like with a colon does too.
+    assert _parse_address("/tmp/odd:name.sock") == \
+        ("unix", "/tmp/odd:name.sock")
+
+
+# ----------------------------------------------------------------------
+# error classification: unavailable retries, overloaded surfaces
+# ----------------------------------------------------------------------
+class FlakyShard(ServiceClient):
+    """Answers `unavailable` a fixed number of times, then succeeds."""
+
+    def __init__(self, failures, code="unavailable", **kw):
+        from repro.resilience import RetryPolicy
+
+        kw.setdefault("retry", RetryPolicy(
+            max_attempts=4, base_delay=0.001, jitter=0.0))
+        super().__init__("unused.sock", **kw)
+        self.failures = failures
+        self.code = code
+        self.attempts = 0
+
+    def request(self, req):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            return {"ok": False, "v": 1,
+                    "error": {"code": self.code, "message": "shard down"}}
+        return {"ok": True, "v": 1, "pong": True}
+
+
+def test_unavailable_answers_retry_under_the_connect_policy():
+    client = FlakyShard(failures=2)
+    assert client.call("ping")["pong"] is True
+    assert client.attempts == 3  # two unavailable answers were retried
+
+
+def test_unavailable_exhaustion_raises_the_original_service_error():
+    client = FlakyShard(failures=99)
+    with pytest.raises(ServiceError) as excinfo:
+        client.call("ping")
+    assert excinfo.value.code == "unavailable"
+    assert client.attempts == 4  # the policy's cap, then surfaced
+
+
+def test_overloaded_surfaces_immediately_without_retry():
+    client = FlakyShard(failures=99, code="overloaded")
+    with pytest.raises(ServiceError) as excinfo:
+        client.call("ping")
+    assert excinfo.value.code == "overloaded"
+    assert client.attempts == 1  # retrying into shed load deepens the queue
+
+
+def test_other_error_codes_still_surface_immediately():
+    client = FlakyShard(failures=99, code="bad_request")
+    with pytest.raises(ServiceError) as excinfo:
+        client.call("ping")
+    assert excinfo.value.code == "bad_request"
+    assert client.attempts == 1
+
+
+def test_observe_helper_computes_bandwidth_and_meta_trio():
+    sent = {}
+
+    class Probe(ServiceClient):
+        def request(self, req):
+            sent.update(req)
+            return {"ok": True, "v": 1, "link": req["link"], "version": 3}
+
+    version = Probe("unused.sock").observe(
+        "LBL-ANL", 100, 10.0, 20.0, source_ip="10.0.0.1")
+    assert version == 3
+    assert sent["bandwidth"] == pytest.approx(10.0)  # size / (end - start)
+    # Naming any meta field sends the full trio (defaults fill the rest),
+    # keeping the request on the fixed-width binary codec.
+    assert sent["file_name"] == "/transfer" and sent["volume"] == "/"
+    assert sent["operation"] == "read" and sent["streams"] == 1

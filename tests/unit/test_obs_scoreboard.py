@@ -85,3 +85,26 @@ def test_scoreboard_shows_store_residency():
     }))
     assert "store  resident=1  evicted=1  stored=2" in out
     assert "disk=2.5MB" in out
+
+
+def test_scoreboard_shows_fleet_health():
+    out = render_scoreboard(_status(fleet={
+        "workers": 2,
+        "fallback": True,
+        "last_good_entries": 12,
+        "shards": [
+            {"shard": 0, "up": True, "pending": 3, "restarts": 0,
+             "pid": 4242, "breaker": {"state": "closed"}},
+            {"shard": 1, "up": False, "pending": 0, "restarts": 2,
+             "pid": None, "breaker": {"state": "open"}},
+        ],
+    }))
+    assert "fleet  workers=1/2 up  fallback=on  last-good=12" in out
+    assert "shard" in out and "breaker" in out
+    assert "closed" in out and "open" in out
+    assert "NO" in out        # the down shard is visually loud
+    assert "4242" in out
+
+
+def test_scoreboard_without_fleet_section_is_unchanged():
+    assert "fleet" not in render_scoreboard(_status())

@@ -224,6 +224,56 @@ class TestCircuitBreaker:
         assert breaker.allow() and breaker.allow()
         assert not breaker.allow()      # third concurrent probe rejected
 
+    def test_half_open_probe_race_admits_exactly_one_and_counts_losers(self):
+        # N threads hit allow() simultaneously on a breaker whose reset
+        # timer just expired: exactly one probe may win, every loser is
+        # rejected AND counted — the fleet front reads `rejections` to
+        # tell "shed by the breaker" from "never asked".
+        import threading
+
+        clock = FakeClock()
+        breaker = self.make(clock, half_open_probes=1)
+        self.trip(breaker, clock)
+        rejected_before = breaker.rejections
+        clock.advance(10.1)             # open -> half-open on next touch
+        callers = 8
+        barrier = threading.Barrier(callers)
+        outcomes = [None] * callers
+
+        def contend(i):
+            barrier.wait()
+            outcomes[i] = breaker.allow()
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(callers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(outcomes) == 1, f"want exactly one probe, got {outcomes}"
+        assert breaker.rejections == rejected_before + (callers - 1)
+        assert breaker.state() == "half_open"
+        # The winner reports back: a success closes the breaker for all.
+        breaker.record_success()
+        assert breaker.state() == "closed"
+        assert all(breaker.allow() for _ in range(callers))
+
+    def test_half_open_losers_increment_the_rejection_metric(self):
+        from repro.obs import get_registry
+        from repro.obs.config import enabled as obs_enabled
+
+        clock = FakeClock()
+        breaker = self.make(clock, half_open_probes=1)
+        self.trip(breaker, clock)
+        clock.advance(10.1)
+        metric = get_registry().counter("resilience_breaker_rejections")
+        before = metric.value
+        assert breaker.allow()          # the probe: not a rejection
+        assert not breaker.allow()      # the loser
+        assert breaker.rejections >= 1
+        if obs_enabled():
+            assert metric.value == before + 1
+
     def test_explicit_now_drives_transitions(self):
         # The GIIS drives breakers on simulation time, not wall clock.
         breaker = CircuitBreaker("sim", failure_threshold=1, reset_timeout=60.0,

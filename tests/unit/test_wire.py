@@ -295,3 +295,82 @@ def test_malformed_trace_dict_falls_back_to_json():
     frame = wire.FrameWriter().encode_request(request)
     op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
     assert op == wire.OP_JSON
+
+
+# ----------------------------------------------------------------------
+# observe codec (the fleet's remote-ingest op)
+# ----------------------------------------------------------------------
+FULL_OBSERVE = {
+    "op": "observe", "v": 1, "link": "LBL-ANL", "size": 100_000_000,
+    "start": 1000.0, "end": 1010.0, "bandwidth": 10_000_000.0,
+    "operation": "write", "streams": 4, "tcp_buffer": 1 << 20,
+}
+
+
+def test_observe_request_roundtrips_the_struct_path():
+    op, req = roundtrip_request(dict(FULL_OBSERVE))
+    assert op == wire.OP_OBSERVE
+    assert req == FULL_OBSERVE
+
+
+def test_observe_request_optional_fields_roundtrip():
+    full = dict(
+        FULL_OBSERVE, offset=7,
+        source_ip="10.0.0.1", file_name="/data/f", volume="/data",
+        trace={"trace_id": 5, "span_id": 9},
+    )
+    op, req = roundtrip_request(dict(full))
+    assert op == wire.OP_OBSERVE
+    assert req == full
+
+
+def test_partial_observe_rides_as_json():
+    # The struct layout is fixed-width: a request leaning on server-side
+    # defaults (no bandwidth, no operation...) rides OP_JSON instead.
+    request = {"op": "observe", "link": "L", "size": 10,
+               "start": 0.0, "end": 1.0}
+    frame = wire.FrameWriter().encode_request(request)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    assert op == wire.OP_JSON
+    assert wire.decode_request(op, payload) == request
+
+
+def test_observe_meta_trio_is_all_or_none():
+    request = dict(FULL_OBSERVE, source_ip="10.0.0.1")  # file/volume missing
+    frame = wire.FrameWriter().encode_request(request)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    assert op == wire.OP_JSON
+    assert wire.decode_request(op, payload) == request
+
+
+def test_observe_response_roundtrips():
+    op, resp = roundtrip_response(
+        wire.OP_OBSERVE,
+        {"ok": True, "v": 1, "link": "LBL-ANL", "version": 31},
+    )
+    assert op == wire.OP_OBSERVE
+    assert resp == {"ok": True, "v": 1, "link": "LBL-ANL", "version": 31}
+
+
+def test_shard_addressed_ping_and_status_fall_back_to_json():
+    # The fleet front's single-shard escape hatch is a passenger field
+    # the u8-only payloads cannot carry.
+    for name in ("ping", "status"):
+        frame = wire.FrameWriter().encode_request({"op": name, "shard": 2})
+        op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+        assert op == wire.OP_JSON
+        assert wire.decode_request(op, payload)["shard"] == 2
+
+
+def test_error_code_vocabulary_is_closed_and_complete():
+    assert wire.ERROR_CODES == frozenset({
+        "bad_request", "unknown_op", "deadline_exceeded",
+        "unsupported_version", "oversized_request", "bad_frame",
+        "internal", "overloaded", "unavailable",
+    })
+    # Every code the codec emits must encode/decode through OP_ERROR.
+    for code in sorted(wire.ERROR_CODES):
+        op, resp = roundtrip_response(
+            wire.OP_PREDICT, wire.error_response(code, "detail"))
+        assert op == wire.OP_ERROR
+        assert resp["error"]["code"] == code
