@@ -349,8 +349,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     followers = []
     if args.follow:
         followers = [
-            LogFollower(path, service.observe, link=args.link,
-                        deliver_offsets=store is not None)
+            # Batch delivery: each poll's new records fold through one
+            # observe_batch sweep (grouped locks, one WAL group commit)
+            # instead of a per-record write path.
+            LogFollower(path, None, link=args.link,
+                        deliver_offsets=store is not None,
+                        batch_sink=service.observe_batch)
             for path in args.logs
         ]
         for follower in followers:
@@ -624,6 +628,79 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print("fleet: rolling shutdown...", file=sys.stderr, flush=True)
         runner.stop()
     return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a ULM log into a running service through ``observe_batch``.
+
+    The load driver for grid-scale campaigns: batches of N observations
+    per round trip, each batch folded under grouped link locks and made
+    durable by one WAL group commit server-side.  Per-record byte
+    offsets ride along so a durable server records its resume point
+    exactly as the in-process follower would.
+    """
+    from repro.client import ServiceClient
+    from repro.logs.ulm import ULMError, parse_record
+
+    if args.batch < 1:
+        raise SystemExit("--batch must be >= 1")
+    path = Path(args.log_file)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SystemExit(f"cannot read log file {path}: {exc}") from None
+    link = args.link or path.stem
+    items: List[Dict[str, object]] = []
+    skipped = 0
+    pos = 0
+    for line in raw.split(b"\n"):
+        pos = min(pos + len(line) + 1, len(raw))
+        stripped = line.decode("utf-8", errors="replace").strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            record = parse_record(stripped)
+        except ULMError:
+            skipped += 1
+            continue
+        items.append({
+            "link": link, "size": record.file_size,
+            "start": record.start_time, "end": record.end_time,
+            "bandwidth": record.bandwidth,
+            "operation": record.operation.value,
+            "streams": record.streams, "tcp_buffer": record.tcp_buffer,
+            "offset": pos,
+        })
+    if not items:
+        raise SystemExit(f"no parseable records in {path}")
+    acked = failed = batches = 0
+    t0 = time.perf_counter()
+    try:
+        with ServiceClient(args.socket) as client:
+            for lo in range(0, len(items), args.batch):
+                batches += 1
+                for result in client.observe_batch(items[lo:lo + args.batch]):
+                    if result.get("ok"):
+                        acked += 1
+                    else:
+                        failed += 1
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(
+            f"cannot reach server at {args.socket}: {exc}") from None
+    elapsed = time.perf_counter() - t0
+    rate = acked / elapsed if elapsed > 0 else 0.0
+    _emit(
+        {
+            "link": link, "records": len(items), "acked": acked,
+            "failed": failed, "skipped_lines": skipped, "batches": batches,
+            "seconds": round(elapsed, 3),
+            "records_per_second": round(rate, 1),
+        },
+        args.json,
+        f"{link}: acked {acked}/{len(items)} records in {batches} "
+        f"batch(es), {elapsed:.2f}s ({rate:,.0f} rec/s)",
+    )
+    return 0 if failed == 0 else 1
 
 
 def _load_batch_items(path: str) -> List[Dict[str, object]]:
@@ -914,6 +991,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "predictions whose absolute fractional error "
                             "meets FRAC (default 1.0 = 100%%)")
     serve.set_defaults(func=_cmd_serve)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a ULM log into a running service via observe_batch",
+    )
+    ingest.add_argument("log_file", help="ULM transfer log to stream")
+    ingest.add_argument("--socket", required=True,
+                        help="unix socket of the running service")
+    ingest.add_argument("--batch", type=int, default=500, metavar="N",
+                        help="observations per observe_batch round trip")
+    ingest.add_argument("--link", default=None,
+                        help="override the link name (default: file stem)")
+    ingest.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON summary")
+    ingest.set_defaults(func=_cmd_ingest)
 
     fleet = sub.add_parser(
         "fleet", help="run a sharded fleet of supervised prediction workers"

@@ -443,6 +443,43 @@ class ServiceClient:
             req["offset"] = int(offset)
         return int(self.call("observe", **req)["version"])
 
+    def observe_batch(self, items: Sequence) -> List[Dict[str, Any]]:
+        """Push many completed transfers in one round trip.
+
+        ``items`` may be ``(link, size, start, end[, bandwidth])``
+        tuples or dicts with the same fields :meth:`observe` accepts
+        (``operation``, ``streams``, ``tcp_buffer``, ``offset``,
+        metadata, ...).  Missing ``bandwidth`` is computed client-side
+        so the batch stays on the struct-packed binary codec.  Each
+        result is a per-item ack ``{"ok": true, "link", "version"}`` or
+        ``{"ok": false, "error": {...}}``, in request order — a bad
+        item never fails the batch, and an acked item is durable under
+        the same contract as a single observe (the server group-commits
+        the whole batch before answering).
+        """
+        wire_items: List[Dict[str, Any]] = []
+        for item in items:
+            if isinstance(item, dict):
+                entry = dict(item)
+            else:
+                entry = {"link": item[0], "size": int(item[1]),
+                         "start": float(item[2]), "end": float(item[3])}
+                if len(item) > 4 and item[4] is not None:
+                    entry["bandwidth"] = float(item[4])
+            if "bandwidth" not in entry or entry["bandwidth"] is None:
+                try:
+                    entry["bandwidth"] = (
+                        int(entry["size"])
+                        / (float(entry["end"]) - float(entry["start"]))
+                    )
+                except (KeyError, TypeError, ValueError, ZeroDivisionError):
+                    entry.pop("bandwidth", None)  # let the server reject it
+            entry.setdefault("operation", "read")
+            entry.setdefault("streams", 1)
+            entry.setdefault("tcp_buffer", 65536)
+            wire_items.append(entry)
+        return self.call("observe_batch", items=wire_items)["results"]
+
     def status(self) -> Dict[str, Any]:
         return self.call("status")
 

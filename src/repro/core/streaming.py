@@ -88,6 +88,21 @@ class StreamingUnavailable(RuntimeError):
     """
 
 
+def _fold_sum(current: np.longdouble, values: np.ndarray) -> np.longdouble:
+    """``current + v0 + v1 + ...`` bit-identically to the scalar loop.
+
+    ``np.add.accumulate`` materializes every partial sum left to right —
+    unlike ``sum()``/``.sum()``, which use pairwise summation — so the
+    final element is exactly the chained ``+=`` the per-record path
+    performs.  This is what lets :meth:`StreamingBank.extend` vectorize
+    the longdouble running sums without perturbing a single bit.
+    """
+    acc = np.empty(len(values) + 1, dtype=np.longdouble)
+    acc[0] = current
+    acc[1:] = values
+    return np.add.accumulate(acc)[-1]
+
+
 # ----------------------------------------------------------------------
 # per-series summaries
 # ----------------------------------------------------------------------
@@ -103,6 +118,10 @@ class _RunningMean:
     def add(self, value: float) -> None:
         self.count += 1
         self._sum += value
+
+    def extend(self, values: np.ndarray) -> None:
+        self.count += len(values)
+        self._sum = _fold_sum(self._sum, values)
 
     def build(self, values: np.ndarray) -> None:
         self.count = len(values)
@@ -175,6 +194,10 @@ class _TemporalMean:
     def add(self, time: float, value: float) -> None:
         self._entries.append((time, value))
         self._sum += value
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        self._entries.extend(zip(times.tolist(), values.tolist()))
+        self._sum = _fold_sum(self._sum, values)
 
     def build(self, times: np.ndarray, values: np.ndarray) -> None:
         self._entries = deque(zip(times.tolist(), values.tolist()))
@@ -265,6 +288,52 @@ class _ArSummary:
             while mins and mins[-1][1] >= value:
                 mins.pop()
             mins.append((time, value))
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Fold an in-order batch; identical final state to n ``add``\\ s.
+
+        The lag-pair sums are linear folds, so they vectorize through
+        :func:`_fold_sum` over the per-pair longdouble terms (the x
+        vector is the previous value shifted by one, seeded with the
+        carried ``_last``).  The monotonic min-deque's batch update is
+        the sequential pop-while replayed wholesale: survivors of the
+        old deque are those strictly below the batch minimum, and the
+        appended entries are the batch's strictly-decreasing
+        suffix-minima chain — the same selection :meth:`build` uses.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        wide = values.astype(np.longdouble)
+        if self.count:
+            x = np.empty(n, dtype=np.longdouble)
+            x[0] = np.longdouble(self._last)
+            x[1:] = wide[:-1]
+            y = wide
+        else:
+            x, y = wide[:-1], wide[1:]
+        if len(x):
+            self._m += len(x)
+            self._sx = _fold_sum(self._sx, x)
+            self._sy = _fold_sum(self._sy, y)
+            self._sxx = _fold_sum(self._sxx, x * x)
+            self._sxy = _fold_sum(self._sxy, x * y)
+        self.count += n
+        self._sum = _fold_sum(self._sum, values)
+        self._last = float(values[-1])
+        if self.seconds is None:
+            low = float(values.min())
+            if low < self._min:
+                self._min = low
+        else:
+            self._entries.extend(zip(times.tolist(), values.tolist()))
+            mins = self._mins
+            batch_min = values.min()
+            while mins and mins[-1][1] >= batch_min:
+                mins.pop()
+            suffix_min = np.minimum.accumulate(values[::-1])[::-1]
+            keep = values < np.concatenate([suffix_min[1:], [np.inf]])
+            mins.extend(zip(times[keep].tolist(), values[keep].tolist()))
 
     def build(self, times: np.ndarray, values: np.ndarray) -> None:
         n = len(values)
@@ -400,6 +469,29 @@ class SeriesSummaries:
             summary.add(time, value)
         for summary in self._ar.values():
             summary.add(time, value)
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Fold an in-order batch; same final state as n ``add`` calls.
+
+        Running sums vectorize (:func:`_fold_sum`); the ring and deques
+        bulk-extend (``deque.extend`` is sequential appends, so
+        ``maxlen`` overflow matches); only the dual-heap median — an
+        inherently sequential structure — stays a per-record loop.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        self.count += n
+        self.last = float(values[-1])
+        self._ring.extend(values.tolist())
+        self._mean.extend(values)
+        median = self._median
+        for value in values.tolist():
+            median.add(value)
+        for summary in self._temporal.values():
+            summary.extend(times, values)
+        for summary in self._ar.values():
+            summary.extend(times, values)
 
     def build(self, times: np.ndarray, values: np.ndarray) -> None:
         self.count = len(values)
@@ -550,6 +642,67 @@ class StreamingBank:
                 bucket = self._class_read[label] = [np.longdouble(0.0), 0]
             bucket[0] += value
             bucket[1] += 1
+
+    def extend(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        sizes: np.ndarray,
+        ops: np.ndarray,
+    ) -> None:
+        """Fold an in-order batch, bit-identical to sequential :meth:`add`.
+
+        The batch scatters into per-class / per-op subsequences exactly
+        once (one ``classify`` per distinct size, as :meth:`rebuild`
+        does); each series then folds its own subsequence in arrival
+        order, which is precisely what the interleaved per-record path
+        would have fed it.  Longdouble sums vectorize via
+        :func:`_fold_sum`; heap-backed structures keep per-record folds.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        sizes = np.asarray(sizes)
+        ops = np.asarray(ops)
+        n = len(values)
+        if n == 0:
+            return
+        self.count += n
+        self._global.extend(times, values)
+
+        unique_sizes, inverse = np.unique(sizes, return_inverse=True)
+        unique_labels = np.array([self._label(int(s)) for s in unique_sizes])
+        labels = unique_labels[inverse]
+        # First-occurrence iteration order (dict.fromkeys, not set), so
+        # new per-label/per-op entries are created in the same order the
+        # per-record path would have — checkpoint state stays identical
+        # down to dict insertion order.
+        for label in dict.fromkeys(labels.tolist()):
+            mask = labels == label
+            series = self._classes.get(label)
+            if series is None:
+                series = self._classes[label] = SeriesSummaries()
+            series.extend(times[mask], values[mask])
+
+        for op in dict.fromkeys(ops.tolist()):
+            op = int(op)
+            stats = self._op_stats.get(op)
+            if stats is None:
+                stats = self._op_stats[op] = RunningSummary()
+            for value in values[ops == op].tolist():
+                stats.add(value)
+
+        read_mask = ops == self.read_op
+        if read_mask.any():
+            read_values = values[read_mask]
+            self._recent_reads.extend(read_values.tolist())
+            read_labels = labels[read_mask]
+            for label in dict.fromkeys(read_labels.tolist()):
+                sub = read_values[read_labels == label]
+                bucket = self._class_read.get(label)
+                if bucket is None:
+                    bucket = self._class_read[label] = [np.longdouble(0.0), 0]
+                bucket[0] = _fold_sum(bucket[0], sub)
+                bucket[1] += len(sub)
 
     def rebuild(
         self,

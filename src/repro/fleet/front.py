@@ -6,8 +6,9 @@ multiplexing a fleet of shard workers behind it:
 
 * ``predict`` / ``observe`` route to the owning shard by consistent
   hash and forward over pooled binary Unix-socket connections;
-* ``predict_batch`` partitions items per shard, fans the sub-batches
-  out concurrently, and reassembles results in request order;
+* ``predict_batch`` / ``observe_batch`` partition items per shard, fan
+  the sub-batches out concurrently, and reassemble results in request
+  order;
 * ``rank`` fans per-shard sub-rankings out and merges them — confident
   predictions first (descending bandwidth), degraded answers after,
   no-history candidates last;
@@ -637,6 +638,8 @@ class FleetFront:
                 return await self._route_single(op, req)
             if op == "predict_batch":
                 return await self._route_batch(req)
+            if op == "observe_batch":
+                return await self._route_observe_batch(req)
             if op == "rank":
                 return await self._route_rank(req)
             if op == "status":
@@ -796,6 +799,82 @@ class FleetFront:
                     "error": {"code": "unavailable", "message": str(failure)},
                 })
         return entries
+
+    # -- observe_batch fan-out -----------------------------------------
+    async def _route_observe_batch(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Partition an observe batch per owning shard, fan out concurrently.
+
+        Unlike ``predict_batch`` there is **no** stale fallback and no
+        answer cache: an observe ack is a durability promise only the
+        owning shard can make, so a dead shard's items come back
+        ``unavailable`` for the client to retry after failover.  Items
+        for live shards still land — one shard's death never poisons
+        the rest of the batch.
+        """
+        items = req["items"]
+        if not isinstance(items, (list, tuple)):
+            raise ValueError("items must be a list of observation objects")
+        entries: List[Optional[Dict[str, Any]]] = [None] * len(items)
+        by_shard: Dict[int, List[int]] = {}
+        for pos, item in enumerate(items):
+            try:
+                if not isinstance(item, dict):
+                    raise ValueError("batch item must be an object")
+                shard = self.ring.shard_of(str(item["link"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                entries[pos] = {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"item {pos}: {type(exc).__name__}: {exc}",
+                    },
+                }
+                continue
+            by_shard.setdefault(shard, []).append(pos)
+
+        passthrough = {key: req[key] for key in ("v", "trace") if key in req}
+
+        async def sub_batch(shard: int, positions: List[int]):
+            sub = dict(passthrough)
+            sub["op"] = "observe_batch"
+            sub["items"] = [items[pos] for pos in positions]
+            _faults.check("fleet.route", shard=shard, op="observe_batch")
+            return await self._links[shard].call(sub)
+
+        shards = sorted(by_shard)
+        outcomes = await asyncio.gather(
+            *(sub_batch(shard, by_shard[shard]) for shard in shards),
+            return_exceptions=True,
+        )
+        for shard, outcome in zip(shards, outcomes):
+            positions = by_shard[shard]
+            if isinstance(outcome, BaseException):
+                if isinstance(outcome, ShardOverloaded):
+                    code = "overloaded"
+                    if _obs_enabled():
+                        _M_OVERLOADED.inc()
+                elif isinstance(outcome, ShardUnavailable):
+                    code = "unavailable"
+                    if _obs_enabled():
+                        _M_UNAVAILABLE.inc()
+                else:
+                    code = "internal"
+                for pos in positions:
+                    entries[pos] = {
+                        "ok": False,
+                        "error": {"code": code, "message": str(outcome)},
+                    }
+                continue
+            if not outcome.get("ok"):
+                for pos in positions:
+                    entries[pos] = {"ok": False, "error": outcome.get("error")}
+                continue
+            for pos, result in zip(positions, outcome["results"]):
+                entries[pos] = result
+        return {
+            "ok": True, "v": wire.PROTOCOL_VERSION,
+            "count": len(items), "results": entries,
+        }
 
     # -- rank fan-out / merge ------------------------------------------
     async def _route_rank(self, req: Dict[str, Any]) -> Dict[str, Any]:

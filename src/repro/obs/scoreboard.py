@@ -98,6 +98,8 @@ def render_scoreboard(status: Dict[str, Any],
             f"  stored={store.get('stored_links', 0)}"
             f"  evictions={store.get('evictions', 0):g}"
             f"  revivals={store.get('revivals', 0):g}"
+            f"  group-commits={store.get('group_commits', 0):g}"
+            f"  fsyncs={store.get('fsyncs', 0):g}"
             f"  disk={store.get('bytes_on_disk', 0) / 1e6:.1f}MB"
         )
 

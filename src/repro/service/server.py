@@ -21,6 +21,7 @@ op                  request fields                          response payload
 ``predict_batch``   ``items``, [``spec``, ``now``]          per-item ``results``
 ``rank``            ``candidates``, ``size``, [``spec``]    ordered replica list
 ``observe``         ``link``, ``size``, ``start``, ``end``  ``{"link", "version"}``
+``observe_batch``   ``items``                               per-item acks
 ``status``          —                                       service status dict
 ``metrics``         [``format``]                            merged registry snapshot
 ``spans``           [``name``, ``limit``]                   finished spans
@@ -269,27 +270,71 @@ def _observe_payload(service: PredictionService, req: Dict[str, Any]) -> Dict[st
     the durable store first when one is attached — an acked observe
     survives ``kill -9``.
     """
-    link = str(req["link"])
-    size = int(req["size"])
-    start = float(req["start"])
-    end = float(req["end"])
-    bandwidth = req.get("bandwidth")
+    link, record, offset = _observe_record(req)
+    version = service.observe(link, record, source_offset=offset)
+    return {"link": link, "version": version}
+
+
+def _observe_record(item: Dict[str, Any]) -> Tuple[str, TransferRecord, int]:
+    """Build ``(link, record, source_offset)`` from an observe payload."""
+    link = str(item["link"])
+    size = int(item["size"])
+    start = float(item["start"])
+    end = float(item["end"])
+    bandwidth = item.get("bandwidth")
     record = TransferRecord(
-        source_ip=str(req.get("source_ip", "0.0.0.0")),
-        file_name=str(req.get("file_name", "/transfer")),
+        source_ip=str(item.get("source_ip", "0.0.0.0")),
+        file_name=str(item.get("file_name", "/transfer")),
         file_size=size,
-        volume=str(req.get("volume", "/")),
+        volume=str(item.get("volume", "/")),
         start_time=start,
         end_time=end,
         bandwidth=(
             float(bandwidth) if bandwidth is not None else size / (end - start)
         ),
-        operation=str(req.get("operation", "read")),
-        streams=int(req.get("streams", 1)),
-        tcp_buffer=int(req.get("tcp_buffer", 65536)),
+        operation=str(item.get("operation", "read")),
+        streams=int(item.get("streams", 1)),
+        tcp_buffer=int(item.get("tcp_buffer", 65536)),
     )
-    version = service.observe(link, record, source_offset=int(req.get("offset", 0)))
-    return {"link": link, "version": version}
+    return link, record, int(item.get("offset", 0))
+
+
+def _observe_batch_payload(
+    service: PredictionService, req: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-item acks for an ``observe_batch`` request.
+
+    The write-path twin of ``predict_batch``: item validation is per
+    item — a malformed entry becomes an in-band ``{"ok": false,
+    "error": {...}}`` at its position while the rest of the batch still
+    lands — and the valid items are folded through one
+    :meth:`PredictionService.observe_batch` sweep.  Each ack's
+    ``version`` is sent only after the whole batch has persisted and
+    group-committed, so an acked item survives ``kill -9`` exactly as a
+    per-record observe ack does.
+    """
+    items = req["items"]
+    if not isinstance(items, (list, tuple)):
+        raise ValueError("items must be a list of observation objects")
+    entries: List[Optional[Dict[str, Any]]] = [None] * len(items)
+    valid: List[Tuple[int, Tuple[str, TransferRecord, int]]] = []
+    for pos, item in enumerate(items):
+        try:
+            if not isinstance(item, dict):
+                raise ValueError("batch item must be an object")
+            valid.append((pos, _observe_record(item)))
+        except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
+            entries[pos] = {
+                "ok": False,
+                "error": {
+                    "code": "bad_request",
+                    "message": f"item {pos}: {type(exc).__name__}: {exc}",
+                },
+            }
+    versions = service.observe_batch([item for _, item in valid])
+    for (pos, (link, _, _)), version in zip(valid, versions):
+        entries[pos] = {"ok": True, "link": link, "version": version}
+    return {"count": len(items), "results": entries}
 
 
 def _rank_payload(
@@ -363,6 +408,8 @@ def handle_request(
                 payload = _rank_payload(service, req, deadline)
             elif op == "observe":
                 payload = _observe_payload(service, req)
+            elif op == "observe_batch":
+                payload = _observe_batch_payload(service, req)
             elif op == "status":
                 payload = service.status()
             elif op == "metrics":

@@ -229,6 +229,109 @@ class LinkState:
                 )
             return self._version
 
+    def append_batch(
+        self,
+        times,
+        values,
+        sizes,
+        ops,
+        source_offset=0,
+        sync: Optional[bool] = None,
+    ) -> int:
+        """Fold a batch of records under one lock; returns the new version.
+
+        The write-path counterpart of ``predict_batch``'s grouped reads:
+        each maximal contiguous in-order run costs one buffer extend,
+        one vectorized :meth:`StreamingBank.extend` fold, and **one**
+        persist call (one WAL write downstream) instead of N of each.
+        The version still advances exactly one per record — the i-th
+        record of the batch got version ``returned - n + 1 + i`` — so
+        version-keyed caches and quality pairing behave identically to
+        sequential :meth:`append`.  Out-of-order stragglers take the
+        per-record insert path (sorted-position copy + bank rebuild),
+        preserving :meth:`append` semantics bit for bit.
+
+        ``source_offset`` is either one scalar (recorded on the batch's
+        last row, as :meth:`extend` does) or a per-row array from a
+        batching log follower.  ``sync`` threads through to the persist
+        hook (``None`` keeps the store's default) so a service-level
+        group commit can defer fsync across links.
+        """
+        with self.lock:
+            times = np.asarray(times, dtype=np.float64)
+            values = np.asarray(values, dtype=np.float64)
+            sizes = np.asarray(sizes, dtype=np.int64)
+            ops = np.asarray(ops, dtype=np.int8)
+            n = len(times)
+            if n == 0:
+                return self._version
+            offsets = (np.asarray(source_offset, dtype=np.int64)
+                       if np.ndim(source_offset) else None)
+            lo = 0
+            while lo < n:
+                if times[lo] >= self._last_time:
+                    hi = lo + 1
+                    while hi < n and times[hi] >= times[hi - 1]:
+                        hi += 1
+                    run = slice(lo, hi)
+                    self._buffer.extend_sorted(
+                        (times[run], values[run], sizes[run], ops[run])
+                    )
+                    if self.bank is not None:
+                        self.bank.extend(times[run], values[run],
+                                         sizes[run], ops[run])
+                    self._last_time = float(times[hi - 1])
+                    self._version += hi - lo
+                    if self._persist is not None:
+                        self._persist_rows(
+                            times[run], values[run], sizes[run], ops[run],
+                            offsets[run] if offsets is not None
+                            else (source_offset if hi == n else 0),
+                            sync,
+                        )
+                    lo = hi
+                else:
+                    self._append_one_locked(
+                        float(times[lo]), float(values[lo]),
+                        int(sizes[lo]), int(ops[lo]),
+                        int(offsets[lo]) if offsets is not None
+                        else (source_offset if lo == n - 1 else 0),
+                        sync,
+                    )
+                    lo += 1
+            return self._version
+
+    def _append_one_locked(
+        self, time: float, value: float, size: int, op: int,
+        source_offset, sync: Optional[bool],
+    ) -> None:
+        """One record via :meth:`append`'s exact fold, lock already held."""
+        in_order = time >= self._last_time
+        if not in_order:
+            self._hydrate_locked()
+        self._buffer.append((time, value, size, op))
+        if self.bank is not None:
+            if in_order:
+                self.bank.add(time, value, size, op)
+            else:
+                self._rebuild_bank("out_of_order")
+        if in_order:
+            self._last_time = time
+        self._version += 1
+        if self._persist is not None:
+            self._persist_rows((time,), (value,), (size,), (op,),
+                               source_offset, sync)
+
+    def _persist_rows(self, times, values, sizes, ops, source_offset,
+                      sync: Optional[bool]) -> None:
+        """Invoke the persist hook, passing ``sync`` only when overridden
+        (plain 5-argument persist callables keep working)."""
+        if sync is None:
+            self._persist(times, values, sizes, ops, source_offset)
+        else:
+            self._persist(times, values, sizes, ops, source_offset,
+                          sync=sync)
+
     def extend(self, frame: TransferFrame, source_offset: int = 0) -> int:
         """Fold a whole frame in one sorted merge; returns the new version.
 

